@@ -1,0 +1,384 @@
+// Package alvc is the public API of the AL-VC reproduction: the
+// Abstraction Layer based Virtual Cluster architecture for network
+// function chaining of Bashir, Ohsita and Murata (IEEE ICDCSW 2016,
+// DOI 10.1109/ICDCSW.2016.42).
+//
+// The architecture virtualizes a hybrid electronic/optical data center
+// into service-based virtual clusters. Each cluster pairs a group of
+// VMs offering one service with an abstraction layer (AL): the minimum
+// set of optical packet switches connecting all of the group's
+// machines, selected by a max-weight vertex-cover construction
+// (paper §III-C). In NFV deployments one cluster hosts one network
+// function chain; the AL doubles as the chain's optical slice, and
+// low-demand VNFs are pushed onto optoelectronic routers inside the
+// optical domain to save O/E/O conversions (paper §IV).
+//
+// # Quick start
+//
+//	arch, err := alvc.New(alvc.DefaultTopology())
+//	if err != nil { ... }
+//	spec, _ := alvc.LinearChain("my-chain", "tenant-a", "web", 2.0, 1<<20,
+//		"firewall", "lb", "dpi")
+//	dep, err := arch.Deploy(spec)
+//	fmt.Println(dep.Conversions, dep.EnergyJoules)
+//
+// The facade re-exports the concrete types of the internal packages as
+// aliases, so the whole system — topology generation, AL construction,
+// VNF lifecycle, SDN provisioning, placement policies and the flow
+// simulator — is reachable from this one import.
+package alvc
+
+import (
+	"fmt"
+
+	"github.com/alvc/alvc/internal/chain"
+	"github.com/alvc/alvc/internal/cluster"
+	"github.com/alvc/alvc/internal/flow"
+	"github.com/alvc/alvc/internal/nfv"
+	"github.com/alvc/alvc/internal/optical"
+	"github.com/alvc/alvc/internal/orch"
+	"github.com/alvc/alvc/internal/placement"
+	"github.com/alvc/alvc/internal/topology"
+	"github.com/alvc/alvc/internal/workload"
+)
+
+// Compile-time interface checks for the re-exported policy and builder
+// types.
+var (
+	_ PlacementPolicy = AllElectronic{}
+	_ PlacementPolicy = OpticalFirst{}
+	_ PlacementPolicy = OptimalPlacement{}
+	_ ALBuilder       = PaperBuilder{}
+	_ ALBuilder       = GreedyBuilder{}
+)
+
+// Re-exported core types. Aliases keep the public façade thin while the
+// implementation lives in focused internal packages.
+type (
+	// Topology is the hybrid electronic/optical data-center network.
+	Topology = topology.Topology
+	// TopologyConfig parameterizes the deterministic DCN generator.
+	TopologyConfig = topology.GenConfig
+	// NodeID identifies a node of the topology.
+	NodeID = topology.NodeID
+	// Resources is a CPU/memory/storage vector.
+	Resources = topology.Resources
+	// Spec is a network-function-chain request.
+	Spec = chain.Spec
+	// NFRef is one NF position within a Spec.
+	NFRef = chain.NFRef
+	// Deployment is an orchestrated chain with its cluster, slice,
+	// VNFs and provisioned path.
+	Deployment = orch.Deployment
+	// DeploymentID identifies a Deployment.
+	DeploymentID = orch.DeploymentID
+	// VC is a virtual cluster (VM group + abstraction layer).
+	VC = cluster.VC
+	// AL is an abstraction layer.
+	AL = cluster.AL
+	// ALBuilder constructs abstraction layers.
+	ALBuilder = cluster.Builder
+	// PlacementPolicy decides VNF domains (optical vs electronic).
+	PlacementPolicy = placement.Policy
+	// ChainRequest is a workload-generated chain request.
+	ChainRequest = workload.ChainRequest
+	// FlowResult aggregates measured flow costs.
+	FlowResult = flow.Result
+)
+
+// Re-exported AL builders (paper §III-C and its baselines).
+type (
+	// PaperBuilder is the paper's max-weight vertex-cover AL
+	// construction.
+	PaperBuilder = cluster.PaperBuilder
+	// GreedyBuilder is classic greedy set cover.
+	GreedyBuilder = cluster.GreedyBuilder
+	// RandomBuilder reproduces the earlier random construction [15].
+	RandomBuilder = cluster.RandomBuilder
+)
+
+// Re-exported placement policies (paper §IV-D and its baselines).
+type (
+	// AllElectronic keeps every VNF on servers.
+	AllElectronic = placement.AllElectronic
+	// OpticalFirst is the paper's greedy optical placement.
+	OpticalFirst = placement.OpticalFirst
+	// OptimalPlacement is the exhaustive minimum-conversion placement.
+	OptimalPlacement = placement.Optimal
+)
+
+// DefaultTopology returns the generator configuration used by the
+// examples: 8 racks over a 6-OPS optical core with three services.
+func DefaultTopology() TopologyConfig { return topology.DefaultGenConfig() }
+
+// LinearChain builds a validated linear chain Spec.
+func LinearChain(name, tenant, service string, bandwidthGbps float64, flowBytes int64, nfs ...string) (Spec, error) {
+	return chain.Linear(name, tenant, service, bandwidthGbps, flowBytes, nfs...)
+}
+
+// NFCatalog returns the names of the built-in network function types.
+func NFCatalog() []string { return nfv.ProfileNames() }
+
+// Option customizes an Architecture.
+type Option func(*settings)
+
+type settings struct {
+	builder     cluster.Builder
+	policy      placement.Policy
+	mode        placement.Mode
+	costModel   *optical.CostModel
+	wavelengths int
+}
+
+// WithBuilder selects the AL construction algorithm (default: the
+// paper's max-weight builder).
+func WithBuilder(b ALBuilder) Option {
+	return func(s *settings) { s.builder = b }
+}
+
+// WithPolicy selects the VNF placement policy (default: the paper's
+// optical-first greedy).
+func WithPolicy(p PlacementPolicy) Option {
+	return func(s *settings) { s.policy = p }
+}
+
+// WithPerRunAccounting switches O/E/O accounting from the paper's
+// per-VNF convention to the colocation-aware per-run convention.
+func WithPerRunAccounting() Option {
+	return func(s *settings) { s.mode = placement.AccountPerRun }
+}
+
+// WithConversionCost overrides the O/E/O energy model.
+func WithConversionCost(joulesPerBit, fixedJoules float64) Option {
+	return func(s *settings) {
+		s.costModel = &optical.CostModel{JoulesPerBit: joulesPerBit, FixedJoules: fixedJoules}
+	}
+}
+
+// WithWavelengths enables per-flow WDM wavelength assignment with the
+// given channels per optical link (first-fit, continuity-constrained;
+// chains block when no common wavelength remains).
+func WithWavelengths(n int) Option {
+	return func(s *settings) { s.wavelengths = n }
+}
+
+// Architecture is a running AL-VC instance: a topology plus the full
+// management stack of Fig. 6 (orchestrator over SDN controller and
+// Cloud/NFV manager).
+type Architecture struct {
+	topo  *topology.Topology
+	alloc *cluster.Allocator
+	orch  *orch.Orchestrator
+}
+
+// New generates a topology from the configuration and stands up the
+// management stack on it.
+func New(cfg TopologyConfig, opts ...Option) (*Architecture, error) {
+	topo, err := topology.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("alvc: %w", err)
+	}
+	return FromTopology(topo, opts...)
+}
+
+// FromTopology stands the management stack up on an existing topology
+// (which must pass Validate).
+func FromTopology(topo *topology.Topology, opts ...Option) (*Architecture, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("alvc: nil topology")
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, fmt.Errorf("alvc: %w", err)
+	}
+	var s settings
+	for _, opt := range opts {
+		opt(&s)
+	}
+	builder := s.builder
+	if builder == nil {
+		builder = cluster.PaperBuilder{}
+	}
+	alloc, err := cluster.NewAllocator(topo, builder)
+	if err != nil {
+		return nil, fmt.Errorf("alvc: %w", err)
+	}
+	o, err := orch.New(orch.Config{
+		Topo:        topo,
+		Allocator:   alloc,
+		Policy:      s.policy,
+		Mode:        s.mode,
+		CostModel:   s.costModel,
+		Wavelengths: s.wavelengths,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("alvc: %w", err)
+	}
+	return &Architecture{topo: topo, alloc: alloc, orch: o}, nil
+}
+
+// Topology returns the underlying network.
+func (a *Architecture) Topology() *Topology { return a.topo }
+
+// Orchestrator returns the underlying NFC orchestrator for advanced
+// inspection (flow tables, VNF lifecycle events, slices).
+func (a *Architecture) Orchestrator() *orch.Orchestrator { return a.orch }
+
+// BuildServiceClusters constructs one virtual cluster per service
+// (paper §III, Fig. 1/3) — the pure clustering use of AL-VC, without
+// chains. The clusters claim OPSs from the same pool chain deployments
+// use.
+func (a *Architecture) BuildServiceClusters() ([]*VC, error) {
+	vcs, err := a.alloc.BuildAllByService()
+	if err != nil {
+		return nil, fmt.Errorf("alvc: %w", err)
+	}
+	return vcs, nil
+}
+
+// ReleaseCluster dissolves a cluster built by BuildServiceClusters.
+func (a *Architecture) ReleaseCluster(id cluster.VCID) error {
+	return a.alloc.Release(id)
+}
+
+// Clusters returns all current virtual clusters (service clusters and
+// chain-backing clusters alike).
+func (a *Architecture) Clusters() []*VC { return a.alloc.VCs() }
+
+// Deploy provisions a chain end to end (paper §IV): virtual cluster,
+// optical slice, VNF placement and instantiation, SDN path.
+func (a *Architecture) Deploy(spec Spec) (*Deployment, error) {
+	return a.orch.Provision(spec)
+}
+
+// DeployRequest deploys a workload-generated chain request.
+func (a *Architecture) DeployRequest(req ChainRequest) (*Deployment, error) {
+	spec, err := LinearChain(req.Name, req.Tenant, req.Service, req.BandwidthGbps, req.FlowBytes, req.NFNames...)
+	if err != nil {
+		return nil, fmt.Errorf("alvc: deploy request: %w", err)
+	}
+	return a.Deploy(spec)
+}
+
+// Delete tears a deployment down and releases its resources.
+func (a *Architecture) Delete(id DeploymentID) error { return a.orch.Delete(id) }
+
+// Upgrade rolls every VNF of the chain to the next version.
+func (a *Architecture) Upgrade(id DeploymentID) error { return a.orch.Upgrade(id) }
+
+// Modify changes a deployment's bandwidth reservation.
+func (a *Architecture) Modify(id DeploymentID, bandwidthGbps float64) error {
+	return a.orch.Modify(id, bandwidthGbps)
+}
+
+// ScaleNF scales one NF of the chain to the given replica count.
+func (a *Architecture) ScaleNF(id DeploymentID, nfIndex, replicas int) error {
+	return a.orch.ScaleNF(id, nfIndex, replicas)
+}
+
+// FailNode injects a node failure (OPS, ToR or PM) and repairs every
+// chain that used it. It returns the deployments repaired; chains whose
+// repair was impossible transition to the Failed state and are reported
+// through the error.
+func (a *Architecture) FailNode(id NodeID) ([]DeploymentID, error) {
+	return a.orch.HandleNodeFailure(id)
+}
+
+// RecoverNode marks a failed node as live again. Existing deployments
+// are not rebalanced; new deployments may use it immediately.
+func (a *Architecture) RecoverNode(id NodeID) error {
+	return a.topo.SetNodeDown(id, false)
+}
+
+// Repair rebuilds one deployment around the current topology state.
+func (a *Architecture) Repair(id DeploymentID) error { return a.orch.Repair(id) }
+
+// Deployments lists all deployments.
+func (a *Architecture) Deployments() []*Deployment { return a.orch.Deployments() }
+
+// Deployment returns one deployment, or nil.
+func (a *Architecture) Deployment(id DeploymentID) *Deployment { return a.orch.Deployment(id) }
+
+// MeasureDeployment replays n representative flows of the deployment
+// through the flow simulator and returns the measured aggregate
+// (hops, O/E/O conversions, energy, latency).
+func (a *Architecture) MeasureDeployment(id DeploymentID, n int) (FlowResult, error) {
+	dep := a.orch.Deployment(id)
+	if dep == nil {
+		return FlowResult{}, fmt.Errorf("alvc: measure: unknown deployment %d", id)
+	}
+	if n <= 0 {
+		return FlowResult{}, fmt.Errorf("alvc: measure: n must be positive, got %d", n)
+	}
+	// Per-visit VNF processing latency from the deployed instances'
+	// catalog profiles, so measured latency includes middlebox time.
+	cfg := flow.DefaultConfig()
+	cfg.VNFDelayUs = make(map[NodeID]float64)
+	for _, instID := range dep.Instances {
+		inst := a.orch.Manager().Instance(instID)
+		if inst == nil {
+			continue
+		}
+		if p, err := nfv.ProfileByName(string(inst.Type)); err == nil {
+			cfg.VNFDelayUs[inst.Host] += p.PerPacketMicros
+		}
+	}
+	sim, err := flow.NewSimulator(a.topo, cfg)
+	if err != nil {
+		return FlowResult{}, fmt.Errorf("alvc: measure: %w", err)
+	}
+	specs := make([]flow.Spec, n)
+	for i := range specs {
+		specs[i] = flow.Spec{Path: dep.Path, Bytes: dep.Spec.FlowBytes}
+	}
+	res, err := sim.RunBatch(specs)
+	if err != nil {
+		return FlowResult{}, fmt.Errorf("alvc: measure: %w", err)
+	}
+	// Credit the flow-table counters like a switch would (OpenFlow
+	// statistics): each replayed flow hits every rule on its path once.
+	a.orch.Controller().RecordHits(dep.FlowKey(), int64(n))
+	return res, nil
+}
+
+// MoveNF migrates one NF of a deployed chain to another hosting-capable
+// node and re-provisions connectivity — the "deploy VNFs when and where
+// required" operation (§I), and the online form of Fig. 8's
+// move-into-the-optical-domain optimization.
+func (a *Architecture) MoveNF(id DeploymentID, nfIndex int, to NodeID) error {
+	return a.orch.MoveNF(id, nfIndex, to)
+}
+
+// Summary condenses the architecture's state.
+type Summary struct {
+	PMs, VMs, ToRs, OPSs int
+	OptoelectronicOPSs   int
+	Services             int
+	Clusters             int
+	ActiveDeployments    int
+	InstalledRules       int
+	TotalConversions     int
+	TotalEnergyJoules    float64
+}
+
+// Summarize returns the current Summary.
+func (a *Architecture) Summarize() Summary {
+	stats := a.topo.ComputeStats()
+	s := Summary{
+		PMs:                stats.PMs,
+		VMs:                stats.VMs,
+		ToRs:               stats.ToRs,
+		OPSs:               stats.OPSs,
+		OptoelectronicOPSs: stats.OptoelectronicOPSs,
+		Services:           stats.Services,
+		Clusters:           len(a.alloc.VCs()),
+		InstalledRules:     a.orch.Controller().RuleCount(),
+	}
+	for _, dep := range a.orch.Deployments() {
+		if dep.State == orch.StateActive {
+			s.ActiveDeployments++
+			s.TotalConversions += dep.Conversions
+			s.TotalEnergyJoules += dep.EnergyJoules
+		}
+	}
+	return s
+}

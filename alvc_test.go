@@ -1,0 +1,238 @@
+package alvc
+
+import (
+	"testing"
+
+	"github.com/alvc/alvc/internal/orch"
+)
+
+func archConfig() TopologyConfig {
+	cfg := DefaultTopology()
+	cfg.Racks = 6
+	cfg.OPSCount = 18
+	cfg.ToRUplinks = 12
+	cfg.OPSChords = 2
+	cfg.OptoFrac = 0.6
+	return cfg
+}
+
+func TestNewAndSummarize(t *testing.T) {
+	arch, err := New(archConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s := arch.Summarize()
+	if s.VMs == 0 || s.OPSs != 18 || s.ToRs != 6 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.ActiveDeployments != 0 || s.Clusters != 0 {
+		t.Fatalf("fresh architecture not empty: %+v", s)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := archConfig()
+	cfg.Racks = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := FromTopology(nil); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+}
+
+func TestDeployLifecycleThroughFacade(t *testing.T) {
+	arch, err := New(archConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	spec, err := LinearChain("c1", "tenant-a", "web", 2, 1<<20, "firewall", "lb")
+	if err != nil {
+		t.Fatalf("LinearChain: %v", err)
+	}
+	dep, err := arch.Deploy(spec)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if got := arch.Deployment(dep.ID); got == nil || got.State != orch.StateActive {
+		t.Fatal("deployment not active")
+	}
+	s := arch.Summarize()
+	if s.ActiveDeployments != 1 || s.Clusters != 1 || s.InstalledRules == 0 {
+		t.Fatalf("summary after deploy = %+v", s)
+	}
+	if err := arch.Modify(dep.ID, 5); err != nil {
+		t.Fatalf("Modify: %v", err)
+	}
+	if err := arch.Upgrade(dep.ID); err != nil {
+		t.Fatalf("Upgrade: %v", err)
+	}
+	res, err := arch.MeasureDeployment(dep.ID, 10)
+	if err != nil {
+		t.Fatalf("MeasureDeployment: %v", err)
+	}
+	if res.Flows != 10 || res.MeanHops == 0 {
+		t.Fatalf("flow result = %+v", res)
+	}
+	if err := arch.Delete(dep.ID); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if arch.Summarize().ActiveDeployments != 0 {
+		t.Fatal("deployment not removed from summary")
+	}
+	if _, err := arch.MeasureDeployment(999, 1); err == nil {
+		t.Fatal("measuring unknown deployment accepted")
+	}
+	if _, err := arch.MeasureDeployment(dep.ID, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestBuildServiceClusters(t *testing.T) {
+	arch, err := New(archConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	vcs, err := arch.BuildServiceClusters()
+	if err != nil {
+		t.Fatalf("BuildServiceClusters: %v", err)
+	}
+	if len(vcs) != 3 {
+		t.Fatalf("clusters = %d, want 3 services", len(vcs))
+	}
+	if len(arch.Clusters()) != 3 {
+		t.Fatal("Clusters() inconsistent")
+	}
+	for _, vc := range vcs {
+		if err := arch.ReleaseCluster(vc.ID); err != nil {
+			t.Fatalf("ReleaseCluster: %v", err)
+		}
+	}
+	if len(arch.Clusters()) != 0 {
+		t.Fatal("clusters remain after release")
+	}
+}
+
+func TestClusterAndChainShareOPSPool(t *testing.T) {
+	// Service clusters claim OPSs; a subsequent chain deployment must
+	// build its AL from the remainder (shared allocator).
+	arch, err := New(archConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := arch.BuildServiceClusters(); err != nil {
+		t.Fatalf("BuildServiceClusters: %v", err)
+	}
+	claimed := make(map[NodeID]bool)
+	for _, vc := range arch.Clusters() {
+		for _, ops := range vc.AL.OPSs {
+			claimed[ops] = true
+		}
+	}
+	spec, err := LinearChain("c1", "t", "web", 1, 1<<20, "firewall")
+	if err != nil {
+		t.Fatalf("LinearChain: %v", err)
+	}
+	dep, err := arch.Deploy(spec)
+	if err != nil {
+		// Acceptable outcome: pool exhausted. The invariant is that it
+		// must NOT double-allocate.
+		return
+	}
+	for _, ops := range dep.VC.AL.OPSs {
+		if claimed[ops] {
+			t.Fatalf("OPS %d allocated to both a service cluster and a chain", ops)
+		}
+	}
+}
+
+func TestWithOptions(t *testing.T) {
+	arch, err := New(archConfig(),
+		WithBuilder(GreedyBuilder{}),
+		WithPolicy(OptimalPlacement{}),
+		WithPerRunAccounting(),
+		WithConversionCost(1e-12, 1e-4),
+	)
+	if err != nil {
+		t.Fatalf("New with options: %v", err)
+	}
+	spec, err := LinearChain("c1", "t", "web", 1, 1<<20, "firewall", "dpi")
+	if err != nil {
+		t.Fatalf("LinearChain: %v", err)
+	}
+	dep, err := arch.Deploy(spec)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if dep.Placement.Policy != "optimal" {
+		t.Fatalf("policy = %s", dep.Placement.Policy)
+	}
+}
+
+func TestDeployRequest(t *testing.T) {
+	arch, err := New(archConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	req := ChainRequest{
+		Tenant: "t1", Name: "r1", Service: "web",
+		NFNames: []string{"firewall"}, BandwidthGbps: 1, FlowBytes: 1 << 20,
+	}
+	if _, err := arch.DeployRequest(req); err != nil {
+		t.Fatalf("DeployRequest: %v", err)
+	}
+	bad := req
+	bad.NFNames = nil
+	if _, err := arch.DeployRequest(bad); err == nil {
+		t.Fatal("invalid request accepted")
+	}
+}
+
+func TestNFCatalogExposed(t *testing.T) {
+	names := NFCatalog()
+	if len(names) < 8 {
+		t.Fatalf("catalog = %v", names)
+	}
+}
+
+func TestFacadeFailureRecovery(t *testing.T) {
+	arch, err := New(archConfig(), WithWavelengths(8))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	spec, err := LinearChain("c1", "tenant-a", "web", 2, 1<<20, "firewall", "lb", "dpi")
+	if err != nil {
+		t.Fatalf("LinearChain: %v", err)
+	}
+	dep, err := arch.Deploy(spec)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if dep.Lambda < 0 {
+		t.Fatalf("lambda = %d, want assigned with WithWavelengths", dep.Lambda)
+	}
+	victim := dep.Slice.OPSs[0]
+	repaired, err := arch.FailNode(victim)
+	if err != nil {
+		t.Fatalf("FailNode: %v", err)
+	}
+	if len(repaired) != 1 || repaired[0] != dep.ID {
+		t.Fatalf("repaired = %v", repaired)
+	}
+	after := arch.Deployment(dep.ID)
+	if after.Repairs != 1 || after.Slice.Contains(victim) {
+		t.Fatalf("repair did not move off the failed OPS: %+v", after.Slice.OPSs)
+	}
+	if err := arch.RecoverNode(victim); err != nil {
+		t.Fatalf("RecoverNode: %v", err)
+	}
+	if err := arch.Repair(dep.ID); err != nil {
+		t.Fatalf("manual Repair: %v", err)
+	}
+	if arch.Deployment(dep.ID).Repairs != 2 {
+		t.Fatal("manual repair not counted")
+	}
+	if _, err := arch.FailNode(999999); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}

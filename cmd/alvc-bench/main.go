@@ -1,0 +1,87 @@
+// Command alvc-bench runs the experiment harness: every table and
+// figure-level claim of the paper (E1..E12, see DESIGN.md §4) is
+// regenerated and printed as an aligned table, with the shape findings
+// and any violations listed below each experiment.
+//
+// Usage:
+//
+//	alvc-bench            # run everything
+//	alvc-bench -exp E8    # run one experiment
+//	alvc-bench -markdown  # emit EXPERIMENTS.md-ready markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/alvc/alvc/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	exp := flag.String("exp", "", "run a single experiment (E1..E12); default all")
+	markdown := flag.Bool("markdown", false, "emit markdown tables instead of aligned text")
+	flag.Parse()
+
+	var results []*experiments.Result
+	if *exp != "" {
+		res, err := experiments.Run(*exp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %v\n", err)
+			return 1
+		}
+		results = append(results, res)
+	} else {
+		var err error
+		results, err = experiments.RunAll()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %v\n", err)
+			return 1
+		}
+	}
+
+	violations := 0
+	for _, res := range results {
+		if *markdown {
+			fmt.Printf("## %s — %s\n\n", res.ID, res.Title)
+			fmt.Printf("*Reproduces:* %s\n\n", res.Figure)
+			for _, tbl := range res.Tables {
+				fmt.Println(tbl.Markdown())
+			}
+			for _, f := range res.Findings {
+				fmt.Printf("- ✅ %s\n", f)
+			}
+			for _, v := range res.Violations {
+				fmt.Printf("- ❌ %s\n", v)
+			}
+			fmt.Println()
+		} else {
+			fmt.Printf("=== %s — %s\n", res.ID, res.Title)
+			fmt.Printf("    reproduces: %s\n\n", res.Figure)
+			for _, tbl := range res.Tables {
+				if err := tbl.Render(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "alvc-bench: render: %v\n", err)
+					return 1
+				}
+				fmt.Println()
+			}
+			for _, f := range res.Findings {
+				fmt.Printf("  [ok] %s\n", f)
+			}
+			for _, v := range res.Violations {
+				fmt.Printf("  [VIOLATION] %s\n", v)
+			}
+			fmt.Println()
+		}
+		violations += len(res.Violations)
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "alvc-bench: %d shape violations\n", violations)
+		return 2
+	}
+	return 0
+}

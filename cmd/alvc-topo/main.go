@@ -1,0 +1,82 @@
+// Command alvc-topo generates AL-VC topologies and inspects them:
+// summary statistics, Graphviz DOT, or JSON.
+//
+// Usage:
+//
+//	alvc-topo -racks 8 -ops 6 -uplinks 3            # stats
+//	alvc-topo -racks 8 -dot > topo.dot              # Graphviz
+//	alvc-topo -racks 8 -json > topo.json            # JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/alvc/alvc/internal/topology"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	cfg := topology.DefaultGenConfig()
+	racks := flag.Int("racks", cfg.Racks, "number of racks (ToRs)")
+	pms := flag.Int("pms", cfg.PMsPerRack, "physical machines per rack")
+	vms := flag.Int("vms", cfg.VMsPerPM, "VMs per physical machine")
+	ops := flag.Int("ops", cfg.OPSCount, "optical packet switches in the core")
+	uplinks := flag.Int("uplinks", cfg.ToRUplinks, "OPS uplinks per ToR")
+	optoFrac := flag.Float64("opto", cfg.OptoFrac, "fraction of OPSs that are optoelectronic")
+	services := flag.String("services", strings.Join(cfg.Services, ","), "comma-separated service labels")
+	seed := flag.Int64("seed", cfg.Seed, "generator seed")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT")
+	dotVMs := flag.Bool("dot-vms", false, "include VMs in DOT output")
+	asJSON := flag.Bool("json", false, "emit JSON")
+	flag.Parse()
+
+	cfg.Racks = *racks
+	cfg.PMsPerRack = *pms
+	cfg.VMsPerPM = *vms
+	cfg.OPSCount = *ops
+	cfg.ToRUplinks = *uplinks
+	cfg.OptoFrac = *optoFrac
+	cfg.Services = strings.Split(*services, ",")
+	cfg.Seed = *seed
+
+	topo, err := topology.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alvc-topo: %v\n", err)
+		return 1
+	}
+	if err := topo.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "alvc-topo: generated topology invalid: %v\n", err)
+		return 1
+	}
+	switch {
+	case *dot || *dotVMs:
+		fmt.Print(topo.DOT(*dotVMs))
+	case *asJSON:
+		data, err := json.MarshalIndent(topo, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alvc-topo: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(data))
+	default:
+		s := topo.ComputeStats()
+		fmt.Printf("racks (ToRs):          %d\n", s.ToRs)
+		fmt.Printf("physical machines:     %d\n", s.PMs)
+		fmt.Printf("virtual machines:      %d\n", s.VMs)
+		fmt.Printf("optical switches:      %d (%d optoelectronic)\n", s.OPSs, s.OptoelectronicOPSs)
+		fmt.Printf("services:              %d\n", s.Services)
+		fmt.Printf("electronic links:      %d\n", s.ElectronicLinks)
+		fmt.Printf("boundary links (OEO):  %d\n", s.BoundaryLinks)
+		fmt.Printf("optical links:         %d\n", s.OpticalLinks)
+		fmt.Printf("avg ToR uplinks:       %.1f\n", s.AvgToRUplinks)
+		fmt.Printf("avg VMs per PM:        %.1f\n", s.AvgVMsPerPM)
+	}
+	return 0
+}

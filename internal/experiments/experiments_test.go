@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsOrderedAndComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("experiments = %d, want 15", len(ids))
+	}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestEveryExperimentReproduces runs all twelve experiments and demands
+// zero shape violations — this is the repository's statement that the
+// paper's claims reproduce.
+func TestEveryExperimentReproduces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id)
+			if err != nil {
+				t.Fatalf("%s failed: %v", id, err)
+			}
+			if res.ID != id {
+				t.Fatalf("result ID %q != %q", res.ID, id)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", id)
+			}
+			for _, tbl := range res.Tables {
+				if tbl.RowCount() == 0 {
+					t.Fatalf("%s produced empty table %q", id, tbl.Title)
+				}
+			}
+			if len(res.Findings) == 0 {
+				t.Fatalf("%s produced no findings", id)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("%s reported violations: %v", id, res.Violations)
+			}
+			if res.Figure == "" || res.Title == "" {
+				t.Fatalf("%s missing figure/title metadata", id)
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism check skipped in -short mode")
+	}
+	// Timing columns vary run to run; compare only the deterministic
+	// experiments' table cells.
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E8", "E11"} {
+		r1, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		r2, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for ti := range r1.Tables {
+			rows1, rows2 := r1.Tables[ti].Rows(), r2.Tables[ti].Rows()
+			if len(rows1) != len(rows2) {
+				t.Fatalf("%s table %d row count differs", id, ti)
+			}
+			for ri := range rows1 {
+				if strings.Join(rows1[ri], "|") != strings.Join(rows2[ri], "|") {
+					t.Fatalf("%s table %d row %d differs:\n%v\n%v", id, ti, ri, rows1[ri], rows2[ri])
+				}
+			}
+		}
+	}
+}

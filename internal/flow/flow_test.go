@@ -1,0 +1,266 @@
+package flow
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// pathTopo: vm1-pm1-tor1-ops1-ops2-tor2-pm2-vm2 plus an OER (ops1).
+func pathTopo(t *testing.T) (*topology.Topology, []topology.NodeID) {
+	t.Helper()
+	topo := topology.New()
+	ops1 := topo.AddOPS(true, topology.Resources{CPUCores: 4, MemoryGB: 8, StorageGB: 16})
+	ops2 := topo.AddOPS(false, topology.Resources{})
+	tor1 := topo.AddToR(0)
+	tor2 := topo.AddToR(1)
+	pm1 := topo.AddPM(0, topology.Resources{CPUCores: 32, MemoryGB: 64, StorageGB: 256})
+	pm2 := topo.AddPM(1, topology.Resources{CPUCores: 32, MemoryGB: 64, StorageGB: 256})
+	link := func(a, b topology.NodeID, k topology.LinkKind, lat float64) {
+		t.Helper()
+		if _, err := topo.AddLink(a, b, k, 10, lat); err != nil {
+			t.Fatalf("AddLink: %v", err)
+		}
+	}
+	link(ops1, ops2, topology.LinkOptical, 1)
+	link(tor1, ops1, topology.LinkBoundary, 2)
+	link(tor2, ops2, topology.LinkBoundary, 2)
+	link(pm1, tor1, topology.LinkElectronic, 5)
+	link(pm2, tor2, topology.LinkElectronic, 5)
+	vm1, err := topo.AddVM(pm1, "web")
+	if err != nil {
+		t.Fatalf("AddVM: %v", err)
+	}
+	vm2, err := topo.AddVM(pm2, "web")
+	if err != nil {
+		t.Fatalf("AddVM: %v", err)
+	}
+	return topo, []topology.NodeID{vm1, pm1, tor1, ops1, ops2, tor2, pm2, vm2}
+}
+
+func TestMeasureSimpleTransit(t *testing.T) {
+	topo, path := pathTopo(t)
+	s, err := NewSimulator(topo, DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	pf, err := s.Measure(Spec{Path: path, Bytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if pf.Hops != len(path)-1 {
+		t.Fatalf("hops = %d, want %d", pf.Hops, len(path)-1)
+	}
+	// Ingress E→O and egress O→E only: 2 crossings, 0 chargeable
+	// excursions.
+	if pf.BoundaryCrossings != 2 {
+		t.Fatalf("crossings = %d, want 2", pf.BoundaryCrossings)
+	}
+	if pf.OEOConversions != 0 {
+		t.Fatalf("conversions = %d, want 0 (pure transit)", pf.OEOConversions)
+	}
+	if pf.EnergyJoules != 0 {
+		t.Fatalf("energy = %f, want 0", pf.EnergyJoules)
+	}
+	// Latency: links 0.1(vm)+5+2+1+2+5+0.1(vm) plus 2 conversions × 10.
+	want := 0.1 + 5 + 2 + 1 + 2 + 5 + 0.1 + 20
+	if math.Abs(pf.LatencyUs-want) > 1e-9 {
+		t.Fatalf("latency = %f, want %f", pf.LatencyUs, want)
+	}
+}
+
+func TestMeasureElectronicExcursion(t *testing.T) {
+	topo, path := pathTopo(t)
+	s, _ := NewSimulator(topo, DefaultConfig())
+	// Path dips back to tor1 (electronic VNF) mid-transit:
+	// vm1 pm1 tor1 ops1 tor1 ops1 ops2 tor2 pm2 vm2 — 4 crossings.
+	dip := []topology.NodeID{path[0], path[1], path[2], path[3], path[2], path[3], path[4], path[5], path[6], path[7]}
+	pf, err := s.Measure(Spec{Path: dip, Bytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if pf.BoundaryCrossings != 4 {
+		t.Fatalf("crossings = %d, want 4", pf.BoundaryCrossings)
+	}
+	if pf.OEOConversions != 1 {
+		t.Fatalf("conversions = %d, want 1 excursion", pf.OEOConversions)
+	}
+	if pf.EnergyJoules <= 0 {
+		t.Fatal("one excursion must cost energy")
+	}
+}
+
+func TestMeasureAllElectronicPath(t *testing.T) {
+	topo, path := pathTopo(t)
+	s, _ := NewSimulator(topo, DefaultConfig())
+	// vm1 pm1 tor1 pm1... an electronic-only walk never converts.
+	pf, err := s.Measure(Spec{Path: []topology.NodeID{path[0], path[1], path[2]}, Bytes: 100})
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if pf.BoundaryCrossings != 0 || pf.OEOConversions != 0 {
+		t.Fatalf("electronic path: crossings=%d conversions=%d", pf.BoundaryCrossings, pf.OEOConversions)
+	}
+}
+
+func TestMeasureVNFDelay(t *testing.T) {
+	topo, path := pathTopo(t)
+	cfg := DefaultConfig()
+	cfg.VNFDelayUs = map[topology.NodeID]float64{path[3]: 100} // VNF on ops1
+	s, _ := NewSimulator(topo, cfg)
+	base, _ := NewSimulator(topo, DefaultConfig())
+	withVNF, err := s.Measure(Spec{Path: path, Bytes: 100})
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	plain, err := base.Measure(Spec{Path: path, Bytes: 100})
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if diff := withVNF.LatencyUs - plain.LatencyUs; math.Abs(diff-100) > 1e-9 {
+		t.Fatalf("VNF delay contribution = %f, want 100", diff)
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	topo, path := pathTopo(t)
+	s, _ := NewSimulator(topo, DefaultConfig())
+	if _, err := s.Measure(Spec{Path: nil, Bytes: 1}); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := s.Measure(Spec{Path: path, Bytes: 0}); err == nil {
+		t.Fatal("zero bytes accepted")
+	}
+	if _, err := s.Measure(Spec{Path: []topology.NodeID{9999}, Bytes: 1}); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestNewSimulatorValidation(t *testing.T) {
+	topo, _ := pathTopo(t)
+	if _, err := NewSimulator(nil, DefaultConfig()); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	bad := DefaultConfig()
+	bad.ConversionDelayUs = -1
+	if _, err := NewSimulator(topo, bad); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestRunBatchAggregates(t *testing.T) {
+	topo, path := pathTopo(t)
+	s, _ := NewSimulator(topo, DefaultConfig())
+	specs := []Spec{
+		{Path: path, Bytes: 1000},
+		{Path: path, Bytes: 2000},
+		{Path: path, Bytes: 3000},
+	}
+	res, err := s.RunBatch(specs)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if res.Flows != 3 || res.TotalBytes != 6000 {
+		t.Fatalf("aggregate = %+v", res)
+	}
+	if res.MeanHops != float64(len(path)-1) {
+		t.Fatalf("mean hops = %f", res.MeanHops)
+	}
+	if _, err := s.RunBatch([]Spec{{Path: path, Bytes: -1}}); err == nil {
+		t.Fatal("bad flow accepted in batch")
+	}
+}
+
+func TestEventDrivenMatchesBatch(t *testing.T) {
+	topo, path := pathTopo(t)
+	s, _ := NewSimulator(topo, DefaultConfig())
+	specs := make([]Spec, 50)
+	for i := range specs {
+		specs[i] = Spec{Path: path, Bytes: int64(1000 * (i + 1))}
+	}
+	batch, err := s.RunBatch(specs)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	event, err := s.RunEventDriven(specs, time.Millisecond, 42)
+	if err != nil {
+		t.Fatalf("RunEventDriven: %v", err)
+	}
+	if event.Flows != batch.Flows ||
+		event.TotalBytes != batch.TotalBytes ||
+		event.TotalConversions != batch.TotalConversions ||
+		math.Abs(event.MeanLatencyUs-batch.MeanLatencyUs) > 1e-9 ||
+		math.Abs(event.TotalEnergyJoules-batch.TotalEnergyJoules) > 1e-9 {
+		t.Fatalf("event %+v != batch %+v", event, batch)
+	}
+	if event.SimulatedDuration <= 0 {
+		t.Fatal("event mode must advance simulated time")
+	}
+}
+
+func TestLinkLoads(t *testing.T) {
+	topo, path := pathTopo(t)
+	s, _ := NewSimulator(topo, DefaultConfig())
+	specs := []Spec{
+		{Path: path, Bytes: 1000},
+		{Path: path, Bytes: 500},
+	}
+	loads, err := s.LinkLoads(specs)
+	if err != nil {
+		t.Fatalf("LinkLoads: %v", err)
+	}
+	// The path crosses 5 physical links (vm hops are virtual): each
+	// carries 1500 bytes.
+	if len(loads) != 5 {
+		t.Fatalf("loads cover %d links, want 5: %v", len(loads), loads)
+	}
+	for id, b := range loads {
+		if b != 1500 {
+			t.Fatalf("link %d load = %d, want 1500", id, b)
+		}
+	}
+	id, max := HottestLink(loads)
+	if max != 1500 || id == 0 {
+		t.Fatalf("hottest = %d/%d", id, max)
+	}
+	// Validation.
+	if _, err := s.LinkLoads([]Spec{{Path: nil, Bytes: 1}}); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := s.LinkLoads([]Spec{{Path: path, Bytes: 0}}); err == nil {
+		t.Fatal("zero bytes accepted")
+	}
+	if _, err := s.LinkLoads([]Spec{{Path: []topology.NodeID{9999, 9998}, Bytes: 1}}); err == nil {
+		t.Fatal("unknown nodes accepted")
+	}
+	// Empty input: empty map, no error.
+	empty, err := s.LinkLoads(nil)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty input: %v %v", empty, err)
+	}
+	if id, max := HottestLink(empty); id != 0 || max != 0 {
+		t.Fatal("hottest of empty should be zero values")
+	}
+}
+
+func TestEventDrivenDeterministic(t *testing.T) {
+	topo, path := pathTopo(t)
+	s, _ := NewSimulator(topo, DefaultConfig())
+	specs := []Spec{{Path: path, Bytes: 1000}, {Path: path, Bytes: 2000}}
+	r1, err := s.RunEventDriven(specs, time.Millisecond, 7)
+	if err != nil {
+		t.Fatalf("RunEventDriven: %v", err)
+	}
+	r2, err := s.RunEventDriven(specs, time.Millisecond, 7)
+	if err != nil {
+		t.Fatalf("RunEventDriven: %v", err)
+	}
+	if r1.SimulatedDuration != r2.SimulatedDuration {
+		t.Fatal("same seed produced different makespans")
+	}
+	if _, err := s.RunEventDriven(specs, 0, 7); err == nil {
+		t.Fatal("zero inter-arrival accepted")
+	}
+}

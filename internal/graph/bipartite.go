@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bipartite models the two-sided connectivity structures at the heart of
+// AL construction (paper §III-C, Fig. 4):
+//
+//   - VM↔ToR: left vertices are virtual machines, right vertices are the
+//     Top-of-Rack switches they attach to (possibly multi-homed).
+//   - ToR↔OPS: left vertices are the ToRs selected in the first phase,
+//     right vertices are the optical packet switches they uplink to.
+//
+// The paper's "minimum vertex cover" on this graph — restricted, as in
+// the paper's walk-through, to right-side vertices — is the problem of
+// covering every left vertex by selecting a minimum set of right
+// vertices, i.e. a set cover whose sets are the right vertices'
+// neighborhoods. Bipartite provides the structure; cover.go provides the
+// solvers.
+type Bipartite struct {
+	leftAdj  map[VertexID][]VertexID // left  -> sorted right neighbors
+	rightAdj map[VertexID][]VertexID // right -> sorted left neighbors
+}
+
+// NewBipartite returns an empty bipartite graph.
+func NewBipartite() *Bipartite {
+	return &Bipartite{
+		leftAdj:  make(map[VertexID][]VertexID),
+		rightAdj: make(map[VertexID][]VertexID),
+	}
+}
+
+// AddLeft registers a left vertex (idempotent).
+func (b *Bipartite) AddLeft(v VertexID) {
+	if _, ok := b.leftAdj[v]; !ok {
+		b.leftAdj[v] = nil
+	}
+}
+
+// AddRight registers a right vertex (idempotent).
+func (b *Bipartite) AddRight(v VertexID) {
+	if _, ok := b.rightAdj[v]; !ok {
+		b.rightAdj[v] = nil
+	}
+}
+
+// AddEdge connects left vertex l to right vertex r, creating both as
+// needed. Duplicate edges are ignored.
+func (b *Bipartite) AddEdge(l, r VertexID) {
+	b.AddLeft(l)
+	b.AddRight(r)
+	if containsSorted(b.leftAdj[l], r) {
+		return
+	}
+	b.leftAdj[l] = insertSorted(b.leftAdj[l], r)
+	b.rightAdj[r] = insertSorted(b.rightAdj[r], l)
+}
+
+// HasEdge reports whether l—r exists.
+func (b *Bipartite) HasEdge(l, r VertexID) bool {
+	return containsSorted(b.leftAdj[l], r)
+}
+
+// Lefts returns the left vertices in ascending order.
+func (b *Bipartite) Lefts() []VertexID { return sortedKeys(b.leftAdj) }
+
+// Rights returns the right vertices in ascending order.
+func (b *Bipartite) Rights() []VertexID { return sortedKeys(b.rightAdj) }
+
+// LeftCount returns the number of left vertices.
+func (b *Bipartite) LeftCount() int { return len(b.leftAdj) }
+
+// RightCount returns the number of right vertices.
+func (b *Bipartite) RightCount() int { return len(b.rightAdj) }
+
+// EdgeCount returns the number of distinct edges.
+func (b *Bipartite) EdgeCount() int {
+	n := 0
+	for _, rs := range b.leftAdj {
+		n += len(rs)
+	}
+	return n
+}
+
+// RightNeighbors returns the sorted right neighbors of left vertex l.
+// The returned slice is a copy.
+func (b *Bipartite) RightNeighbors(l VertexID) []VertexID {
+	return append([]VertexID(nil), b.leftAdj[l]...)
+}
+
+// LeftNeighbors returns the sorted left neighbors of right vertex r.
+// The returned slice is a copy.
+func (b *Bipartite) LeftNeighbors(r VertexID) []VertexID {
+	return append([]VertexID(nil), b.rightAdj[r]...)
+}
+
+// RightDegree returns the number of left vertices adjacent to r.
+func (b *Bipartite) RightDegree(r VertexID) int { return len(b.rightAdj[r]) }
+
+// LeftDegree returns the number of right vertices adjacent to l.
+func (b *Bipartite) LeftDegree(l VertexID) int { return len(b.leftAdj[l]) }
+
+// Validate returns an error if any left vertex is isolated (it could
+// never be covered) — the precondition for every cover solver.
+func (b *Bipartite) Validate() error {
+	for _, l := range b.Lefts() {
+		if len(b.leftAdj[l]) == 0 {
+			return fmt.Errorf("graph: bipartite: left vertex %d has no right neighbors", l)
+		}
+	}
+	return nil
+}
+
+// RestrictRights returns a copy containing only right vertices in allow
+// (and all left vertices). Used to honor the paper's constraint that one
+// OPS cannot be part of two ALs: already-allocated OPSs are excluded
+// before cover construction.
+func (b *Bipartite) RestrictRights(allow map[VertexID]bool) *Bipartite {
+	nb := NewBipartite()
+	for l := range b.leftAdj {
+		nb.AddLeft(l)
+	}
+	for r, ls := range b.rightAdj {
+		if !allow[r] {
+			continue
+		}
+		nb.AddRight(r)
+		for _, l := range ls {
+			nb.AddEdge(l, r)
+		}
+	}
+	return nb
+}
+
+// Clone returns a deep copy.
+func (b *Bipartite) Clone() *Bipartite {
+	nb := NewBipartite()
+	for l, rs := range b.leftAdj {
+		nb.AddLeft(l)
+		for _, r := range rs {
+			nb.AddEdge(l, r)
+		}
+	}
+	for r := range b.rightAdj {
+		nb.AddRight(r)
+	}
+	return nb
+}
+
+func sortedKeys(m map[VertexID][]VertexID) []VertexID {
+	ks := make([]VertexID, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func containsSorted(s []VertexID, v VertexID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+func insertSorted(s []VertexID, v VertexID) []VertexID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBipartiteBasics(t *testing.T) {
+	b := NewBipartite()
+	b.AddEdge(1, 10)
+	b.AddEdge(1, 11)
+	b.AddEdge(2, 10)
+	if b.LeftCount() != 2 || b.RightCount() != 2 {
+		t.Fatalf("counts = %d,%d want 2,2", b.LeftCount(), b.RightCount())
+	}
+	if b.EdgeCount() != 3 {
+		t.Fatalf("EdgeCount = %d, want 3", b.EdgeCount())
+	}
+	if !b.HasEdge(1, 10) || b.HasEdge(2, 11) {
+		t.Fatal("edge membership wrong")
+	}
+	if b.RightDegree(10) != 2 || b.LeftDegree(1) != 2 {
+		t.Fatal("degrees wrong")
+	}
+}
+
+func TestBipartiteDuplicateEdgeIgnored(t *testing.T) {
+	b := NewBipartite()
+	b.AddEdge(1, 10)
+	b.AddEdge(1, 10)
+	if b.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d, want 1 after duplicate add", b.EdgeCount())
+	}
+}
+
+func TestBipartiteNeighborsSortedCopies(t *testing.T) {
+	b := NewBipartite()
+	b.AddEdge(1, 12)
+	b.AddEdge(1, 10)
+	b.AddEdge(1, 11)
+	ns := b.RightNeighbors(1)
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1] >= ns[i] {
+			t.Fatalf("neighbors not sorted: %v", ns)
+		}
+	}
+	ns[0] = 999 // mutating the copy must not affect the graph
+	if !b.HasEdge(1, 10) {
+		t.Fatal("mutating returned slice corrupted graph")
+	}
+}
+
+func TestBipartiteValidate(t *testing.T) {
+	b := NewBipartite()
+	b.AddEdge(1, 10)
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	b.AddLeft(2)
+	if err := b.Validate(); err == nil {
+		t.Fatal("isolated left vertex passed validation")
+	}
+}
+
+func TestRestrictRights(t *testing.T) {
+	b := NewBipartite()
+	b.AddEdge(1, 10)
+	b.AddEdge(1, 11)
+	b.AddEdge(2, 11)
+	r := b.RestrictRights(map[VertexID]bool{11: true})
+	if r.RightCount() != 1 {
+		t.Fatalf("restricted rights = %d, want 1", r.RightCount())
+	}
+	if r.LeftCount() != 2 {
+		t.Fatalf("restricted lefts = %d, want 2 (all lefts kept)", r.LeftCount())
+	}
+	if r.HasEdge(1, 10) {
+		t.Fatal("edge to excluded right survived restriction")
+	}
+	if !r.HasEdge(1, 11) || !r.HasEdge(2, 11) {
+		t.Fatal("edges to allowed right lost")
+	}
+	// Original untouched.
+	if !b.HasEdge(1, 10) {
+		t.Fatal("restriction mutated original")
+	}
+}
+
+func TestBipartiteClone(t *testing.T) {
+	b := NewBipartite()
+	b.AddEdge(1, 10)
+	c := b.Clone()
+	c.AddEdge(2, 11)
+	if b.HasEdge(2, 11) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if !c.HasEdge(1, 10) {
+		t.Fatal("clone lost original edge")
+	}
+}
+
+// Property: RestrictRights never invents edges and keeps exactly the
+// edges whose right endpoint is allowed.
+func TestRestrictRightsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBipartite(rng, 1+rng.Intn(15), 1+rng.Intn(8), 0.4)
+		allow := make(map[VertexID]bool)
+		for _, r := range b.Rights() {
+			if rng.Intn(2) == 0 {
+				allow[r] = true
+			}
+		}
+		res := b.RestrictRights(allow)
+		for _, l := range b.Lefts() {
+			for _, r := range b.RightNeighbors(l) {
+				if allow[r] != res.HasEdge(l, r) {
+					return false
+				}
+			}
+		}
+		for _, r := range res.Rights() {
+			if !allow[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

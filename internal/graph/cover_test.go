@@ -1,0 +1,315 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fig4Instance builds the worked example of paper Fig. 4: four ToRs
+// (rights 101..104) where ToR 1 attaches four VMs and has two OPS
+// uplinks, ToR 2's machines are all already covered by ToR 1, and ToR 3
+// covers the remainder. Lefts 1..6 are VMs.
+func fig4Instance() (*Bipartite, WeightFunc) {
+	b := NewBipartite()
+	// ToR 101 ("ToR 1"): VMs 1,2,3,4 — weight 4 in + 2 out = 6.
+	for _, vm := range []VertexID{1, 2, 3, 4} {
+		b.AddEdge(vm, 101)
+	}
+	// ToR 102 ("ToR 2"): VMs 2,3 (already covered by ToR 1) — weight 2+2.
+	b.AddEdge(2, 102)
+	b.AddEdge(3, 102)
+	// ToR 103 ("ToR 3"): VMs 5,6 — weight 2+1 = 3.
+	b.AddEdge(5, 103)
+	b.AddEdge(6, 103)
+	// ToR 104 ("ToR N"): VM 6 only — weight 1+1 = 2.
+	b.AddEdge(6, 104)
+	uplinks := map[VertexID]float64{101: 2, 102: 2, 103: 1, 104: 1}
+	weight := func(r VertexID) float64 {
+		return float64(b.RightDegree(r)) + uplinks[r]
+	}
+	return b, weight
+}
+
+func TestCoverMaxWeightFig4(t *testing.T) {
+	b, weight := fig4Instance()
+	cover, err := CoverMaxWeight(b, weight)
+	if err != nil {
+		t.Fatalf("CoverMaxWeight: %v", err)
+	}
+	// The paper's walk-through: select ToR 1, skip ToR 2 (machines
+	// already covered), select ToR 3; done.
+	want := []VertexID{101, 103}
+	if len(cover) != len(want) {
+		t.Fatalf("cover = %v, want %v", cover, want)
+	}
+	for i := range want {
+		if cover[i] != want[i] {
+			t.Fatalf("cover = %v, want %v", cover, want)
+		}
+	}
+	if !VerifyCover(b, cover) {
+		t.Fatal("reported cover does not cover all lefts")
+	}
+}
+
+func TestCoverMaxWeightSkipsRedundant(t *testing.T) {
+	b := NewBipartite()
+	b.AddEdge(1, 10)
+	b.AddEdge(2, 10)
+	b.AddEdge(1, 11) // strictly redundant with 10
+	cover, err := CoverMaxWeight(b, func(r VertexID) float64 { return float64(b.RightDegree(r)) })
+	if err != nil {
+		t.Fatalf("CoverMaxWeight: %v", err)
+	}
+	if len(cover) != 1 || cover[0] != 10 {
+		t.Fatalf("cover = %v, want [10]", cover)
+	}
+}
+
+func TestCoverMaxWeightMarginalFig4(t *testing.T) {
+	b, _ := fig4Instance()
+	uplinks := map[VertexID]float64{101: 2, 102: 2, 103: 1, 104: 1}
+	cover, err := CoverMaxWeightMarginal(b, func(r VertexID) float64 { return uplinks[r] })
+	if err != nil {
+		t.Fatalf("CoverMaxWeightMarginal: %v", err)
+	}
+	want := []VertexID{101, 103}
+	if len(cover) != len(want) || cover[0] != want[0] || cover[1] != want[1] {
+		t.Fatalf("cover = %v, want %v", cover, want)
+	}
+}
+
+func TestCoverMaxWeightMarginalTieBreak(t *testing.T) {
+	// Rights 10 and 11 both cover both lefts; tie-break weight must
+	// pick 11.
+	b := NewBipartite()
+	b.AddEdge(1, 10)
+	b.AddEdge(2, 10)
+	b.AddEdge(1, 11)
+	b.AddEdge(2, 11)
+	cover, err := CoverMaxWeightMarginal(b, func(r VertexID) float64 { return float64(r) })
+	if err != nil {
+		t.Fatalf("CoverMaxWeightMarginal: %v", err)
+	}
+	if len(cover) != 1 || cover[0] != 11 {
+		t.Fatalf("cover = %v, want [11]", cover)
+	}
+}
+
+func TestCoverMaxWeightMarginalUncoverable(t *testing.T) {
+	b := NewBipartite()
+	b.AddLeft(1)
+	if _, err := CoverMaxWeightMarginal(b, func(VertexID) float64 { return 0 }); err == nil {
+		t.Fatal("isolated left accepted")
+	}
+}
+
+func TestCoverGreedySimple(t *testing.T) {
+	b := NewBipartite()
+	// Right 20 covers 3 lefts; rights 21,22 cover one each; greedy must
+	// pick 20 then whichever covers the remaining left.
+	for _, l := range []VertexID{1, 2, 3} {
+		b.AddEdge(l, 20)
+	}
+	b.AddEdge(4, 21)
+	b.AddEdge(3, 22)
+	cover, err := CoverGreedy(b)
+	if err != nil {
+		t.Fatalf("CoverGreedy: %v", err)
+	}
+	if len(cover) != 2 {
+		t.Fatalf("cover = %v, want size 2", cover)
+	}
+	if !VerifyCover(b, cover) {
+		t.Fatal("greedy cover invalid")
+	}
+}
+
+func TestCoverUncoverable(t *testing.T) {
+	b := NewBipartite()
+	b.AddLeft(1) // isolated left vertex
+	b.AddEdge(2, 10)
+	if _, err := CoverGreedy(b); err == nil {
+		t.Fatal("expected error for isolated left vertex")
+	}
+	if _, err := CoverMaxWeight(b, func(VertexID) float64 { return 1 }); err == nil {
+		t.Fatal("expected error for isolated left vertex")
+	}
+	if _, err := CoverExact(b); err == nil {
+		t.Fatal("expected error for isolated left vertex")
+	}
+	if _, err := CoverRandom(b, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for isolated left vertex")
+	}
+}
+
+func TestCoverRandomCoversAndIsSeeded(t *testing.T) {
+	b, _ := fig4Instance()
+	c1, err := CoverRandom(b, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatalf("CoverRandom: %v", err)
+	}
+	if !VerifyCover(b, c1) {
+		t.Fatal("random cover invalid")
+	}
+	c2, err := CoverRandom(b, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatalf("CoverRandom: %v", err)
+	}
+	if len(c1) != len(c2) {
+		t.Fatalf("same seed produced different covers: %v vs %v", c1, c2)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("same seed produced different covers: %v vs %v", c1, c2)
+		}
+	}
+}
+
+func TestCoverRandomNilRNG(t *testing.T) {
+	b, _ := fig4Instance()
+	if _, err := CoverRandom(b, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestCoverExactMatchesKnownOptimum(t *testing.T) {
+	b, _ := fig4Instance()
+	cover, err := CoverExact(b)
+	if err != nil {
+		t.Fatalf("CoverExact: %v", err)
+	}
+	if len(cover) != 2 {
+		t.Fatalf("exact cover size = %d, want 2 (%v)", len(cover), cover)
+	}
+	if !VerifyCover(b, cover) {
+		t.Fatal("exact cover invalid")
+	}
+}
+
+func TestCoverExactBeatsOrMatchesHeuristics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		b := randomBipartite(rng, 12, 8, 0.35)
+		if b.Validate() != nil {
+			continue
+		}
+		exact, err := CoverExact(b)
+		if err != nil {
+			t.Fatalf("CoverExact: %v", err)
+		}
+		greedy, err := CoverGreedy(b)
+		if err != nil {
+			t.Fatalf("CoverGreedy: %v", err)
+		}
+		mw, err := CoverMaxWeight(b, func(r VertexID) float64 { return float64(b.RightDegree(r)) })
+		if err != nil {
+			t.Fatalf("CoverMaxWeight: %v", err)
+		}
+		if len(exact) > len(greedy) || len(exact) > len(mw) {
+			t.Fatalf("trial %d: exact %d worse than greedy %d or max-weight %d",
+				trial, len(exact), len(greedy), len(mw))
+		}
+		for _, c := range [][]VertexID{exact, greedy, mw} {
+			if !VerifyCover(b, c) {
+				t.Fatalf("trial %d: invalid cover %v", trial, c)
+			}
+		}
+	}
+}
+
+func TestCoverExactRefusesLargeInstances(t *testing.T) {
+	b := NewBipartite()
+	for r := 0; r <= MaxExactCoverRights; r++ {
+		b.AddEdge(1000, VertexID(r))
+	}
+	if _, err := CoverExact(b); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestCoverExactBigUniverse(t *testing.T) {
+	// >64 lefts exercises the map-based fallback.
+	b := NewBipartite()
+	for l := 0; l < 70; l++ {
+		b.AddEdge(VertexID(l), VertexID(1000+l%5))
+	}
+	cover, err := CoverExact(b)
+	if err != nil {
+		t.Fatalf("CoverExact big: %v", err)
+	}
+	if len(cover) != 5 {
+		t.Fatalf("cover size = %d, want 5", len(cover))
+	}
+	if !VerifyCover(b, cover) {
+		t.Fatal("big-universe cover invalid")
+	}
+}
+
+func randomBipartite(rng *rand.Rand, lefts, rights int, p float64) *Bipartite {
+	b := NewBipartite()
+	for l := 0; l < lefts; l++ {
+		attached := false
+		for r := 0; r < rights; r++ {
+			if rng.Float64() < p {
+				b.AddEdge(VertexID(l), VertexID(100+r))
+				attached = true
+			}
+		}
+		if !attached {
+			b.AddEdge(VertexID(l), VertexID(100+rng.Intn(rights)))
+		}
+	}
+	return b
+}
+
+// Property: every solver returns a valid cover on arbitrary coverable
+// instances, and exact is never larger than the heuristics.
+func TestCoverPropertyAllSolversValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBipartite(rng, 2+rng.Intn(20), 2+rng.Intn(10), 0.3)
+		mw, err := CoverMaxWeight(b, func(r VertexID) float64 { return float64(b.RightDegree(r)) })
+		if err != nil || !VerifyCover(b, mw) {
+			return false
+		}
+		gr, err := CoverGreedy(b)
+		if err != nil || !VerifyCover(b, gr) {
+			return false
+		}
+		rd, err := CoverRandom(b, rng)
+		if err != nil || !VerifyCover(b, rd) {
+			return false
+		}
+		ex, err := CoverExact(b)
+		if err != nil || !VerifyCover(b, ex) {
+			return false
+		}
+		return len(ex) <= len(gr) && len(ex) <= len(mw) && len(ex) <= len(rd)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrUncoverableWrapped(t *testing.T) {
+	b := NewBipartite()
+	b.AddLeft(1)
+	b.AddRight(10)
+	_, err := CoverGreedy(b)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// CoverGreedy reports via Validate; CoverMaxWeight on a coverable
+	// bipartite restricted to nothing wraps ErrUncoverable.
+	b2 := NewBipartite()
+	b2.AddEdge(1, 10)
+	restricted := b2.RestrictRights(map[VertexID]bool{})
+	_, err = CoverMaxWeight(restricted, func(VertexID) float64 { return 1 })
+	if err == nil {
+		t.Fatal("expected error on fully restricted instance")
+	}
+	_ = errors.Is(err, ErrUncoverable) // either Validate or ErrUncoverable is acceptable
+}

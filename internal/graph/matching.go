@@ -1,0 +1,142 @@
+package graph
+
+import "sort"
+
+// This file provides the polynomial-time machinery for exact bipartite
+// MIN-VCP — the problem the paper formalizes in §III-C: maximum
+// bipartite matching via Hopcroft-Karp, and the minimum vertex cover
+// derived from it by Kőnig's theorem (|minimum vertex cover| =
+// |maximum matching| on bipartite graphs). The branch-and-bound solver
+// in vertexcover.go handles general graphs; on bipartite instances
+// KoenigVertexCover is exact and fast, and the two serve as mutual
+// test oracles.
+
+// MaxMatching returns a maximum matching of the bipartite graph as a
+// map from left vertex to its matched right vertex (Hopcroft-Karp,
+// O(E·√V)).
+func MaxMatching(b *Bipartite) map[VertexID]VertexID {
+	lefts := b.Lefts()
+	const inf = int(^uint(0) >> 1)
+	matchL := make(map[VertexID]VertexID) // left  -> right
+	matchR := make(map[VertexID]VertexID) // right -> left
+	dist := make(map[VertexID]int)
+
+	bfs := func() bool {
+		queue := make([]VertexID, 0, len(lefts))
+		for _, l := range lefts {
+			if _, ok := matchL[l]; !ok {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for len(queue) > 0 {
+			l := queue[0]
+			queue = queue[1:]
+			for _, r := range b.RightNeighbors(l) {
+				nextL, matched := matchR[r]
+				if !matched {
+					found = true
+					continue
+				}
+				if dist[nextL] == inf {
+					dist[nextL] = dist[l] + 1
+					queue = append(queue, nextL)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(l VertexID) bool
+	dfs = func(l VertexID) bool {
+		for _, r := range b.RightNeighbors(l) {
+			nextL, matched := matchR[r]
+			if !matched || (dist[nextL] == dist[l]+1 && dfs(nextL)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+	for bfs() {
+		for _, l := range lefts {
+			if _, ok := matchL[l]; !ok {
+				dfs(l)
+			}
+		}
+	}
+	return matchL
+}
+
+// KoenigVertexCover returns a minimum vertex cover of the bipartite
+// graph (vertices from both sides; every edge touched) via Kőnig's
+// theorem: starting from the unmatched left vertices, alternate
+// unmatched/matched edges; the cover is (unvisited lefts) ∪ (visited
+// rights). Its size equals the maximum matching size.
+func KoenigVertexCover(b *Bipartite) []VertexID {
+	matchL := MaxMatching(b)
+	matchR := make(map[VertexID]VertexID, len(matchL))
+	for l, r := range matchL {
+		matchR[r] = l
+	}
+	visitedL := make(map[VertexID]bool)
+	visitedR := make(map[VertexID]bool)
+	var queue []VertexID
+	for _, l := range b.Lefts() {
+		if _, ok := matchL[l]; !ok {
+			visitedL[l] = true
+			queue = append(queue, l)
+		}
+	}
+	for len(queue) > 0 {
+		l := queue[0]
+		queue = queue[1:]
+		for _, r := range b.RightNeighbors(l) {
+			if matchL[l] == r || visitedR[r] {
+				continue // only unmatched edges leave the left side
+			}
+			visitedR[r] = true
+			if nextL, ok := matchR[r]; ok && !visitedL[nextL] {
+				visitedL[nextL] = true
+				queue = append(queue, nextL)
+			}
+		}
+	}
+	var cover []VertexID
+	for _, l := range b.Lefts() {
+		if !visitedL[l] {
+			cover = append(cover, l)
+		}
+	}
+	for _, r := range b.Rights() {
+		if visitedR[r] {
+			cover = append(cover, r)
+		}
+	}
+	sort.Slice(cover, func(i, j int) bool { return cover[i] < cover[j] })
+	return cover
+}
+
+// MatchingSize returns the size of a maximum matching.
+func MatchingSize(b *Bipartite) int { return len(MaxMatching(b)) }
+
+// IsBipartiteEdgeCover reports whether the vertex set touches every
+// edge of the bipartite graph.
+func IsBipartiteEdgeCover(b *Bipartite, cover []VertexID) bool {
+	in := make(map[VertexID]bool, len(cover))
+	for _, v := range cover {
+		in[v] = true
+	}
+	for _, l := range b.Lefts() {
+		for _, r := range b.RightNeighbors(l) {
+			if !in[l] && !in[r] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxMatchingSimple(t *testing.T) {
+	b := NewBipartite()
+	b.AddEdge(1, 10)
+	b.AddEdge(1, 11)
+	b.AddEdge(2, 10)
+	m := MaxMatching(b)
+	if len(m) != 2 {
+		t.Fatalf("matching size = %d, want 2 (%v)", len(m), m)
+	}
+	// Matching must be consistent: distinct rights.
+	seen := make(map[VertexID]bool)
+	for l, r := range m {
+		if !b.HasEdge(l, r) {
+			t.Fatalf("matched non-edge %d-%d", l, r)
+		}
+		if seen[r] {
+			t.Fatalf("right %d matched twice", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestMaxMatchingPerfect(t *testing.T) {
+	// K3,3 has a perfect matching.
+	b := NewBipartite()
+	for l := 1; l <= 3; l++ {
+		for r := 10; r <= 12; r++ {
+			b.AddEdge(VertexID(l), VertexID(r))
+		}
+	}
+	if got := MatchingSize(b); got != 3 {
+		t.Fatalf("K3,3 matching = %d, want 3", got)
+	}
+}
+
+func TestMaxMatchingStar(t *testing.T) {
+	// One right vertex shared by many lefts: matching size 1.
+	b := NewBipartite()
+	for l := 1; l <= 5; l++ {
+		b.AddEdge(VertexID(l), 100)
+	}
+	if got := MatchingSize(b); got != 1 {
+		t.Fatalf("star matching = %d, want 1", got)
+	}
+}
+
+func TestKoenigCoverEqualsMatchingSize(t *testing.T) {
+	b := NewBipartite()
+	b.AddEdge(1, 10)
+	b.AddEdge(2, 10)
+	b.AddEdge(2, 11)
+	b.AddEdge(3, 11)
+	cover := KoenigVertexCover(b)
+	if !IsBipartiteEdgeCover(b, cover) {
+		t.Fatalf("Kőnig cover %v misses an edge", cover)
+	}
+	if len(cover) != MatchingSize(b) {
+		t.Fatalf("Kőnig |cover| = %d != matching %d", len(cover), MatchingSize(b))
+	}
+}
+
+func TestKoenigEmptyGraph(t *testing.T) {
+	b := NewBipartite()
+	b.AddLeft(1)
+	b.AddRight(10)
+	if got := KoenigVertexCover(b); len(got) != 0 {
+		t.Fatalf("cover of edgeless graph = %v, want empty", got)
+	}
+}
+
+// Property (Kőnig's theorem): on random bipartite graphs the Kőnig
+// cover is a valid edge cover of size exactly the maximum matching, and
+// it matches the exponential exact solver on small instances.
+func TestKoenigPropertyAgainstExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBipartite(rng, 2+rng.Intn(8), 2+rng.Intn(6), 0.35)
+		cover := KoenigVertexCover(b)
+		if !IsBipartiteEdgeCover(b, cover) {
+			return false
+		}
+		if len(cover) != MatchingSize(b) {
+			return false
+		}
+		// Cross-check with the general-graph exact solver.
+		g := New(false)
+		for _, l := range b.Lefts() {
+			for _, r := range b.RightNeighbors(l) {
+				if !g.HasEdge(l, r) {
+					if err := g.AddEdge(l, r, 1); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		exact, err := VertexCoverExact(g)
+		if err != nil {
+			// Instance too large for the exponential solver; Kőnig
+			// validity already checked.
+			return true
+		}
+		return len(cover) == len(exact)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

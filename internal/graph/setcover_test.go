@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetCoverGreedy(t *testing.T) {
+	sc := NewSetCoverInstance()
+	sc.AddSet(1, []int{1, 2, 3})
+	sc.AddSet(2, []int{3, 4})
+	sc.AddSet(3, []int{4})
+	cover, err := sc.Greedy()
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if !sc.Covers(cover) {
+		t.Fatal("greedy result does not cover universe")
+	}
+	if len(cover) != 2 {
+		t.Fatalf("cover = %v, want 2 sets", cover)
+	}
+}
+
+func TestSetCoverUncoverable(t *testing.T) {
+	sc := NewSetCoverInstance()
+	sc.AddElement(99)
+	sc.AddSet(1, []int{1})
+	if _, err := sc.Greedy(); err == nil {
+		t.Fatal("uncoverable universe accepted by greedy")
+	}
+	if _, err := sc.MaxWeight(func(SetID) float64 { return 1 }); err == nil {
+		t.Fatal("uncoverable universe accepted by max-weight")
+	}
+}
+
+func TestSetCoverMaxWeightPrefersHeavy(t *testing.T) {
+	sc := NewSetCoverInstance()
+	sc.AddSet(1, []int{1})
+	sc.AddSet(2, []int{1, 2})
+	cover, err := sc.MaxWeight(func(id SetID) float64 { return float64(id) })
+	if err != nil {
+		t.Fatalf("MaxWeight: %v", err)
+	}
+	if len(cover) != 1 || cover[0] != 2 {
+		t.Fatalf("cover = %v, want [2]", cover)
+	}
+}
+
+func TestSetCoverExactOptimal(t *testing.T) {
+	sc := NewSetCoverInstance()
+	// Greedy trap: greedy picks the big set {1,2,3,4} then needs two
+	// more; optimum is the two disjoint sets.
+	sc.AddSet(1, []int{1, 2, 3, 4})
+	sc.AddSet(2, []int{1, 2, 5})
+	sc.AddSet(3, []int{3, 4, 6})
+	sc.AddSet(4, []int{5})
+	sc.AddSet(5, []int{6})
+	exact, err := sc.Exact()
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	if len(exact) != 2 {
+		t.Fatalf("exact = %v, want 2 sets", exact)
+	}
+	if !sc.Covers(exact) {
+		t.Fatal("exact does not cover")
+	}
+}
+
+func TestSetCoverExactRefusesLarge(t *testing.T) {
+	sc := NewSetCoverInstance()
+	for i := 0; i <= MaxExactSets; i++ {
+		sc.AddSet(SetID(i), []int{i})
+	}
+	if _, err := sc.Exact(); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestSetCoverMembersCopy(t *testing.T) {
+	sc := NewSetCoverInstance()
+	sc.AddSet(1, []int{5, 3})
+	m := sc.Members(1)
+	if len(m) != 2 || m[0] != 3 || m[1] != 5 {
+		t.Fatalf("Members = %v, want sorted [3 5]", m)
+	}
+	m[0] = 99
+	if sc.Members(1)[0] != 3 {
+		t.Fatal("mutating Members copy corrupted instance")
+	}
+}
+
+func TestSetCoverProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sc := NewSetCoverInstance()
+		nElems := 1 + rng.Intn(20)
+		nSets := 1 + rng.Intn(10)
+		for s := 0; s < nSets; s++ {
+			var members []int
+			for e := 0; e < nElems; e++ {
+				if rng.Float64() < 0.4 {
+					members = append(members, e)
+				}
+			}
+			sc.AddSet(SetID(s), members)
+		}
+		greedy, gerr := sc.Greedy()
+		exact, eerr := sc.Exact()
+		if (gerr == nil) != (eerr == nil) {
+			return false // both must agree on coverability
+		}
+		if gerr != nil {
+			return true
+		}
+		return sc.Covers(greedy) && sc.Covers(exact) && len(exact) <= len(greedy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

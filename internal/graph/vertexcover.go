@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements classic MIN-VCP (minimum vertex cover) on general
+// graphs: S ⊆ V is a vertex cover if every edge has an endpoint in S.
+// The paper states its AL construction in MIN-VCP terms (§III-C); the
+// bipartite, right-side-restricted variant actually used for ToR/OPS
+// selection lives in cover.go. The general-graph solvers below are kept
+// (a) as the formal counterpart of the paper's definition and (b) as
+// test oracles: on a bipartite instance whose left vertices all have
+// degree ≥ 1, any right-side cover of all lefts is also an edge cover of
+// the bipartite graph when the lefts' edges all land in the chosen set.
+
+// VertexCover2Approx returns a vertex cover at most twice the optimum
+// using the maximal-matching heuristic: repeatedly take both endpoints
+// of an uncovered edge. Deterministic: edges are scanned in sorted
+// order.
+func VertexCover2Approx(g *Graph) []VertexID {
+	covered := make(map[VertexID]bool)
+	var cover []VertexID
+	for _, e := range g.Edges() {
+		if covered[e.From] || covered[e.To] {
+			continue
+		}
+		covered[e.From] = true
+		covered[e.To] = true
+		cover = append(cover, e.From, e.To)
+	}
+	sort.Slice(cover, func(i, j int) bool { return cover[i] < cover[j] })
+	return cover
+}
+
+// VertexCoverGreedy returns a vertex cover by repeatedly selecting the
+// vertex incident to the most uncovered edges.
+func VertexCoverGreedy(g *Graph) []VertexID {
+	type edgeKey struct{ u, v VertexID }
+	norm := func(u, v VertexID) edgeKey {
+		if u > v {
+			u, v = v, u
+		}
+		return edgeKey{u, v}
+	}
+	uncovered := make(map[edgeKey]bool)
+	for _, e := range g.Edges() {
+		uncovered[norm(e.From, e.To)] = true
+	}
+	var cover []VertexID
+	for len(uncovered) > 0 {
+		best := VertexID(-1)
+		bestDeg := 0
+		for _, v := range g.Vertices() {
+			deg := 0
+			for _, n := range g.Neighbors(v) {
+				if uncovered[norm(v, n)] {
+					deg++
+				}
+			}
+			if deg > bestDeg || (deg == bestDeg && deg > 0 && v < best) {
+				best, bestDeg = v, deg
+			}
+		}
+		if bestDeg == 0 {
+			break
+		}
+		cover = append(cover, best)
+		for _, n := range g.Neighbors(best) {
+			delete(uncovered, norm(best, n))
+		}
+	}
+	sort.Slice(cover, func(i, j int) bool { return cover[i] < cover[j] })
+	return cover
+}
+
+// MaxExactVertexCoverVertices bounds the instance size accepted by
+// VertexCoverExact.
+const MaxExactVertexCoverVertices = 24
+
+// VertexCoverExact returns a minimum vertex cover by exhaustive
+// branch and bound. Exponential; refuses graphs with more than
+// MaxExactVertexCoverVertices vertices.
+func VertexCoverExact(g *Graph) ([]VertexID, error) {
+	vs := g.Vertices()
+	if len(vs) > MaxExactVertexCoverVertices {
+		return nil, fmt.Errorf("graph: exact vertex cover: %d vertices exceeds limit %d",
+			len(vs), MaxExactVertexCoverVertices)
+	}
+	idx := make(map[VertexID]int, len(vs))
+	for i, v := range vs {
+		idx[v] = i
+	}
+	type edge struct{ u, v int }
+	var edges []edge
+	for _, e := range g.Edges() {
+		edges = append(edges, edge{idx[e.From], idx[e.To]})
+	}
+	best := make([]int, len(vs))
+	for i := range best {
+		best[i] = i
+	}
+	bestLen := len(vs)
+	var cur []int
+	inCur := make([]bool, len(vs))
+	var search func(eIdx int)
+	search = func(eIdx int) {
+		for eIdx < len(edges) {
+			e := edges[eIdx]
+			if inCur[e.u] || inCur[e.v] {
+				eIdx++
+				continue
+			}
+			break
+		}
+		if eIdx == len(edges) {
+			if len(cur) < bestLen {
+				bestLen = len(cur)
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		if len(cur)+1 >= bestLen {
+			return
+		}
+		e := edges[eIdx]
+		for _, pick := range [2]int{e.u, e.v} {
+			inCur[pick] = true
+			cur = append(cur, pick)
+			search(eIdx + 1)
+			cur = cur[:len(cur)-1]
+			inCur[pick] = false
+		}
+	}
+	search(0)
+	out := make([]VertexID, 0, bestLen)
+	for _, i := range best {
+		out = append(out, vs[i])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// IsVertexCover reports whether cover touches every edge of g.
+func IsVertexCover(g *Graph, cover []VertexID) bool {
+	in := make(map[VertexID]bool, len(cover))
+	for _, v := range cover {
+		in[v] = true
+	}
+	for _, e := range g.Edges() {
+		if !in[e.From] && !in[e.To] {
+			return false
+		}
+	}
+	return true
+}

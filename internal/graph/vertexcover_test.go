@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(false)
+	for v := 0; v < n; v++ {
+		g.AddVertex(VertexID(v))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				_ = g.AddEdge(VertexID(u), VertexID(v), 1)
+			}
+		}
+	}
+	return g
+}
+
+func TestVertexCover2ApproxTriangle(t *testing.T) {
+	g := New(false)
+	_ = g.AddEdge(1, 2, 1)
+	_ = g.AddEdge(2, 3, 1)
+	_ = g.AddEdge(1, 3, 1)
+	cover := VertexCover2Approx(g)
+	if !IsVertexCover(g, cover) {
+		t.Fatal("2-approx result is not a cover")
+	}
+	// Optimum for a triangle is 2; the 2-approx may return 2.
+	if len(cover) > 4 {
+		t.Fatalf("cover size = %d exceeds 2x optimum", len(cover))
+	}
+}
+
+func TestVertexCoverGreedyStar(t *testing.T) {
+	g := New(false)
+	for leaf := 2; leaf <= 6; leaf++ {
+		_ = g.AddEdge(1, VertexID(leaf), 1)
+	}
+	cover := VertexCoverGreedy(g)
+	if len(cover) != 1 || cover[0] != 1 {
+		t.Fatalf("greedy on star = %v, want [1]", cover)
+	}
+}
+
+func TestVertexCoverExactPath(t *testing.T) {
+	// Path of 4 edges: optimum cover is 2 (the two middle vertices).
+	g := lineGraph(5)
+	cover, err := VertexCoverExact(g)
+	if err != nil {
+		t.Fatalf("VertexCoverExact: %v", err)
+	}
+	if len(cover) != 2 {
+		t.Fatalf("exact cover size = %d, want 2 (%v)", len(cover), cover)
+	}
+	if !IsVertexCover(g, cover) {
+		t.Fatal("exact result is not a cover")
+	}
+}
+
+func TestVertexCoverExactRefusesLarge(t *testing.T) {
+	g := New(false)
+	for v := 0; v <= MaxExactVertexCoverVertices; v++ {
+		g.AddVertex(VertexID(v))
+	}
+	if _, err := VertexCoverExact(g); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestVertexCoverEmptyGraph(t *testing.T) {
+	g := New(false)
+	if got := VertexCover2Approx(g); len(got) != 0 {
+		t.Fatalf("2-approx on empty graph = %v", got)
+	}
+	if got := VertexCoverGreedy(g); len(got) != 0 {
+		t.Fatalf("greedy on empty graph = %v", got)
+	}
+	ex, err := VertexCoverExact(g)
+	if err != nil || len(ex) != 0 {
+		t.Fatalf("exact on empty graph = %v, %v", ex, err)
+	}
+}
+
+// Properties: all heuristics produce valid covers; the 2-approx is at
+// most twice the exact optimum; greedy and exact are valid.
+func TestVertexCoverProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 3+rng.Intn(10), 0.3)
+		approx := VertexCover2Approx(g)
+		if !IsVertexCover(g, approx) {
+			return false
+		}
+		greedy := VertexCoverGreedy(g)
+		if !IsVertexCover(g, greedy) {
+			return false
+		}
+		exact, err := VertexCoverExact(g)
+		if err != nil || !IsVertexCover(g, exact) {
+			return false
+		}
+		if len(exact) > len(greedy) || len(approx) > 2*len(exact) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

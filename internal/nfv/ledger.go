@@ -1,0 +1,138 @@
+package nfv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// Ledger tracks resource allocation on hosting-capable nodes: physical
+// machines (electronic domain) and optoelectronic routers (optical
+// domain). The limited capacity of optoelectronic routers is the
+// constraint that keeps high-demand VNFs in the electronic domain
+// (§IV-D). Safe for concurrent use.
+type Ledger struct {
+	mu       sync.Mutex
+	capacity map[topology.NodeID]topology.Resources
+	used     map[topology.NodeID]topology.Resources
+	domain   map[topology.NodeID]topology.Domain
+}
+
+// NewLedger indexes the topology's hosting-capable nodes: every PM and
+// every optoelectronic OPS.
+func NewLedger(topo *topology.Topology) (*Ledger, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("nfv: ledger: nil topology")
+	}
+	l := &Ledger{
+		capacity: make(map[topology.NodeID]topology.Resources),
+		used:     make(map[topology.NodeID]topology.Resources),
+		domain:   make(map[topology.NodeID]topology.Domain),
+	}
+	for _, n := range topo.Nodes(topology.KindPhysicalMachine) {
+		l.capacity[n.ID] = n.Capacity
+		l.domain[n.ID] = topology.DomainElectronic
+	}
+	for _, n := range topo.Nodes(topology.KindOPS) {
+		if n.Optoelectronic {
+			l.capacity[n.ID] = n.Capacity
+			l.domain[n.ID] = topology.DomainOptical
+		}
+	}
+	return l, nil
+}
+
+// CanHost reports whether node id has enough free capacity for demand.
+func (l *Ledger) CanHost(id topology.NodeID, demand topology.Resources) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cap, ok := l.capacity[id]
+	if !ok {
+		return false
+	}
+	return cap.Sub(l.used[id]).Fits(demand)
+}
+
+// Alloc reserves demand on node id.
+func (l *Ledger) Alloc(id topology.NodeID, demand topology.Resources) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cap, ok := l.capacity[id]
+	if !ok {
+		return fmt.Errorf("nfv: alloc: node %d cannot host VNFs", id)
+	}
+	if !cap.Sub(l.used[id]).Fits(demand) {
+		return fmt.Errorf("nfv: alloc: node %d lacks capacity for %s (free %s)",
+			id, demand, cap.Sub(l.used[id]))
+	}
+	l.used[id] = l.used[id].Add(demand)
+	return nil
+}
+
+// Free releases demand on node id. Releasing more than allocated is an
+// error (the ledger clamps nothing — it signals the accounting bug).
+func (l *Ledger) Free(id topology.NodeID, demand topology.Resources) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.capacity[id]; !ok {
+		return fmt.Errorf("nfv: free: node %d cannot host VNFs", id)
+	}
+	rem := l.used[id].Sub(demand)
+	if rem.CPUCores < -1e-9 || rem.MemoryGB < -1e-9 || rem.StorageGB < -1e-9 {
+		return fmt.Errorf("nfv: free: node %d releasing %s exceeds used %s", id, demand, l.used[id])
+	}
+	l.used[id] = rem
+	return nil
+}
+
+// Available returns the free capacity of node id (zero if it cannot
+// host).
+func (l *Ledger) Available(id topology.NodeID) topology.Resources {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cap, ok := l.capacity[id]
+	if !ok {
+		return topology.Resources{}
+	}
+	return cap.Sub(l.used[id])
+}
+
+// Capacity returns the total capacity of node id.
+func (l *Ledger) Capacity(id topology.NodeID) (topology.Resources, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cap, ok := l.capacity[id]
+	return cap, ok
+}
+
+// Used returns the allocated resources on node id.
+func (l *Ledger) Used(id topology.NodeID) topology.Resources {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used[id]
+}
+
+// Domain returns the domain of a hosting-capable node.
+func (l *Ledger) Domain(id topology.NodeID) (topology.Domain, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d, ok := l.domain[id]
+	return d, ok
+}
+
+// HostsInDomain returns the hosting-capable nodes of the given domain,
+// sorted by ID.
+func (l *Ledger) HostsInDomain(d topology.Domain) []topology.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []topology.NodeID
+	for id, dom := range l.domain {
+		if dom == d {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,219 @@
+// Package optical models the optical domain of AL-VC: the O/E/O
+// conversion cost model of §IV-D ("cost of this conversion corresponds
+// to the length of the flow — the larger the flow is, higher will be
+// the cost") and the optical slices of §IV-C, where each abstraction
+// layer is handed to exactly one network function chain as its slice of
+// the optical network.
+package optical
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// CostModel prices O/E/O conversions. One conversion of a flow of L
+// bytes costs FixedJoules + JoulesPerBit × 8L: the per-bit term captures
+// the paper's length-proportional cost, the fixed term the transceiver
+// overhead.
+type CostModel struct {
+	JoulesPerBit float64
+	FixedJoules  float64
+}
+
+// DefaultCostModel returns a model in the range reported for commercial
+// O/E/O transponders (~10 pJ/bit) with a 1 mJ fixed setup term.
+func DefaultCostModel() CostModel {
+	return CostModel{JoulesPerBit: 10e-12, FixedJoules: 1e-3}
+}
+
+// ConversionEnergy returns the energy in joules for one O/E/O
+// conversion of a flow of the given length.
+func (m CostModel) ConversionEnergy(flowBytes int64) float64 {
+	if flowBytes < 0 {
+		flowBytes = 0
+	}
+	return m.FixedJoules + m.JoulesPerBit*8*float64(flowBytes)
+}
+
+// TotalEnergy returns the energy of n conversions of the given flow.
+func (m CostModel) TotalEnergy(conversions int, flowBytes int64) float64 {
+	if conversions <= 0 {
+		return 0
+	}
+	return float64(conversions) * m.ConversionEnergy(flowBytes)
+}
+
+// SliceID identifies an optical slice.
+type SliceID int
+
+// Slice is the portion of the optical network allocated to one tenant's
+// chain: the OPSs of an abstraction layer plus a bandwidth reservation
+// (§IV-B: the orchestrator "will logically divide the optical network
+// into virtual slices and will allocate each slice to a single NFC").
+type Slice struct {
+	ID            SliceID
+	Tenant        string
+	OPSs          []topology.NodeID
+	BandwidthGbps float64
+}
+
+// Contains reports whether the slice includes the given OPS.
+func (s *Slice) Contains(ops topology.NodeID) bool {
+	for _, o := range s.OPSs {
+		if o == ops {
+			return true
+		}
+	}
+	return false
+}
+
+// OPSSet returns the slice's OPSs as a set.
+func (s *Slice) OPSSet() map[topology.NodeID]bool {
+	set := make(map[topology.NodeID]bool, len(s.OPSs))
+	for _, o := range s.OPSs {
+		set[o] = true
+	}
+	return set
+}
+
+// SliceManager allocates disjoint optical slices. It is the optical-
+// layer enforcement of the one-OPS-one-AL rule (the cluster allocator
+// enforces it at the logical layer; slicing re-checks it where the
+// resources actually live). Safe for concurrent use.
+type SliceManager struct {
+	mu     sync.Mutex
+	topo   *topology.Topology
+	slices map[SliceID]*Slice
+	owner  map[topology.NodeID]SliceID
+	nextID SliceID
+}
+
+// NewSliceManager returns a manager over the topology's OPSs.
+func NewSliceManager(topo *topology.Topology) (*SliceManager, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("optical: slice manager: nil topology")
+	}
+	return &SliceManager{
+		topo:   topo,
+		slices: make(map[SliceID]*Slice),
+		owner:  make(map[topology.NodeID]SliceID),
+	}, nil
+}
+
+// Allocate reserves the given OPSs as a slice for tenant. It fails if
+// any OPS is unknown, not an OPS, or already part of another slice.
+func (m *SliceManager) Allocate(tenant string, opss []topology.NodeID, bandwidthGbps float64) (*Slice, error) {
+	if tenant == "" {
+		return nil, fmt.Errorf("optical: allocate: empty tenant")
+	}
+	if len(opss) == 0 {
+		return nil, fmt.Errorf("optical: allocate: empty OPS set")
+	}
+	if bandwidthGbps <= 0 {
+		return nil, fmt.Errorf("optical: allocate: bandwidth must be positive, got %f", bandwidthGbps)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ops := range opss {
+		n := m.topo.Node(ops)
+		if n == nil || n.Kind != topology.KindOPS {
+			return nil, fmt.Errorf("optical: allocate: node %d is not an OPS", ops)
+		}
+		if n.Down {
+			return nil, fmt.Errorf("optical: allocate: OPS %d is down", ops)
+		}
+		if owner, taken := m.owner[ops]; taken {
+			return nil, fmt.Errorf("optical: allocate: OPS %d already in slice %d", ops, owner)
+		}
+	}
+	m.nextID++
+	s := &Slice{
+		ID:            m.nextID,
+		Tenant:        tenant,
+		OPSs:          append([]topology.NodeID(nil), opss...),
+		BandwidthGbps: bandwidthGbps,
+	}
+	sort.Slice(s.OPSs, func(i, j int) bool { return s.OPSs[i] < s.OPSs[j] })
+	for _, ops := range s.OPSs {
+		m.owner[ops] = s.ID
+	}
+	m.slices[s.ID] = s
+	return s, nil
+}
+
+// Release frees the slice's OPSs.
+func (m *SliceManager) Release(id SliceID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.slices[id]
+	if !ok {
+		return fmt.Errorf("optical: release: unknown slice %d", id)
+	}
+	for _, ops := range s.OPSs {
+		delete(m.owner, ops)
+	}
+	delete(m.slices, id)
+	return nil
+}
+
+// UpdateBandwidth changes a slice's bandwidth reservation in place —
+// the slice-level effect of an NFC modification (§IV-B).
+func (m *SliceManager) UpdateBandwidth(id SliceID, bandwidthGbps float64) error {
+	if bandwidthGbps <= 0 {
+		return fmt.Errorf("optical: update bandwidth: must be positive, got %f", bandwidthGbps)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.slices[id]
+	if !ok {
+		return fmt.Errorf("optical: update bandwidth: unknown slice %d", id)
+	}
+	s.BandwidthGbps = bandwidthGbps
+	return nil
+}
+
+// SliceOf returns the slice owning the given OPS, if any.
+func (m *SliceManager) SliceOf(ops topology.NodeID) (SliceID, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.owner[ops]
+	return id, ok
+}
+
+// Slice returns the slice with the given ID, or nil.
+func (m *SliceManager) Slice(id SliceID) *Slice {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.slices[id]
+}
+
+// Slices returns all slices sorted by ID.
+func (m *SliceManager) Slices() []*Slice {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Slice, 0, len(m.slices))
+	for _, s := range m.slices {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Disjoint reports whether all slices are pairwise disjoint.
+func (m *SliceManager) Disjoint() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[topology.NodeID]SliceID)
+	for id, s := range m.slices {
+		for _, ops := range s.OPSs {
+			if prev, dup := seen[ops]; dup && prev != id {
+				return false
+			}
+			seen[ops] = id
+		}
+	}
+	return true
+}

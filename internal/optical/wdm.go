@@ -1,0 +1,160 @@
+package optical
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// WDM assigns wavelengths to provisioned flows on the optical side of
+// the network (boundary and optical links). The paper's orchestrator
+// "logically divides the optical network into virtual slices"; besides
+// the OPS-level slicing of SliceManager, real optical slices are
+// wavelength channels. WDM enforces the classic wavelength-continuity
+// constraint: one flow uses the same λ on every optical-segment link of
+// its path, first-fit assigned, blocking when no common λ is free.
+// Safe for concurrent use.
+type WDM struct {
+	mu       sync.Mutex
+	capacity int
+	// used[link][lambda] = flow key.
+	used map[topology.LinkID]map[int]string
+	// flows[flowKey] = assignment.
+	flows map[string]Assignment
+}
+
+// Assignment records one flow's wavelength on its optical links.
+type Assignment struct {
+	Lambda int
+	Links  []topology.LinkID
+}
+
+// NewWDM returns a WDM allocator with the given wavelengths per link.
+func NewWDM(wavelengths int) (*WDM, error) {
+	if wavelengths <= 0 {
+		return nil, fmt.Errorf("optical: wdm: wavelengths must be positive, got %d", wavelengths)
+	}
+	return &WDM{
+		capacity: wavelengths,
+		used:     make(map[topology.LinkID]map[int]string),
+		flows:    make(map[string]Assignment),
+	}, nil
+}
+
+// Capacity returns the wavelengths per link.
+func (w *WDM) Capacity() int { return w.capacity }
+
+// AssignPath reserves the lowest wavelength free on every given link
+// for the flow (wavelength continuity). It fails without side effects
+// when no common wavelength exists (the flow is blocked) or the flow
+// already holds an assignment.
+func (w *WDM) AssignPath(flowKey string, links []topology.LinkID) (int, error) {
+	if flowKey == "" {
+		return 0, fmt.Errorf("optical: wdm: empty flow key")
+	}
+	if len(links) == 0 {
+		return 0, fmt.Errorf("optical: wdm: empty link list")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.flows[flowKey]; dup {
+		return 0, fmt.Errorf("optical: wdm: flow %q already assigned", flowKey)
+	}
+	for lambda := 0; lambda < w.capacity; lambda++ {
+		free := true
+		for _, l := range links {
+			if _, taken := w.used[l][lambda]; taken {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		for _, l := range links {
+			if w.used[l] == nil {
+				w.used[l] = make(map[int]string)
+			}
+			w.used[l][lambda] = flowKey
+		}
+		w.flows[flowKey] = Assignment{Lambda: lambda, Links: append([]topology.LinkID(nil), links...)}
+		return lambda, nil
+	}
+	return 0, fmt.Errorf("optical: wdm: flow %q blocked: no common wavelength on %d links (capacity %d)",
+		flowKey, len(links), w.capacity)
+}
+
+// Release frees the flow's wavelength. Releasing an unknown flow is an
+// error.
+func (w *WDM) Release(flowKey string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	a, ok := w.flows[flowKey]
+	if !ok {
+		return fmt.Errorf("optical: wdm: release: unknown flow %q", flowKey)
+	}
+	for _, l := range a.Links {
+		delete(w.used[l], a.Lambda)
+		if len(w.used[l]) == 0 {
+			delete(w.used, l)
+		}
+	}
+	delete(w.flows, flowKey)
+	return nil
+}
+
+// AssignmentOf returns the flow's assignment, if any.
+func (w *WDM) AssignmentOf(flowKey string) (Assignment, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	a, ok := w.flows[flowKey]
+	if !ok {
+		return Assignment{}, false
+	}
+	a.Links = append([]topology.LinkID(nil), a.Links...)
+	return a, true
+}
+
+// Utilization returns the number of wavelengths in use on the link.
+func (w *WDM) Utilization(link topology.LinkID) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.used[link])
+}
+
+// Flows returns the assigned flow keys, sorted.
+func (w *WDM) Flows() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	keys := make([]string, 0, len(w.flows))
+	for k := range w.flows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// OpticalSegmentLinks extracts, in order, the link IDs of the path's
+// optical segments: every hop where at least one endpoint is an OPS
+// (boundary and optical links) — the links a wavelength must be
+// reserved on.
+func OpticalSegmentLinks(topo *topology.Topology, path []topology.NodeID) ([]topology.LinkID, error) {
+	var out []topology.LinkID
+	for i := 0; i+1 < len(path); i++ {
+		a, b := topo.Node(path[i]), topo.Node(path[i+1])
+		if a == nil || b == nil {
+			return nil, fmt.Errorf("optical: segment links: unknown node in path")
+		}
+		if a.Kind != topology.KindOPS && b.Kind != topology.KindOPS {
+			continue
+		}
+		l := topo.LinkBetween(path[i], path[i+1])
+		if l == nil {
+			return nil, fmt.Errorf("optical: segment links: no live link %d-%d", path[i], path[i+1])
+		}
+		out = append(out, l.ID)
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package orch
+
+import (
+	"testing"
+
+	"github.com/alvc/alvc/internal/placement"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// TestMoveNFIntoOpticalSavesConversions reproduces Fig. 8's narrative
+// as an online operation: a chain deployed all-electronic drops one
+// conversion each time a light VNF is moved into an optoelectronic
+// router.
+func TestMoveNFIntoOpticalSavesConversions(t *testing.T) {
+	o, err := New(Config{Topo: orchTopo(t), Policy: placement.AllElectronic{}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	dep, err := o.Provision(webSpec(t, "chain-1")) // firewall, lb, dpi
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	if dep.Conversions != 3 {
+		t.Fatalf("all-electronic conversions = %d, want 3", dep.Conversions)
+	}
+	// Find an optoelectronic router in the slice with capacity.
+	var oer topology.NodeID
+	for _, ops := range dep.Slice.OPSs {
+		if n := o.topo.Node(ops); n != nil && n.Optoelectronic {
+			oer = ops
+			break
+		}
+	}
+	if oer == 0 {
+		t.Skip("AL has no optoelectronic router on this seed")
+	}
+	// Move the firewall (index 0, light) into the optical domain.
+	if err := o.MoveNF(dep.ID, 0, oer); err != nil {
+		t.Fatalf("MoveNF: %v", err)
+	}
+	after := o.Deployment(dep.ID)
+	if after.Conversions != 2 {
+		t.Fatalf("conversions after move = %d, want 2", after.Conversions)
+	}
+	if after.Placement.Domains[0] != topology.DomainOptical {
+		t.Fatalf("domain after move = %s", after.Placement.Domains[0])
+	}
+	if after.Placement.Hosts[0] != oer {
+		t.Fatalf("host after move = %d, want %d", after.Placement.Hosts[0], oer)
+	}
+	// Rules were re-provisioned along the new path.
+	rules := o.Controller().RulesForFlow(after.FlowKey())
+	if len(rules) != len(after.Path) {
+		t.Fatalf("rules = %d, want %d", len(rules), len(after.Path))
+	}
+	visits := false
+	for _, n := range after.Path {
+		if n == oer {
+			visits = true
+		}
+	}
+	if !visits {
+		t.Fatalf("new path %v does not visit the new host %d", after.Path, oer)
+	}
+	// Instance accounting followed.
+	inst := o.Manager().Instance(after.Instances[0])
+	if inst.Host != oer || inst.Domain != topology.DomainOptical {
+		t.Fatalf("instance after move: %+v", inst)
+	}
+}
+
+func TestMoveNFValidation(t *testing.T) {
+	o := newOrch(t)
+	dep, err := o.Provision(webSpec(t, "chain-1"))
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	if err := o.MoveNF(dep.ID, 99, 1); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := o.MoveNF(999, 0, 1); err == nil {
+		t.Fatal("unknown deployment accepted")
+	}
+	if err := o.MoveNF(dep.ID, 0, 99999); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+}

@@ -1,0 +1,754 @@
+// Package orch implements the network orchestrator of Fig. 6: the
+// multi-tenant control point that "is responsible for managing
+// (provisioning, creation, modification, upgradation, and deletion) of
+// multiple NFCs" over the AL-VC architecture. For each chain it builds
+// a virtual cluster (one VC hosts one NFC, §IV-C), hands the cluster's
+// abstraction layer to the tenant as its optical slice, places the
+// chain's VNFs across the optical/electronic domains, instantiates them
+// through the Cloud/NFV manager, and provisions connectivity through
+// the SDN controller — optionally with per-flow wavelength assignment
+// (WDM) on the optical segments.
+//
+// Beyond the paper's five verbs the orchestrator also repairs: when a
+// node fails (HandleNodeFailure) every affected chain is torn down and
+// rebuilt around the failure, exercising the architecture's claimed
+// flexibility.
+package orch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/alvc/alvc/internal/chain"
+	"github.com/alvc/alvc/internal/cluster"
+	"github.com/alvc/alvc/internal/nfv"
+	"github.com/alvc/alvc/internal/optical"
+	"github.com/alvc/alvc/internal/placement"
+	"github.com/alvc/alvc/internal/sdn"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// DeploymentID identifies a deployed chain.
+type DeploymentID int
+
+// DeploymentState tracks a deployment's lifecycle.
+type DeploymentState int
+
+// Deployment states.
+const (
+	StateActive DeploymentState = iota + 1
+	StateDeleted
+	// StateFailed marks a deployment whose repair after a failure did
+	// not succeed; its resources have been released.
+	StateFailed
+)
+
+// String returns the state name.
+func (s DeploymentState) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateDeleted:
+		return "deleted"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Deployment is one orchestrated NFC: the cluster and slice backing it,
+// the placed VNF instances, and the provisioned path.
+type Deployment struct {
+	ID    DeploymentID
+	Spec  chain.Spec
+	State DeploymentState
+	// Version counts upgrades (Upgrade bumps it).
+	Version int
+	// Repairs counts successful failure repairs.
+	Repairs int
+
+	VC        *cluster.VC
+	Slice     *optical.Slice
+	Instances []nfv.InstanceID
+	// Placement is the domain decision per NF position.
+	Placement placement.Result
+	// Path is the provisioned route src VM → VNF hosts → dst VM.
+	Path []topology.NodeID
+	// SliceConfined reports whether the path stayed inside the slice's
+	// OPSs (it can leave the slice when the AL is not connected in the
+	// optical mesh; transit then uses foreign OPSs but hosting does
+	// not).
+	SliceConfined bool
+	// Lambda is the assigned wavelength on the path's optical segments
+	// (-1 when WDM is disabled).
+	Lambda int
+	// Conversions is the analytic O/E/O count for one representative
+	// flow (per the configured accounting mode).
+	Conversions int
+	// EnergyJoules is the conversion energy for one representative flow
+	// of Spec.FlowBytes.
+	EnergyJoules float64
+}
+
+// FlowKey returns the SDN flow tag isolating this deployment.
+func (d *Deployment) FlowKey() string {
+	return d.Spec.Tenant + "/" + d.Spec.Name
+}
+
+// Config wires an orchestrator.
+type Config struct {
+	Topo *topology.Topology
+	// Allocator, when non-nil, is shared with the caller so cluster
+	// construction outside the orchestrator and chain provisioning see
+	// the same OPS ownership (the one-OPS-one-AL rule spans both).
+	Allocator *cluster.Allocator
+	// Builder constructs ALs (defaults to the paper's algorithm).
+	// Ignored when Allocator is set.
+	Builder cluster.Builder
+	// Policy places VNFs (defaults to the paper's optical-first).
+	Policy placement.Policy
+	// Mode is the O/E/O accounting convention (defaults to per-VNF,
+	// Fig. 8's accounting).
+	Mode placement.Mode
+	// CostModel prices conversions (defaults to DefaultCostModel).
+	CostModel *optical.CostModel
+	// Wavelengths, when positive, enables per-flow WDM assignment with
+	// that many wavelengths per optical link.
+	Wavelengths int
+}
+
+// Orchestrator coordinates the cluster allocator, slice manager,
+// Cloud/NFV manager and SDN controller. Safe for concurrent use.
+type Orchestrator struct {
+	mu sync.Mutex
+
+	topo      *topology.Topology
+	alloc     *cluster.Allocator
+	slices    *optical.SliceManager
+	mgr       *nfv.Manager
+	ctrl      *sdn.Controller
+	wdm       *optical.WDM
+	policy    placement.Policy
+	mode      placement.Mode
+	costModel optical.CostModel
+
+	deployments map[DeploymentID]*Deployment
+	nextID      DeploymentID
+}
+
+// New builds an orchestrator over the given topology.
+func New(cfg Config) (*Orchestrator, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("orch: nil topology")
+	}
+	builder := cfg.Builder
+	if builder == nil {
+		builder = cluster.PaperBuilder{}
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = placement.OpticalFirst{}
+	}
+	mode := cfg.Mode
+	if mode == 0 {
+		mode = placement.AccountPerVNF
+	}
+	model := optical.DefaultCostModel()
+	if cfg.CostModel != nil {
+		model = *cfg.CostModel
+	}
+	alloc := cfg.Allocator
+	if alloc == nil {
+		var err error
+		alloc, err = cluster.NewAllocator(cfg.Topo, builder)
+		if err != nil {
+			return nil, fmt.Errorf("orch: %w", err)
+		}
+	}
+	slices, err := optical.NewSliceManager(cfg.Topo)
+	if err != nil {
+		return nil, fmt.Errorf("orch: %w", err)
+	}
+	mgr, err := nfv.NewManager(cfg.Topo)
+	if err != nil {
+		return nil, fmt.Errorf("orch: %w", err)
+	}
+	ctrl, err := sdn.NewController(cfg.Topo)
+	if err != nil {
+		return nil, fmt.Errorf("orch: %w", err)
+	}
+	var wdm *optical.WDM
+	if cfg.Wavelengths > 0 {
+		wdm, err = optical.NewWDM(cfg.Wavelengths)
+		if err != nil {
+			return nil, fmt.Errorf("orch: %w", err)
+		}
+	}
+	return &Orchestrator{
+		topo:        cfg.Topo,
+		alloc:       alloc,
+		slices:      slices,
+		mgr:         mgr,
+		ctrl:        ctrl,
+		wdm:         wdm,
+		policy:      policy,
+		mode:        mode,
+		costModel:   model,
+		deployments: make(map[DeploymentID]*Deployment),
+	}, nil
+}
+
+// Controller exposes the SDN controller (read-mostly: inspecting flow
+// tables in tests and experiments).
+func (o *Orchestrator) Controller() *sdn.Controller { return o.ctrl }
+
+// Manager exposes the Cloud/NFV manager.
+func (o *Orchestrator) Manager() *nfv.Manager { return o.mgr }
+
+// Allocator exposes the cluster allocator.
+func (o *Orchestrator) Allocator() *cluster.Allocator { return o.alloc }
+
+// Slices exposes the optical slice manager.
+func (o *Orchestrator) Slices() *optical.SliceManager { return o.slices }
+
+// WDM exposes the wavelength allocator (nil when disabled).
+func (o *Orchestrator) WDM() *optical.WDM { return o.wdm }
+
+// build is the provisioning pipeline shared by Provision and Repair.
+// On error all partial state created by this call is rolled back.
+type build struct {
+	vc        *cluster.VC
+	slice     *optical.Slice
+	instances []nfv.InstanceID
+	place     placement.Result
+	path      []topology.NodeID
+	confined  bool
+	lambda    int
+}
+
+func (o *Orchestrator) buildChain(spec chain.Spec, flowKey string) (*build, error) {
+	vms := o.topo.VMsByService()[spec.Service]
+	live := vms[:0]
+	for _, vm := range vms {
+		n := o.topo.Node(vm)
+		host := o.topo.Node(n.Host)
+		if !n.Down && host != nil && !host.Down {
+			live = append(live, vm)
+		}
+	}
+	vms = live
+	if len(vms) == 0 {
+		return nil, fmt.Errorf("no live VMs offer service %q", spec.Service)
+	}
+	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
+
+	var undo []func()
+	rollback := func() {
+		for i := len(undo) - 1; i >= 0; i-- {
+			undo[i]()
+		}
+	}
+
+	// 1. Virtual cluster: one VC per NFC (§IV-C), AL disjoint from all
+	// other chains' ALs.
+	vc, err := o.alloc.BuildVC(spec.Service, vms)
+	if err != nil {
+		return nil, err
+	}
+	undo = append(undo, func() { _ = o.alloc.Release(vc.ID) })
+
+	// 2. Optical slice = the AL (§IV-C).
+	slice, err := o.slices.Allocate(spec.Tenant, vc.AL.OPSs, spec.BandwidthGbps)
+	if err != nil {
+		rollback()
+		return nil, fmt.Errorf("slice: %w", err)
+	}
+	undo = append(undo, func() { _ = o.slices.Release(slice.ID) })
+
+	// 3. Resolve the chain and apply per-request demand overrides.
+	profiles, err := nfv.ResolveChain(spec.NFNames())
+	if err != nil {
+		rollback()
+		return nil, err
+	}
+	for i, ref := range spec.NFs {
+		if !ref.Demand.IsZero() {
+			profiles[i].Demand = ref.Demand
+		}
+	}
+
+	// 4. Place VNFs: optical candidates are the AL's optoelectronic
+	// routers; electronic candidates the PMs hosting the service VMs.
+	opticalHosts := o.optoelectronicOf(vc.AL.OPSs)
+	electronicHosts := o.pmsOf(vms)
+	ctx, err := placement.NewContext(o.topo, o.mgr.Ledger(), opticalHosts, electronicHosts, profiles, o.mode)
+	if err != nil {
+		rollback()
+		return nil, err
+	}
+	place, err := o.policy.Place(ctx)
+	if err != nil {
+		rollback()
+		return nil, fmt.Errorf("placement: %w", err)
+	}
+
+	// 5. Instantiate and activate each VNF through the NFV manager.
+	var instances []nfv.InstanceID
+	for i, p := range profiles {
+		inst, err := o.mgr.Create(p.Type, place.Hosts[i])
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("create VNF %d: %w", i, err)
+		}
+		id := inst.ID
+		undo = append(undo, func() { _ = o.mgr.Terminate(id) })
+		if err := o.mgr.Activate(id); err != nil {
+			rollback()
+			return nil, fmt.Errorf("activate VNF %d: %w", i, err)
+		}
+		instances = append(instances, id)
+	}
+
+	// 6. Provision connectivity src VM → VNF hosts → dst VM, preferring
+	// a slice-confined route.
+	src, dst := vms[0], vms[len(vms)-1]
+	confined := true
+	path, err := o.ctrl.ComputePathVia(src, place.Hosts, dst, slice.OPSSet())
+	if err != nil {
+		confined = false
+		path, err = o.ctrl.ComputePathVia(src, place.Hosts, dst, nil)
+	}
+	if err != nil {
+		rollback()
+		return nil, fmt.Errorf("path: %w", err)
+	}
+
+	// 7. Wavelength assignment on the optical segments (optional).
+	lambda := -1
+	if o.wdm != nil {
+		links, err := optical.OpticalSegmentLinks(o.topo, path)
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("wdm: %w", err)
+		}
+		if len(links) > 0 {
+			lambda, err = o.wdm.AssignPath(flowKey, links)
+			if err != nil {
+				rollback()
+				return nil, fmt.Errorf("wdm: %w", err)
+			}
+			undo = append(undo, func() { _ = o.wdm.Release(flowKey) })
+		}
+	}
+
+	// 8. Flow rules along the path.
+	match := sdn.Match{FlowKey: flowKey, Src: src, Dst: dst}
+	if _, err := o.ctrl.InstallPath(match, path, 100); err != nil {
+		rollback()
+		return nil, fmt.Errorf("install: %w", err)
+	}
+	return &build{
+		vc:        vc,
+		slice:     slice,
+		instances: instances,
+		place:     place,
+		path:      path,
+		confined:  confined,
+		lambda:    lambda,
+	}, nil
+}
+
+// teardown releases everything a build holds. Errors are collected into
+// the first non-nil one; teardown keeps going regardless.
+func (o *Orchestrator) teardown(dep *Deployment) error {
+	var firstErr error
+	o.ctrl.RemoveFlow(dep.FlowKey())
+	if o.wdm != nil {
+		if _, ok := o.wdm.AssignmentOf(dep.FlowKey()); ok {
+			if err := o.wdm.Release(dep.FlowKey()); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	for _, inst := range dep.Instances {
+		if err := o.mgr.Terminate(inst); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := o.slices.Release(dep.Slice.ID); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := o.alloc.Release(dep.VC.ID); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Provision deploys a chain end to end. On any failure all partial
+// state is rolled back and the orchestrator is unchanged.
+func (o *Orchestrator) Provision(spec chain.Spec) (*Deployment, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("orch: provision: %w", err)
+	}
+	flowKey := spec.Tenant + "/" + spec.Name
+	b, err := o.buildChain(spec, flowKey)
+	if err != nil {
+		return nil, fmt.Errorf("orch: provision %q: %w", spec.Name, err)
+	}
+	o.mu.Lock()
+	o.nextID++
+	dep := &Deployment{
+		ID:            o.nextID,
+		Spec:          spec,
+		State:         StateActive,
+		Version:       1,
+		VC:            b.vc,
+		Slice:         b.slice,
+		Instances:     b.instances,
+		Placement:     b.place,
+		Path:          b.path,
+		SliceConfined: b.confined,
+		Lambda:        b.lambda,
+		Conversions:   b.place.Conversions,
+		EnergyJoules:  o.costModel.TotalEnergy(b.place.Conversions, spec.FlowBytes),
+	}
+	o.deployments[dep.ID] = dep
+	o.mu.Unlock()
+	return o.snapshot(dep), nil
+}
+
+// Repair tears an active deployment's resources down and rebuilds the
+// chain around the current topology state (e.g. after a node failure).
+// On success the deployment stays Active with Repairs incremented; on
+// failure its resources are released and it transitions to Failed.
+func (o *Orchestrator) Repair(id DeploymentID) error {
+	o.mu.Lock()
+	dep, err := o.activeLocked(id)
+	if err != nil {
+		o.mu.Unlock()
+		return fmt.Errorf("orch: repair: %w", err)
+	}
+	o.mu.Unlock()
+
+	// Tear down outside the lock (manager/controller have their own).
+	if err := o.teardown(dep); err != nil {
+		// Resource release failed irrecoverably; mark failed.
+		o.mu.Lock()
+		dep.State = StateFailed
+		o.mu.Unlock()
+		return fmt.Errorf("orch: repair %d: teardown: %w", id, err)
+	}
+	b, err := o.buildChain(dep.Spec, dep.FlowKey())
+	if err != nil {
+		o.mu.Lock()
+		dep.State = StateFailed
+		o.mu.Unlock()
+		return fmt.Errorf("orch: repair %d: rebuild: %w", id, err)
+	}
+	o.mu.Lock()
+	dep.VC = b.vc
+	dep.Slice = b.slice
+	dep.Instances = b.instances
+	dep.Placement = b.place
+	dep.Path = b.path
+	dep.SliceConfined = b.confined
+	dep.Lambda = b.lambda
+	dep.Conversions = b.place.Conversions
+	dep.EnergyJoules = o.costModel.TotalEnergy(b.place.Conversions, dep.Spec.FlowBytes)
+	dep.Repairs++
+	o.mu.Unlock()
+	return nil
+}
+
+// HandleNodeFailure marks the node as down and repairs every active
+// deployment that used it (in its slice, as a VNF host, or on its
+// path). It returns the IDs whose repair succeeded; deployments whose
+// repair failed transition to Failed and are reported in err.
+func (o *Orchestrator) HandleNodeFailure(node topology.NodeID) ([]DeploymentID, error) {
+	if err := o.topo.SetNodeDown(node, true); err != nil {
+		return nil, fmt.Errorf("orch: node failure: %w", err)
+	}
+	affected := o.affectedBy(node)
+	var repaired []DeploymentID
+	var firstErr error
+	for _, id := range affected {
+		if err := o.Repair(id); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		repaired = append(repaired, id)
+	}
+	return repaired, firstErr
+}
+
+func (o *Orchestrator) affectedBy(node topology.NodeID) []DeploymentID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var out []DeploymentID
+	for _, dep := range o.deployments {
+		if dep.State != StateActive {
+			continue
+		}
+		if dep.Slice.Contains(node) {
+			out = append(out, dep.ID)
+			continue
+		}
+		hit := false
+		for _, h := range dep.Placement.Hosts {
+			if h == node {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			for _, p := range dep.Path {
+				if p == node {
+					hit = true
+					break
+				}
+			}
+		}
+		if hit {
+			out = append(out, dep.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MoveNF migrates the chain's NF at position idx to another hosting-
+// capable node (NFV's "deploy VNFs when and where required", §I) and
+// re-provisions the path and wavelength around the new location. The
+// O/E/O accounting is updated: moving a VNF between domains changes the
+// conversion count exactly as §IV-D describes.
+func (o *Orchestrator) MoveNF(id DeploymentID, idx int, to topology.NodeID) error {
+	o.mu.Lock()
+	dep, err := o.activeLocked(id)
+	if err != nil {
+		o.mu.Unlock()
+		return fmt.Errorf("orch: move: %w", err)
+	}
+	if idx < 0 || idx >= len(dep.Instances) {
+		o.mu.Unlock()
+		return fmt.Errorf("orch: move: NF index %d out of range [0,%d)", idx, len(dep.Instances))
+	}
+	inst := dep.Instances[idx]
+	o.mu.Unlock()
+
+	if err := o.mgr.Migrate(inst, to); err != nil {
+		return fmt.Errorf("orch: move deployment %d NF %d: %w", id, idx, err)
+	}
+	migrated := o.mgr.Instance(inst)
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dep.Placement.Hosts = append([]topology.NodeID(nil), dep.Placement.Hosts...)
+	dep.Placement.Domains = append([]topology.Domain(nil), dep.Placement.Domains...)
+	dep.Placement.Hosts[idx] = to
+	dep.Placement.Domains[idx] = migrated.Domain
+	dep.Placement.Conversions = placement.CountOEO(dep.Placement.Domains, o.mode)
+	dep.Conversions = dep.Placement.Conversions
+	dep.EnergyJoules = o.costModel.TotalEnergy(dep.Conversions, dep.Spec.FlowBytes)
+
+	// Re-provision connectivity through the new host.
+	src, dst := dep.Path[0], dep.Path[len(dep.Path)-1]
+	confined := true
+	path, err := o.ctrl.ComputePathVia(src, dep.Placement.Hosts, dst, dep.Slice.OPSSet())
+	if err != nil {
+		confined = false
+		path, err = o.ctrl.ComputePathVia(src, dep.Placement.Hosts, dst, nil)
+	}
+	if err != nil {
+		return fmt.Errorf("orch: move deployment %d: re-path: %w", id, err)
+	}
+	o.ctrl.RemoveFlow(dep.FlowKey())
+	if o.wdm != nil {
+		if _, ok := o.wdm.AssignmentOf(dep.FlowKey()); ok {
+			_ = o.wdm.Release(dep.FlowKey())
+		}
+		links, err := optical.OpticalSegmentLinks(o.topo, path)
+		if err != nil {
+			return fmt.Errorf("orch: move deployment %d: wdm: %w", id, err)
+		}
+		dep.Lambda = -1
+		if len(links) > 0 {
+			lambda, err := o.wdm.AssignPath(dep.FlowKey(), links)
+			if err != nil {
+				return fmt.Errorf("orch: move deployment %d: wdm: %w", id, err)
+			}
+			dep.Lambda = lambda
+		}
+	}
+	match := sdn.Match{FlowKey: dep.FlowKey(), Src: src, Dst: dst}
+	if _, err := o.ctrl.InstallPath(match, path, 100); err != nil {
+		return fmt.Errorf("orch: move deployment %d: install: %w", id, err)
+	}
+	dep.Path = path
+	dep.SliceConfined = confined
+	return nil
+}
+
+// Modify changes a deployment's bandwidth reservation (§IV-B:
+// modification of NFCs).
+func (o *Orchestrator) Modify(id DeploymentID, bandwidthGbps float64) error {
+	if bandwidthGbps <= 0 {
+		return fmt.Errorf("orch: modify: bandwidth must be positive, got %f", bandwidthGbps)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dep, err := o.activeLocked(id)
+	if err != nil {
+		return fmt.Errorf("orch: modify: %w", err)
+	}
+	if err := o.slices.UpdateBandwidth(dep.Slice.ID, bandwidthGbps); err != nil {
+		return fmt.Errorf("orch: modify: %w", err)
+	}
+	dep.Spec.BandwidthGbps = bandwidthGbps
+	return nil
+}
+
+// Upgrade performs a rolling version upgrade of every VNF in the chain
+// (§IV-B: upgradation).
+func (o *Orchestrator) Upgrade(id DeploymentID) error {
+	o.mu.Lock()
+	dep, err := o.activeLocked(id)
+	if err != nil {
+		o.mu.Unlock()
+		return fmt.Errorf("orch: upgrade: %w", err)
+	}
+	instances := append([]nfv.InstanceID(nil), dep.Instances...)
+	o.mu.Unlock()
+	for _, inst := range instances {
+		if err := o.mgr.Update(inst); err != nil {
+			return fmt.Errorf("orch: upgrade deployment %d: %w", id, err)
+		}
+	}
+	o.mu.Lock()
+	dep.Version++
+	o.mu.Unlock()
+	return nil
+}
+
+// ScaleNF scales the chain's NF at position idx to the given replica
+// count (§IV-B: scaling during the VNF life cycle).
+func (o *Orchestrator) ScaleNF(id DeploymentID, idx, replicas int) error {
+	o.mu.Lock()
+	dep, err := o.activeLocked(id)
+	if err != nil {
+		o.mu.Unlock()
+		return fmt.Errorf("orch: scale: %w", err)
+	}
+	if idx < 0 || idx >= len(dep.Instances) {
+		o.mu.Unlock()
+		return fmt.Errorf("orch: scale: NF index %d out of range [0,%d)", idx, len(dep.Instances))
+	}
+	inst := dep.Instances[idx]
+	o.mu.Unlock()
+	if err := o.mgr.ScaleTo(inst, replicas); err != nil {
+		return fmt.Errorf("orch: scale deployment %d NF %d: %w", id, idx, err)
+	}
+	return nil
+}
+
+// Delete tears a deployment down: flow rules removed, VNFs terminated,
+// slice and cluster released. The deployment record is retained with
+// state Deleted.
+func (o *Orchestrator) Delete(id DeploymentID) error {
+	o.mu.Lock()
+	dep, err := o.activeLocked(id)
+	if err != nil {
+		o.mu.Unlock()
+		return fmt.Errorf("orch: delete: %w", err)
+	}
+	dep.State = StateDeleted
+	o.mu.Unlock()
+	if err := o.teardown(dep); err != nil {
+		return fmt.Errorf("orch: delete deployment %d: %w", id, err)
+	}
+	return nil
+}
+
+// Deployment returns a snapshot of the deployment, or nil.
+func (o *Orchestrator) Deployment(id DeploymentID) *Deployment {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dep, ok := o.deployments[id]
+	if !ok {
+		return nil
+	}
+	return o.snapshot(dep)
+}
+
+// Deployments returns snapshots of all deployments sorted by ID.
+func (o *Orchestrator) Deployments() []*Deployment {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*Deployment, 0, len(o.deployments))
+	for _, dep := range o.deployments {
+		out = append(out, o.snapshot(dep))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ActiveCount returns the number of active deployments.
+func (o *Orchestrator) ActiveCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for _, dep := range o.deployments {
+		if dep.State == StateActive {
+			n++
+		}
+	}
+	return n
+}
+
+func (o *Orchestrator) activeLocked(id DeploymentID) (*Deployment, error) {
+	dep, ok := o.deployments[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown deployment %d", id)
+	}
+	if dep.State != StateActive {
+		return nil, fmt.Errorf("deployment %d is %s", id, dep.State)
+	}
+	return dep, nil
+}
+
+func (o *Orchestrator) snapshot(dep *Deployment) *Deployment {
+	cp := *dep
+	cp.Instances = append([]nfv.InstanceID(nil), dep.Instances...)
+	cp.Path = append([]topology.NodeID(nil), dep.Path...)
+	return &cp
+}
+
+func (o *Orchestrator) optoelectronicOf(opss []topology.NodeID) []topology.NodeID {
+	var out []topology.NodeID
+	for _, id := range opss {
+		if n := o.topo.Node(id); n != nil && n.Optoelectronic && !n.Down {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (o *Orchestrator) pmsOf(vms []topology.NodeID) []topology.NodeID {
+	seen := make(map[topology.NodeID]bool)
+	var out []topology.NodeID
+	for _, vm := range vms {
+		n := o.topo.Node(vm)
+		if n == nil || seen[n.Host] {
+			continue
+		}
+		seen[n.Host] = true
+		if host := o.topo.Node(n.Host); host != nil && !host.Down {
+			out = append(out, n.Host)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,56 @@
+package placement
+
+import (
+	"fmt"
+
+	"github.com/alvc/alvc/internal/chain"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// This file extends O/E/O accounting to complex processing orders
+// (§IV-A: "packet processing order (simple or complex)"). A complex
+// chain is a forwarding-graph DAG; different packets of the same chain
+// may take different source→sink paths (e.g. a load balancer fanning
+// out to alternative DPI stages), so conversion cost is per path.
+
+// PathOEO is the conversion count of one source→sink path of a complex
+// chain.
+type PathOEO struct {
+	// Positions are the NF indices of the path in processing order.
+	Positions []int
+	// Conversions is the O/E/O count along this path.
+	Conversions int
+}
+
+// CountOEOGraph returns the conversion count of every source→sink path
+// of the forwarding graph under the given per-position domains, plus
+// the worst (maximum) count — the figure an operator provisions for.
+func CountOEOGraph(fg *chain.ForwardingGraph, domains []topology.Domain, mode Mode) ([]PathOEO, int, error) {
+	if fg == nil {
+		return nil, 0, fmt.Errorf("placement: dag: nil forwarding graph")
+	}
+	if err := fg.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("placement: dag: %w", err)
+	}
+	if fg.Len() != len(domains) {
+		return nil, 0, fmt.Errorf("placement: dag: %d domains for %d positions", len(domains), fg.Len())
+	}
+	if mode != AccountPerVNF && mode != AccountPerRun {
+		return nil, 0, fmt.Errorf("placement: dag: invalid mode %d", mode)
+	}
+	paths := fg.Paths()
+	out := make([]PathOEO, 0, len(paths))
+	worst := 0
+	for _, p := range paths {
+		pathDomains := make([]topology.Domain, len(p))
+		for i, pos := range p {
+			pathDomains[i] = domains[pos]
+		}
+		conv := CountOEO(pathDomains, mode)
+		out = append(out, PathOEO{Positions: append([]int(nil), p...), Conversions: conv})
+		if conv > worst {
+			worst = conv
+		}
+	}
+	return out, worst, nil
+}

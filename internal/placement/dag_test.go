@@ -1,0 +1,101 @@
+package placement
+
+import (
+	"testing"
+
+	"github.com/alvc/alvc/internal/chain"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+func branchedGraph(t *testing.T) *chain.ForwardingGraph {
+	t.Helper()
+	// lb(0) -> dpi(1) -> firewall(3)
+	//      \-> ids(2) -> firewall(3)
+	spec, err := chain.Linear("branchy", "t", "web", 1, 1<<20, "lb", "dpi", "ids", "firewall")
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	fg, err := chain.NewForwardingGraph(spec)
+	if err != nil {
+		t.Fatalf("NewForwardingGraph: %v", err)
+	}
+	// Rewire linear 0-1-2-3 into the diamond 0->{1,2}->3.
+	if err := fg.AddEdge(0, 2); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := fg.AddEdge(1, 3); err != nil { // already linear 1->2? replace below
+		t.Fatalf("AddEdge: %v", err)
+	}
+	return fg
+}
+
+func TestCountOEOGraphPerPath(t *testing.T) {
+	fg := branchedGraph(t)
+	e, o := topology.DomainElectronic, topology.DomainOptical
+	// lb optical, dpi electronic, ids electronic, firewall optical.
+	domains := []topology.Domain{o, e, e, o}
+	paths, worst, err := CountOEOGraph(fg, domains, AccountPerVNF)
+	if err != nil {
+		t.Fatalf("CountOEOGraph: %v", err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("paths = %d, want >= 2 (branched)", len(paths))
+	}
+	// Every path carries between 1 and 2 electronic visits here.
+	for _, p := range paths {
+		if p.Conversions < 1 || p.Conversions > 2 {
+			t.Fatalf("path %v conversions = %d", p.Positions, p.Conversions)
+		}
+		if p.Conversions > worst {
+			t.Fatal("worst is not the maximum")
+		}
+	}
+	// The linear backbone path 0-1-2-3 visits both electronic stages.
+	foundBackbone := false
+	for _, p := range paths {
+		if len(p.Positions) == 4 {
+			foundBackbone = true
+			if p.Conversions != 2 {
+				t.Fatalf("backbone conversions = %d, want 2", p.Conversions)
+			}
+		}
+	}
+	if !foundBackbone {
+		t.Fatal("backbone path missing")
+	}
+	if worst != 2 {
+		t.Fatalf("worst = %d, want 2", worst)
+	}
+}
+
+func TestCountOEOGraphPerRun(t *testing.T) {
+	fg := branchedGraph(t)
+	e := topology.DomainElectronic
+	domains := []topology.Domain{e, e, e, e}
+	_, worst, err := CountOEOGraph(fg, domains, AccountPerRun)
+	if err != nil {
+		t.Fatalf("CountOEOGraph: %v", err)
+	}
+	// All-electronic under per-run accounting: one excursion per path.
+	if worst != 1 {
+		t.Fatalf("worst = %d, want 1", worst)
+	}
+}
+
+func TestCountOEOGraphValidation(t *testing.T) {
+	fg := branchedGraph(t)
+	domains := []topology.Domain{topology.DomainOptical}
+	if _, _, err := CountOEOGraph(fg, domains, AccountPerVNF); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, _, err := CountOEOGraph(nil, nil, AccountPerVNF); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	good := make([]topology.Domain, fg.Len())
+	for i := range good {
+		good[i] = topology.DomainOptical
+	}
+	if _, _, err := CountOEOGraph(fg, good, Mode(99)); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}

@@ -1,0 +1,433 @@
+// Package placement decides which domain — electronic servers or
+// optoelectronic routers in the optical core — hosts each VNF of a
+// chain, implementing §IV-D of the paper: moving VNFs into the optical
+// domain saves O/E/O conversions, but optoelectronic routers have
+// limited capacity, so "VNFs only with low resource demands need to be
+// implemented in this domain".
+//
+// Three policies are provided:
+//
+//   - AllElectronic: every VNF on servers — the baseline whose O/E/O
+//     cost the paper's proposal reduces.
+//   - OpticalFirst: the paper's greedy — move the lowest-demand VNFs
+//     into optoelectronic routers while capacity remains.
+//   - Optimal: exhaustive search over domain assignments (small chains)
+//     minimizing conversions subject to capacity — the lower bound used
+//     in experiment E8.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/alvc/alvc/internal/nfv"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// Mode selects the O/E/O accounting convention.
+type Mode int
+
+// Accounting modes.
+const (
+	// AccountPerVNF charges one O/E/O conversion per electronic-hosted
+	// VNF — the accounting of Fig. 8, where each electronic VNF sits on
+	// its own server and the flow dips out of the optical core to
+	// reach it ("the flow needs to traverse twice between the optical
+	// and electronic domain and consuming two O/E/O conversions").
+	AccountPerVNF Mode = iota + 1
+	// AccountPerRun charges one conversion per maximal run of
+	// consecutive electronic VNFs — the colocation-aware variant where
+	// adjacent electronic VNFs share one excursion.
+	AccountPerRun
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case AccountPerVNF:
+		return "per-vnf"
+	case AccountPerRun:
+		return "per-run"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// CountOEO returns the number of O/E/O conversions a flow pays
+// traversing a chain whose VNFs live in the given domains, under the
+// given accounting mode. Entering and leaving the data center are not
+// charged (they are unavoidable and identical across policies).
+func CountOEO(domains []topology.Domain, mode Mode) int {
+	switch mode {
+	case AccountPerVNF:
+		n := 0
+		for _, d := range domains {
+			if d == topology.DomainElectronic {
+				n++
+			}
+		}
+		return n
+	case AccountPerRun:
+		n := 0
+		inRun := false
+		for _, d := range domains {
+			if d == topology.DomainElectronic {
+				if !inRun {
+					n++
+					inRun = true
+				}
+			} else {
+				inRun = false
+			}
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// Context is the placement input: the chain's NF profiles in processing
+// order and the candidate hosts of each domain with their free
+// capacity. Free capacities are snapshotted from the ledger so a single
+// chain's VNFs are packed consistently.
+type Context struct {
+	Topo *topology.Topology
+	// OpticalHosts are the optoelectronic routers available to this
+	// chain (normally the AL members that are optoelectronic).
+	OpticalHosts []topology.NodeID
+	// ElectronicHosts are candidate servers.
+	ElectronicHosts []topology.NodeID
+	// Free maps each candidate host to its free capacity.
+	Free map[topology.NodeID]topology.Resources
+	// NFs is the chain in processing order.
+	NFs []nfv.NFProfile
+	// Mode is the O/E/O accounting convention.
+	Mode Mode
+}
+
+// NewContext snapshots free capacities from the ledger.
+func NewContext(topo *topology.Topology, ledger *nfv.Ledger, opticalHosts, electronicHosts []topology.NodeID, nfs []nfv.NFProfile, mode Mode) (Context, error) {
+	if topo == nil || ledger == nil {
+		return Context{}, fmt.Errorf("placement: context: nil topology or ledger")
+	}
+	if len(nfs) == 0 {
+		return Context{}, fmt.Errorf("placement: context: empty chain")
+	}
+	if mode != AccountPerVNF && mode != AccountPerRun {
+		return Context{}, fmt.Errorf("placement: context: invalid mode %d", mode)
+	}
+	free := make(map[topology.NodeID]topology.Resources)
+	for _, h := range opticalHosts {
+		n := topo.Node(h)
+		if n == nil || n.Kind != topology.KindOPS || !n.Optoelectronic {
+			return Context{}, fmt.Errorf("placement: context: node %d is not an optoelectronic router", h)
+		}
+		free[h] = ledger.Available(h)
+	}
+	for _, h := range electronicHosts {
+		n := topo.Node(h)
+		if n == nil || n.Kind != topology.KindPhysicalMachine {
+			return Context{}, fmt.Errorf("placement: context: node %d is not a physical machine", h)
+		}
+		free[h] = ledger.Available(h)
+	}
+	return Context{
+		Topo:            topo,
+		OpticalHosts:    append([]topology.NodeID(nil), opticalHosts...),
+		ElectronicHosts: append([]topology.NodeID(nil), electronicHosts...),
+		Free:            free,
+		NFs:             append([]nfv.NFProfile(nil), nfs...),
+		Mode:            mode,
+	}, nil
+}
+
+// Result is a placement decision: one host and domain per NF position.
+type Result struct {
+	Policy      string
+	Hosts       []topology.NodeID
+	Domains     []topology.Domain
+	Conversions int
+}
+
+// OpticalCount returns the number of VNFs placed in the optical domain.
+func (r Result) OpticalCount() int {
+	n := 0
+	for _, d := range r.Domains {
+		if d == topology.DomainOptical {
+			n++
+		}
+	}
+	return n
+}
+
+// Policy places a chain.
+type Policy interface {
+	Name() string
+	Place(ctx Context) (Result, error)
+}
+
+// packer tracks tentative allocations on top of the snapshot.
+type packer struct {
+	free map[topology.NodeID]topology.Resources
+}
+
+func newPacker(ctx Context) *packer {
+	free := make(map[topology.NodeID]topology.Resources, len(ctx.Free))
+	for k, v := range ctx.Free {
+		free[k] = v
+	}
+	return &packer{free: free}
+}
+
+// firstFit places demand on the first host (in order) with capacity,
+// returning the host or false.
+func (p *packer) firstFit(hosts []topology.NodeID, demand topology.Resources) (topology.NodeID, bool) {
+	for _, h := range hosts {
+		if p.free[h].Fits(demand) {
+			p.free[h] = p.free[h].Sub(demand)
+			return h, true
+		}
+	}
+	return 0, false
+}
+
+// AllElectronic places every VNF on electronic servers (first-fit).
+// This is the pre-NFV-placement baseline of Fig. 8's left side.
+type AllElectronic struct{}
+
+// Name implements Policy.
+func (AllElectronic) Name() string { return "all-electronic" }
+
+// Place implements Policy.
+func (AllElectronic) Place(ctx Context) (Result, error) {
+	pk := newPacker(ctx)
+	hosts := make([]topology.NodeID, 0, len(ctx.NFs))
+	domains := make([]topology.Domain, 0, len(ctx.NFs))
+	for i, nf := range ctx.NFs {
+		h, ok := pk.firstFit(ctx.ElectronicHosts, nf.Demand)
+		if !ok {
+			return Result{}, fmt.Errorf("placement: all-electronic: no server fits NF %d (%s, %s)", i, nf.Type, nf.Demand)
+		}
+		hosts = append(hosts, h)
+		domains = append(domains, topology.DomainElectronic)
+	}
+	return Result{
+		Policy:      "all-electronic",
+		Hosts:       hosts,
+		Domains:     domains,
+		Conversions: CountOEO(domains, ctx.Mode),
+	}, nil
+}
+
+// OpticalFirst is the paper's greedy: VNFs are considered in ascending
+// resource demand and moved into optoelectronic routers while they fit;
+// the rest stay electronic (§IV-D, Fig. 8).
+type OpticalFirst struct{}
+
+// Name implements Policy.
+func (OpticalFirst) Name() string { return "optical-first" }
+
+// Place implements Policy.
+func (OpticalFirst) Place(ctx Context) (Result, error) {
+	pk := newPacker(ctx)
+	hosts := make([]topology.NodeID, len(ctx.NFs))
+	domains := make([]topology.Domain, len(ctx.NFs))
+	// Ascending demand order (CPU, then memory, then position for
+	// determinism): lightest VNFs get the scarce optical capacity.
+	order := make([]int, len(ctx.NFs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := ctx.NFs[order[a]].Demand, ctx.NFs[order[b]].Demand
+		if da.CPUCores != db.CPUCores {
+			return da.CPUCores < db.CPUCores
+		}
+		if da.MemoryGB != db.MemoryGB {
+			return da.MemoryGB < db.MemoryGB
+		}
+		return order[a] < order[b]
+	})
+	for _, i := range order {
+		nf := ctx.NFs[i]
+		if h, ok := pk.firstFit(ctx.OpticalHosts, nf.Demand); ok {
+			hosts[i] = h
+			domains[i] = topology.DomainOptical
+			continue
+		}
+		h, ok := pk.firstFit(ctx.ElectronicHosts, nf.Demand)
+		if !ok {
+			return Result{}, fmt.Errorf("placement: optical-first: no host fits NF %d (%s, %s)", i, nf.Type, nf.Demand)
+		}
+		hosts[i] = h
+		domains[i] = topology.DomainElectronic
+	}
+	return Result{
+		Policy:      "optical-first",
+		Hosts:       hosts,
+		Domains:     domains,
+		Conversions: CountOEO(domains, ctx.Mode),
+	}, nil
+}
+
+// MaxOptimalNFs bounds the chain length Optimal accepts (2^n search).
+const MaxOptimalNFs = 14
+
+// Optimal enumerates every domain assignment, keeps the feasible ones
+// (optical VNFs must pack into the optoelectronic routers, electronic
+// into the servers, verified by exact backtracking), and returns the
+// assignment minimizing conversions; ties break toward more optical
+// VNFs, then lexicographically (electronic-first) for determinism.
+type Optimal struct{}
+
+// Name implements Policy.
+func (Optimal) Name() string { return "optimal" }
+
+// Place implements Policy.
+func (Optimal) Place(ctx Context) (Result, error) {
+	n := len(ctx.NFs)
+	if n > MaxOptimalNFs {
+		return Result{}, fmt.Errorf("placement: optimal: chain length %d exceeds limit %d", n, MaxOptimalNFs)
+	}
+	bestConv := -1
+	bestOptical := -1
+	var bestMask uint32
+	var bestHosts []topology.NodeID
+	for mask := uint32(0); mask < 1<<uint(n); mask++ {
+		domains := make([]topology.Domain, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				domains[i] = topology.DomainOptical
+			} else {
+				domains[i] = topology.DomainElectronic
+			}
+		}
+		hosts, ok := packAssignment(ctx, domains)
+		if !ok {
+			continue
+		}
+		conv := CountOEO(domains, ctx.Mode)
+		optical := 0
+		for _, d := range domains {
+			if d == topology.DomainOptical {
+				optical++
+			}
+		}
+		better := bestConv < 0 || conv < bestConv ||
+			(conv == bestConv && optical > bestOptical) ||
+			(conv == bestConv && optical == bestOptical && mask < bestMask)
+		if better {
+			bestConv, bestOptical, bestMask, bestHosts = conv, optical, mask, hosts
+		}
+	}
+	if bestConv < 0 {
+		return Result{}, fmt.Errorf("placement: optimal: no feasible assignment for %d NFs", n)
+	}
+	domains := make([]topology.Domain, n)
+	for i := 0; i < n; i++ {
+		if bestMask&(1<<uint(i)) != 0 {
+			domains[i] = topology.DomainOptical
+		} else {
+			domains[i] = topology.DomainElectronic
+		}
+	}
+	return Result{
+		Policy:      "optimal",
+		Hosts:       bestHosts,
+		Domains:     domains,
+		Conversions: bestConv,
+	}, nil
+}
+
+// packAssignment assigns a concrete host to every NF given fixed
+// domains, using exact backtracking per domain (items in descending
+// demand for pruning). Returns false if no packing exists.
+func packAssignment(ctx Context, domains []topology.Domain) ([]topology.NodeID, bool) {
+	hosts := make([]topology.NodeID, len(ctx.NFs))
+	pk := newPacker(ctx)
+	var byDomain [2][]int // 0 = optical, 1 = electronic
+	for i, d := range domains {
+		if d == topology.DomainOptical {
+			byDomain[0] = append(byDomain[0], i)
+		} else {
+			byDomain[1] = append(byDomain[1], i)
+		}
+	}
+	candidates := [2][]topology.NodeID{ctx.OpticalHosts, ctx.ElectronicHosts}
+	for side := 0; side < 2; side++ {
+		items := byDomain[side]
+		sort.SliceStable(items, func(a, b int) bool {
+			da, db := ctx.NFs[items[a]].Demand, ctx.NFs[items[b]].Demand
+			if da.CPUCores != db.CPUCores {
+				return da.CPUCores > db.CPUCores
+			}
+			return da.MemoryGB > db.MemoryGB
+		})
+		if !packExact(ctx, pk, items, candidates[side], hosts, 0) {
+			return nil, false
+		}
+	}
+	return hosts, true
+}
+
+func packExact(ctx Context, pk *packer, items []int, hosts []topology.NodeID, out []topology.NodeID, pos int) bool {
+	if pos == len(items) {
+		return true
+	}
+	nf := ctx.NFs[items[pos]]
+	for _, h := range hosts {
+		if !pk.free[h].Fits(nf.Demand) {
+			continue
+		}
+		pk.free[h] = pk.free[h].Sub(nf.Demand)
+		out[items[pos]] = h
+		if packExact(ctx, pk, items, hosts, out, pos+1) {
+			return true
+		}
+		pk.free[h] = pk.free[h].Add(nf.Demand)
+	}
+	return false
+}
+
+// Verify checks a placement against its context: hosts belong to the
+// declared domain lists, domains match host kinds, and the cumulative
+// demand per host fits the snapshot capacity. It is the oracle used by
+// tests and the experiment harness.
+func Verify(ctx Context, r Result) error {
+	if len(r.Hosts) != len(ctx.NFs) || len(r.Domains) != len(ctx.NFs) {
+		return fmt.Errorf("placement: verify: result arity %d/%d != chain %d", len(r.Hosts), len(r.Domains), len(ctx.NFs))
+	}
+	inList := func(h topology.NodeID, list []topology.NodeID) bool {
+		for _, x := range list {
+			if x == h {
+				return true
+			}
+		}
+		return false
+	}
+	load := make(map[topology.NodeID]topology.Resources)
+	for i, h := range r.Hosts {
+		switch r.Domains[i] {
+		case topology.DomainOptical:
+			if !inList(h, ctx.OpticalHosts) {
+				return fmt.Errorf("placement: verify: NF %d on %d not an allowed optical host", i, h)
+			}
+		case topology.DomainElectronic:
+			if !inList(h, ctx.ElectronicHosts) {
+				return fmt.Errorf("placement: verify: NF %d on %d not an allowed electronic host", i, h)
+			}
+		default:
+			return fmt.Errorf("placement: verify: NF %d has invalid domain", i)
+		}
+		load[h] = load[h].Add(ctx.NFs[i].Demand)
+	}
+	for h, demand := range load {
+		if !ctx.Free[h].Fits(demand) {
+			return fmt.Errorf("placement: verify: host %d overloaded: %s > free %s", h, demand, ctx.Free[h])
+		}
+	}
+	if got := CountOEO(r.Domains, ctx.Mode); got != r.Conversions {
+		return fmt.Errorf("placement: verify: conversions %d != recomputed %d", r.Conversions, got)
+	}
+	return nil
+}

@@ -1,0 +1,368 @@
+package placement
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/alvc/alvc/internal/nfv"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// fig8Topo builds the Fig. 8 setting: an AL with two optoelectronic
+// routers (limited capacity) and two electronic servers. The chain has
+// three VNFs; two are light enough for the optical domain, one is not.
+func fig8Topo(t *testing.T) (*topology.Topology, *nfv.Ledger, []topology.NodeID, []topology.NodeID) {
+	t.Helper()
+	topo := topology.New()
+	oerCap := topology.Resources{CPUCores: 4, MemoryGB: 8, StorageGB: 32}
+	oer1 := topo.AddOPS(true, oerCap)
+	oer2 := topo.AddOPS(true, oerCap)
+	plain := topo.AddOPS(false, topology.Resources{})
+	tor := topo.AddToR(0)
+	pm1 := topo.AddPM(0, topology.Resources{CPUCores: 32, MemoryGB: 128, StorageGB: 1024})
+	pm2 := topo.AddPM(0, topology.Resources{CPUCores: 32, MemoryGB: 128, StorageGB: 1024})
+	link := func(a, b topology.NodeID, k topology.LinkKind) {
+		t.Helper()
+		if _, err := topo.AddLink(a, b, k, 10, 1); err != nil {
+			t.Fatalf("AddLink: %v", err)
+		}
+	}
+	link(oer1, oer2, topology.LinkOptical)
+	link(oer2, plain, topology.LinkOptical)
+	link(tor, oer1, topology.LinkBoundary)
+	link(pm1, tor, topology.LinkElectronic)
+	link(pm2, tor, topology.LinkElectronic)
+	ledger, err := nfv.NewLedger(topo)
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	return topo, ledger, []topology.NodeID{oer1, oer2}, []topology.NodeID{pm1, pm2}
+}
+
+// fig8Chain is secgw (light), firewall (light), dpi (heavy).
+func fig8Chain(t *testing.T) []nfv.NFProfile {
+	t.Helper()
+	chain, err := nfv.ResolveChain([]string{"secgw", "firewall", "dpi"})
+	if err != nil {
+		t.Fatalf("ResolveChain: %v", err)
+	}
+	return chain
+}
+
+func newCtx(t *testing.T, mode Mode) Context {
+	t.Helper()
+	topo, ledger, opt, elec := fig8Topo(t)
+	ctx, err := NewContext(topo, ledger, opt, elec, fig8Chain(t), mode)
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	return ctx
+}
+
+func TestCountOEO(t *testing.T) {
+	e, o := topology.DomainElectronic, topology.DomainOptical
+	cases := []struct {
+		domains []topology.Domain
+		perVNF  int
+		perRun  int
+	}{
+		{[]topology.Domain{e, o, e}, 2, 2},
+		{[]topology.Domain{e, e, o}, 2, 1},
+		{[]topology.Domain{o, o, o}, 0, 0},
+		{[]topology.Domain{e, e, e}, 3, 1},
+		{[]topology.Domain{o, e, o, e, o}, 2, 2},
+		{nil, 0, 0},
+	}
+	for i, tc := range cases {
+		if got := CountOEO(tc.domains, AccountPerVNF); got != tc.perVNF {
+			t.Errorf("case %d per-vnf = %d, want %d", i, got, tc.perVNF)
+		}
+		if got := CountOEO(tc.domains, AccountPerRun); got != tc.perRun {
+			t.Errorf("case %d per-run = %d, want %d", i, got, tc.perRun)
+		}
+	}
+	if CountOEO([]topology.Domain{e}, Mode(99)) != 0 {
+		t.Error("invalid mode should count 0")
+	}
+}
+
+func TestFig8Scenario(t *testing.T) {
+	// The paper's walk-through: all-electronic pays 3 conversions
+	// (per-VNF), the paper's greedy moves the two light VNFs optical
+	// and pays 1, which equals the optimum.
+	ctx := newCtx(t, AccountPerVNF)
+
+	base, err := AllElectronic{}.Place(ctx)
+	if err != nil {
+		t.Fatalf("AllElectronic: %v", err)
+	}
+	if base.Conversions != 3 {
+		t.Fatalf("all-electronic conversions = %d, want 3", base.Conversions)
+	}
+	if err := Verify(ctx, base); err != nil {
+		t.Fatalf("verify baseline: %v", err)
+	}
+
+	greedy, err := OpticalFirst{}.Place(ctx)
+	if err != nil {
+		t.Fatalf("OpticalFirst: %v", err)
+	}
+	if greedy.Conversions != 1 {
+		t.Fatalf("optical-first conversions = %d, want 1 (DPI stays electronic)", greedy.Conversions)
+	}
+	if greedy.OpticalCount() != 2 {
+		t.Fatalf("optical VNFs = %d, want 2", greedy.OpticalCount())
+	}
+	if err := Verify(ctx, greedy); err != nil {
+		t.Fatalf("verify greedy: %v", err)
+	}
+
+	opt, err := Optimal{}.Place(ctx)
+	if err != nil {
+		t.Fatalf("Optimal: %v", err)
+	}
+	if opt.Conversions != 1 {
+		t.Fatalf("optimal conversions = %d, want 1", opt.Conversions)
+	}
+	if err := Verify(ctx, opt); err != nil {
+		t.Fatalf("verify optimal: %v", err)
+	}
+	// The ordering the paper claims: baseline ≥ greedy ≥ optimal.
+	if !(base.Conversions >= greedy.Conversions && greedy.Conversions >= opt.Conversions) {
+		t.Fatalf("ordering violated: %d, %d, %d", base.Conversions, greedy.Conversions, opt.Conversions)
+	}
+}
+
+func TestPerRunAccountingRewardsAdjacency(t *testing.T) {
+	// Chain: dpi, dpi, firewall. Only the firewall fits optical. Under
+	// per-run accounting the two adjacent electronic DPIs cost one
+	// conversion.
+	topo, ledger, opt, elec := fig8Topo(t)
+	chain, err := nfv.ResolveChain([]string{"dpi", "dpi", "firewall"})
+	if err != nil {
+		t.Fatalf("ResolveChain: %v", err)
+	}
+	ctx, err := NewContext(topo, ledger, opt, elec, chain, AccountPerRun)
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	r, err := Optimal{}.Place(ctx)
+	if err != nil {
+		t.Fatalf("Optimal: %v", err)
+	}
+	if r.Conversions != 1 {
+		t.Fatalf("per-run conversions = %d, want 1", r.Conversions)
+	}
+	if err := Verify(ctx, r); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestCapacityGateKeepsHeavyVNFsElectronic(t *testing.T) {
+	ctx := newCtx(t, AccountPerVNF)
+	greedy, err := OpticalFirst{}.Place(ctx)
+	if err != nil {
+		t.Fatalf("OpticalFirst: %v", err)
+	}
+	// DPI (index 2) demands 8 cores; OER capacity is 4 — must be
+	// electronic.
+	if greedy.Domains[2] != topology.DomainElectronic {
+		t.Fatalf("heavy DPI placed in %s", greedy.Domains[2])
+	}
+}
+
+func TestOpticalCapacityExhaustion(t *testing.T) {
+	// Shrink optical capacity to hold only one light VNF; greedy must
+	// place exactly one optically.
+	topo := topology.New()
+	oer := topo.AddOPS(true, topology.Resources{CPUCores: 1, MemoryGB: 1, StorageGB: 1})
+	plain := topo.AddOPS(false, topology.Resources{})
+	tor := topo.AddToR(0)
+	pm := topo.AddPM(0, topology.Resources{CPUCores: 64, MemoryGB: 256, StorageGB: 2048})
+	for _, l := range []struct {
+		a, b topology.NodeID
+		k    topology.LinkKind
+	}{
+		{oer, plain, topology.LinkOptical},
+		{tor, oer, topology.LinkBoundary},
+		{pm, tor, topology.LinkElectronic},
+	} {
+		if _, err := topo.AddLink(l.a, l.b, l.k, 10, 1); err != nil {
+			t.Fatalf("AddLink: %v", err)
+		}
+	}
+	ledger, _ := nfv.NewLedger(topo)
+	chain, _ := nfv.ResolveChain([]string{"firewall", "nat", "firewall"})
+	ctx, err := NewContext(topo, ledger, []topology.NodeID{oer}, []topology.NodeID{pm}, chain, AccountPerVNF)
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	r, err := OpticalFirst{}.Place(ctx)
+	if err != nil {
+		t.Fatalf("OpticalFirst: %v", err)
+	}
+	if r.OpticalCount() != 1 {
+		t.Fatalf("optical VNFs = %d, want 1 (capacity for one)", r.OpticalCount())
+	}
+	if r.Conversions != 2 {
+		t.Fatalf("conversions = %d, want 2", r.Conversions)
+	}
+	if err := Verify(ctx, r); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestAllElectronicFailsWithoutServers(t *testing.T) {
+	topo, ledger, opt, _ := fig8Topo(t)
+	ctx, err := NewContext(topo, ledger, opt, nil, fig8Chain(t), AccountPerVNF)
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	if _, err := (AllElectronic{}).Place(ctx); err == nil {
+		t.Fatal("placement without servers accepted")
+	}
+	// Optimal also fails: DPI fits nowhere.
+	if _, err := (Optimal{}).Place(ctx); err == nil {
+		t.Fatal("optimal without feasible assignment accepted")
+	}
+}
+
+func TestNewContextValidation(t *testing.T) {
+	topo, ledger, opt, elec := fig8Topo(t)
+	chain := fig8Chain(t)
+	if _, err := NewContext(nil, ledger, opt, elec, chain, AccountPerVNF); err == nil {
+		t.Fatal("nil topo accepted")
+	}
+	if _, err := NewContext(topo, nil, opt, elec, chain, AccountPerVNF); err == nil {
+		t.Fatal("nil ledger accepted")
+	}
+	if _, err := NewContext(topo, ledger, opt, elec, nil, AccountPerVNF); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	if _, err := NewContext(topo, ledger, opt, elec, chain, Mode(99)); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	// Electronic host in optical list.
+	if _, err := NewContext(topo, ledger, elec, elec, chain, AccountPerVNF); err == nil {
+		t.Fatal("PM accepted as optical host")
+	}
+	// Plain OPS as optical host: find one.
+	var plain topology.NodeID
+	for _, n := range topo.Nodes(topology.KindOPS) {
+		if !n.Optoelectronic {
+			plain = n.ID
+		}
+	}
+	if _, err := NewContext(topo, ledger, []topology.NodeID{plain}, elec, chain, AccountPerVNF); err == nil {
+		t.Fatal("plain OPS accepted as optical host")
+	}
+}
+
+func TestOptimalRefusesLongChains(t *testing.T) {
+	topo, ledger, opt, elec := fig8Topo(t)
+	long := make([]nfv.NFProfile, MaxOptimalNFs+1)
+	fw, _ := nfv.ProfileByName("firewall")
+	for i := range long {
+		long[i] = fw
+	}
+	ctx, err := NewContext(topo, ledger, opt, elec, long, AccountPerVNF)
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	if _, err := (Optimal{}).Place(ctx); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("long chain error = %v", err)
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	ctx := newCtx(t, AccountPerVNF)
+	good, err := OpticalFirst{}.Place(ctx)
+	if err != nil {
+		t.Fatalf("OpticalFirst: %v", err)
+	}
+	// Wrong arity.
+	bad := good
+	bad.Hosts = good.Hosts[:1]
+	if err := Verify(ctx, bad); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	// Wrong conversions.
+	bad = good
+	bad.Conversions = 99
+	if err := Verify(ctx, bad); err == nil {
+		t.Fatal("wrong conversion count accepted")
+	}
+	// Host outside the allowed list.
+	bad = good
+	bad.Hosts = append([]topology.NodeID(nil), good.Hosts...)
+	bad.Hosts[0] = 9999
+	if err := Verify(ctx, bad); err == nil {
+		t.Fatal("foreign host accepted")
+	}
+}
+
+// Property: on random chains, optimal never exceeds greedy, greedy
+// never exceeds all-electronic, and every placement verifies.
+func TestPlacementOrderingProperty(t *testing.T) {
+	names := []string{"firewall", "nat", "secgw", "lb", "dpi", "ids", "wanopt", "cache"}
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		topo, ledger, opt, elec := fig8TopoQuick()
+		n := 2 + int(seed%5)
+		var chainNames []string
+		for i := 0; i < n; i++ {
+			chainNames = append(chainNames, names[int(seed/int64(i+1))%len(names)])
+		}
+		chain, err := nfv.ResolveChain(chainNames)
+		if err != nil {
+			return false
+		}
+		ctx, err := NewContext(topo, ledger, opt, elec, chain, AccountPerVNF)
+		if err != nil {
+			return false
+		}
+		base, err1 := AllElectronic{}.Place(ctx)
+		greedy, err2 := OpticalFirst{}.Place(ctx)
+		opt2, err3 := Optimal{}.Place(ctx)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		if Verify(ctx, base) != nil || Verify(ctx, greedy) != nil || Verify(ctx, opt2) != nil {
+			return false
+		}
+		return opt2.Conversions <= greedy.Conversions && greedy.Conversions <= base.Conversions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fig8TopoQuick is fig8Topo without the testing.T plumbing, for
+// property tests.
+func fig8TopoQuick() (*topology.Topology, *nfv.Ledger, []topology.NodeID, []topology.NodeID) {
+	topo := topology.New()
+	oerCap := topology.Resources{CPUCores: 4, MemoryGB: 8, StorageGB: 32}
+	oer1 := topo.AddOPS(true, oerCap)
+	oer2 := topo.AddOPS(true, oerCap)
+	tor := topo.AddToR(0)
+	pm1 := topo.AddPM(0, topology.Resources{CPUCores: 64, MemoryGB: 256, StorageGB: 2048})
+	pm2 := topo.AddPM(0, topology.Resources{CPUCores: 64, MemoryGB: 256, StorageGB: 2048})
+	_, _ = topo.AddLink(oer1, oer2, topology.LinkOptical, 100, 1)
+	_, _ = topo.AddLink(tor, oer1, topology.LinkBoundary, 10, 1)
+	_, _ = topo.AddLink(pm1, tor, topology.LinkElectronic, 10, 1)
+	_, _ = topo.AddLink(pm2, tor, topology.LinkElectronic, 10, 1)
+	ledger, _ := nfv.NewLedger(topo)
+	return topo, ledger, []topology.NodeID{oer1, oer2}, []topology.NodeID{pm1, pm2}
+}
+
+func TestModeString(t *testing.T) {
+	if AccountPerVNF.String() != "per-vnf" || AccountPerRun.String() != "per-run" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(99).String() == "" {
+		t.Fatal("unknown mode must render")
+	}
+}

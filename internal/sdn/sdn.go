@@ -1,0 +1,354 @@
+// Package sdn implements the SDN controller of the AL-VC functional
+// architecture (Fig. 6): it "provisions, controls, and manages the
+// optical network and provides virtual connectivity services to users
+// between VMs hosting VNFs". The controller computes paths over the
+// topology (optionally restricted to one slice's OPSs), installs
+// OpenFlow-style match/action rules on every switch along the path, and
+// keeps per-switch flow tables with statistics.
+package sdn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/alvc/alvc/internal/graph"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// RuleID identifies an installed flow rule.
+type RuleID int
+
+// Match selects the packets of one provisioned connection. FlowKey is
+// the tenant/chain tag (slice isolation); Src/Dst are the endpoint
+// nodes.
+type Match struct {
+	FlowKey string
+	Src     topology.NodeID
+	Dst     topology.NodeID
+}
+
+// ActionType enumerates forwarding actions.
+type ActionType int
+
+// Actions a rule can take.
+const (
+	// ActionForward sends the packet to NextHop.
+	ActionForward ActionType = iota + 1
+	// ActionConvertOE marks an optical→electronic conversion (leaving
+	// the optical domain at a boundary link).
+	ActionConvertOE
+	// ActionConvertEO marks an electronic→optical conversion.
+	ActionConvertEO
+	// ActionDeliver terminates the path at the destination.
+	ActionDeliver
+)
+
+// String returns the action name.
+func (a ActionType) String() string {
+	switch a {
+	case ActionForward:
+		return "forward"
+	case ActionConvertOE:
+		return "convert-oe"
+	case ActionConvertEO:
+		return "convert-eo"
+	case ActionDeliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Action is one step a switch applies to matching packets.
+type Action struct {
+	Type    ActionType
+	NextHop topology.NodeID
+}
+
+// FlowRule is an entry in a switch's flow table.
+type FlowRule struct {
+	ID       RuleID
+	Switch   topology.NodeID
+	Priority int
+	Match    Match
+	Actions  []Action
+	// Hits counts packets/flows accounted against this rule via
+	// RecordHits (OpenFlow-style counters).
+	Hits int64
+}
+
+// Controller is the in-process SDN controller. Safe for concurrent use.
+type Controller struct {
+	mu       sync.Mutex
+	topo     *topology.Topology
+	tables   map[topology.NodeID][]*FlowRule
+	nextRule RuleID
+
+	pathsProvisioned int
+	rulesInstalled   int
+}
+
+// NewController returns a controller over the topology.
+func NewController(topo *topology.Topology) (*Controller, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("sdn: controller: nil topology")
+	}
+	return &Controller{
+		topo:   topo,
+		tables: make(map[topology.NodeID][]*FlowRule),
+	}, nil
+}
+
+// ComputePath returns the lowest-latency path between two nodes. When
+// restrictOPS is non-nil only those OPSs may be traversed (routing
+// inside a slice). VMs are routed via their host PM.
+func (c *Controller) ComputePath(src, dst topology.NodeID, restrictOPS map[topology.NodeID]bool) ([]topology.NodeID, error) {
+	g := c.topo.RoutingGraph(topology.GraphOptions{IncludeVMs: true, RestrictOPS: restrictOPS})
+	vp, _, err := g.ShortestPath(graph.VertexID(src), graph.VertexID(dst))
+	if err != nil {
+		return nil, fmt.Errorf("sdn: compute path %d->%d: %w", src, dst, err)
+	}
+	path := make([]topology.NodeID, len(vp))
+	for i, v := range vp {
+		path[i] = topology.NodeID(v)
+	}
+	return path, nil
+}
+
+// ComputePathVia returns a path from src to dst that visits every
+// waypoint in order (the chain's VNF hosts). Segments are shortest
+// paths; consecutive duplicates are merged.
+func (c *Controller) ComputePathVia(src topology.NodeID, via []topology.NodeID, dst topology.NodeID, restrictOPS map[topology.NodeID]bool) ([]topology.NodeID, error) {
+	stops := make([]topology.NodeID, 0, len(via)+2)
+	stops = append(stops, src)
+	stops = append(stops, via...)
+	stops = append(stops, dst)
+	var full []topology.NodeID
+	for i := 0; i+1 < len(stops); i++ {
+		if stops[i] == stops[i+1] {
+			continue
+		}
+		seg, err := c.ComputePath(stops[i], stops[i+1], restrictOPS)
+		if err != nil {
+			return nil, fmt.Errorf("sdn: via segment %d: %w", i, err)
+		}
+		if len(full) > 0 {
+			seg = seg[1:] // drop duplicated joint
+		}
+		full = append(full, seg...)
+	}
+	if len(full) == 0 {
+		full = []topology.NodeID{src}
+	}
+	return full, nil
+}
+
+// PathAlternatives returns up to k loopless paths between two nodes in
+// nondecreasing latency order (Yen's algorithm over the routing graph),
+// giving the controller fallback routes for fast failover without
+// recomputation.
+func (c *Controller) PathAlternatives(src, dst topology.NodeID, k int, restrictOPS map[topology.NodeID]bool) ([][]topology.NodeID, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sdn: path alternatives: k must be positive, got %d", k)
+	}
+	g := c.topo.RoutingGraph(topology.GraphOptions{IncludeVMs: true, RestrictOPS: restrictOPS})
+	vps, _, err := g.KShortestPaths(graph.VertexID(src), graph.VertexID(dst), k)
+	if err != nil {
+		return nil, fmt.Errorf("sdn: path alternatives %d->%d: %w", src, dst, err)
+	}
+	out := make([][]topology.NodeID, len(vps))
+	for i, vp := range vps {
+		path := make([]topology.NodeID, len(vp))
+		for j, v := range vp {
+			path[j] = topology.NodeID(v)
+		}
+		out[i] = path
+	}
+	return out, nil
+}
+
+// InstallPath installs one rule per hop of the path: each switch
+// forwards matching packets to the next hop; boundary crossings get
+// explicit conversion actions; the final node delivers. It returns the
+// installed rule IDs in path order.
+func (c *Controller) InstallPath(m Match, path []topology.NodeID, priority int) ([]RuleID, error) {
+	if len(path) < 1 {
+		return nil, fmt.Errorf("sdn: install: empty path")
+	}
+	if m.FlowKey == "" {
+		return nil, fmt.Errorf("sdn: install: empty flow key")
+	}
+	for _, n := range path {
+		if c.topo.Node(n) == nil {
+			return nil, fmt.Errorf("sdn: install: unknown node %d in path", n)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ids []RuleID
+	for i, node := range path {
+		var actions []Action
+		if i+1 < len(path) {
+			cur, next := c.topo.Node(node), c.topo.Node(path[i+1])
+			if cur.Domain() != next.Domain() {
+				if cur.Domain() == topology.DomainOptical {
+					actions = append(actions, Action{Type: ActionConvertOE})
+				} else {
+					actions = append(actions, Action{Type: ActionConvertEO})
+				}
+			}
+			actions = append(actions, Action{Type: ActionForward, NextHop: path[i+1]})
+		} else {
+			actions = append(actions, Action{Type: ActionDeliver})
+		}
+		c.nextRule++
+		rule := &FlowRule{
+			ID:       c.nextRule,
+			Switch:   node,
+			Priority: priority,
+			Match:    m,
+			Actions:  actions,
+		}
+		c.tables[node] = append(c.tables[node], rule)
+		c.rulesInstalled++
+		ids = append(ids, rule.ID)
+	}
+	c.pathsProvisioned++
+	return ids, nil
+}
+
+// RemoveFlow deletes every rule matching the flow key and returns the
+// number removed.
+func (c *Controller) RemoveFlow(flowKey string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for sw, rules := range c.tables {
+		kept := rules[:0]
+		for _, r := range rules {
+			if r.Match.FlowKey == flowKey {
+				removed++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		if len(kept) == 0 {
+			delete(c.tables, sw)
+		} else {
+			c.tables[sw] = kept
+		}
+	}
+	return removed
+}
+
+// RulesAt returns copies of the rules installed on the given switch,
+// sorted by rule ID.
+func (c *Controller) RulesAt(sw topology.NodeID) []FlowRule {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rules := c.tables[sw]
+	out := make([]FlowRule, 0, len(rules))
+	for _, r := range rules {
+		cp := *r
+		cp.Actions = append([]Action(nil), r.Actions...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RulesForFlow returns copies of every rule matching the flow key,
+// sorted by rule ID.
+func (c *Controller) RulesForFlow(flowKey string) []FlowRule {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []FlowRule
+	for _, rules := range c.tables {
+		for _, r := range rules {
+			if r.Match.FlowKey == flowKey {
+				cp := *r
+				cp.Actions = append([]Action(nil), r.Actions...)
+				out = append(out, cp)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RecordHits adds n to the hit counter of every rule matching the flow
+// key (a flow traversal touches each of its per-hop rules once) and
+// returns the number of rules credited.
+func (c *Controller) RecordHits(flowKey string, n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	credited := 0
+	for _, rules := range c.tables {
+		for _, r := range rules {
+			if r.Match.FlowKey == flowKey {
+				r.Hits += n
+				credited++
+			}
+		}
+	}
+	return credited
+}
+
+// FlowHits returns the total hits across the flow's rules.
+func (c *Controller) FlowHits(flowKey string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, rules := range c.tables {
+		for _, r := range rules {
+			if r.Match.FlowKey == flowKey {
+				total += r.Hits
+			}
+		}
+	}
+	return total
+}
+
+// RuleCount returns the number of installed rules.
+func (c *Controller) RuleCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, rules := range c.tables {
+		n += len(rules)
+	}
+	return n
+}
+
+// Stats returns (paths provisioned, rules installed) since creation.
+// Counters are cumulative; RemoveFlow does not decrement them.
+func (c *Controller) Stats() (paths, rules int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pathsProvisioned, c.rulesInstalled
+}
+
+// CountConversionsOnPath counts the domain boundary crossings along a
+// node path, in each direction. A full O/E/O conversion corresponds to
+// one OE followed by one EO while transiting the optical core.
+func (c *Controller) CountConversionsOnPath(path []topology.NodeID) (oe, eo int, err error) {
+	for i := 0; i+1 < len(path); i++ {
+		cur, next := c.topo.Node(path[i]), c.topo.Node(path[i+1])
+		if cur == nil || next == nil {
+			return 0, 0, fmt.Errorf("sdn: conversions: unknown node in path")
+		}
+		if cur.Domain() == next.Domain() {
+			continue
+		}
+		if cur.Domain() == topology.DomainOptical {
+			oe++
+		} else {
+			eo++
+		}
+	}
+	return oe, eo, nil
+}

@@ -1,0 +1,126 @@
+// Package sim is a minimal deterministic discrete-event simulation
+// engine. The flow-level simulator (internal/flow) uses it to replay
+// per-user traffic through deployed network function chains and to
+// measure O/E/O conversions, latency and energy over simulated time.
+//
+// Events scheduled for the same instant fire in scheduling order
+// (FIFO), which keeps runs bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Handler is an event callback. It runs with the engine clock set to
+// the event's time and may schedule further events.
+type Handler func(now time.Duration)
+
+type event struct {
+	at      time.Duration
+	seq     uint64
+	handler Handler
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. Not safe for
+// concurrent use; all scheduling happens from handlers or between runs.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// processed counts events executed since construction.
+	processed int
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed returns the number of events executed.
+func (e *Engine) Processed() int { return e.processed }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules h at absolute time at. Scheduling in the past is an
+// error.
+func (e *Engine) At(at time.Duration, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("sim: At: nil handler")
+	}
+	if at < e.now {
+		return fmt.Errorf("sim: At: time %v is before now %v", at, e.now)
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, handler: h})
+	return nil
+}
+
+// After schedules h at now+d.
+func (e *Engine) After(d time.Duration, h Handler) error {
+	if d < 0 {
+		return fmt.Errorf("sim: After: negative delay %v", d)
+	}
+	return e.At(e.now+d, h)
+}
+
+// Stop aborts the current Run after the in-flight handler returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+// It returns the number of events processed by this call.
+func (e *Engine) Run() int {
+	return e.run(-1)
+}
+
+// RunUntil executes events with time ≤ horizon, advancing the clock to
+// horizon if the queue drains earlier. It returns the number of events
+// processed by this call.
+func (e *Engine) RunUntil(horizon time.Duration) int {
+	n := e.run(horizon)
+	if !e.stopped && e.now < horizon {
+		e.now = horizon
+	}
+	return n
+}
+
+func (e *Engine) run(horizon time.Duration) int {
+	e.stopped = false
+	n := 0
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if horizon >= 0 && next.at > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.handler(e.now)
+		e.processed++
+		n++
+	}
+	return n
+}

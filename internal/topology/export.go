@@ -1,0 +1,103 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// jsonTopology is the serialized form of a Topology.
+type jsonTopology struct {
+	Nodes []jsonNode `json:"nodes"`
+	Links []jsonLink `json:"links"`
+}
+
+type jsonNode struct {
+	ID             NodeID    `json:"id"`
+	Kind           string    `json:"kind"`
+	Name           string    `json:"name"`
+	Rack           int       `json:"rack,omitempty"`
+	Host           NodeID    `json:"host,omitempty"`
+	Service        string    `json:"service,omitempty"`
+	Optoelectronic bool      `json:"optoelectronic,omitempty"`
+	Capacity       Resources `json:"capacity,omitempty"`
+}
+
+type jsonLink struct {
+	ID            LinkID  `json:"id"`
+	From          NodeID  `json:"from"`
+	To            NodeID  `json:"to"`
+	Kind          string  `json:"kind"`
+	BandwidthGbps float64 `json:"bandwidth_gbps"`
+	LatencyMicros float64 `json:"latency_us"`
+}
+
+// MarshalJSON serializes the topology with nodes and links sorted by ID.
+func (t *Topology) MarshalJSON() ([]byte, error) {
+	out := jsonTopology{}
+	for _, n := range t.Nodes() {
+		out.Nodes = append(out.Nodes, jsonNode{
+			ID: n.ID, Kind: n.Kind.String(), Name: n.Name, Rack: n.Rack,
+			Host: n.Host, Service: n.Service,
+			Optoelectronic: n.Optoelectronic, Capacity: n.Capacity,
+		})
+	}
+	for _, l := range t.Links() {
+		out.Links = append(out.Links, jsonLink{
+			ID: l.ID, From: l.From, To: l.To, Kind: l.Kind.String(),
+			BandwidthGbps: l.BandwidthGbps, LatencyMicros: l.LatencyMicros,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// DOT renders the topology in Graphviz dot format. OPSs are drawn as
+// doublecircles (optoelectronic routers filled), ToRs as boxes, PMs as
+// ellipses; VMs are omitted unless includeVMs is set to keep large
+// graphs readable.
+func (t *Topology) DOT(includeVMs bool) string {
+	var b strings.Builder
+	b.WriteString("graph alvc {\n  rankdir=BT;\n")
+	nodes := t.Nodes()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		switch n.Kind {
+		case KindOPS:
+			style := "shape=doublecircle"
+			if n.Optoelectronic {
+				style += ", style=filled, fillcolor=lightblue"
+			}
+			fmt.Fprintf(&b, "  n%d [label=%q, %s];\n", n.ID, n.Name, style)
+		case KindToR:
+			fmt.Fprintf(&b, "  n%d [label=%q, shape=box];\n", n.ID, n.Name)
+		case KindPhysicalMachine:
+			fmt.Fprintf(&b, "  n%d [label=%q, shape=ellipse];\n", n.ID, n.Name)
+		case KindVM:
+			if includeVMs {
+				fmt.Fprintf(&b, "  n%d [label=%q, shape=point];\n", n.ID, n.Name)
+			}
+		}
+	}
+	for _, l := range t.Links() {
+		nf, nt := t.Node(l.From), t.Node(l.To)
+		if !includeVMs && (nf.Kind == KindVM || nt.Kind == KindVM) {
+			continue
+		}
+		style := ""
+		switch l.Kind {
+		case LinkOptical:
+			style = " [color=blue, penwidth=2]"
+		case LinkBoundary:
+			style = " [color=purple, style=dashed]"
+		}
+		fmt.Fprintf(&b, "  n%d -- n%d%s;\n", l.From, l.To, style)
+	}
+	if includeVMs {
+		for _, n := range t.Nodes(KindVM) {
+			fmt.Fprintf(&b, "  n%d -- n%d [style=dotted];\n", n.ID, n.Host)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,237 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDefaultValid(t *testing.T) {
+	topo, err := Generate(DefaultGenConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	s := topo.ComputeStats()
+	cfg := DefaultGenConfig()
+	if s.ToRs != cfg.Racks {
+		t.Fatalf("ToRs = %d, want %d", s.ToRs, cfg.Racks)
+	}
+	if s.PMs != cfg.Racks*cfg.PMsPerRack {
+		t.Fatalf("PMs = %d, want %d", s.PMs, cfg.Racks*cfg.PMsPerRack)
+	}
+	if s.VMs != cfg.Racks*cfg.PMsPerRack*cfg.VMsPerPM {
+		t.Fatalf("VMs = %d, want %d", s.VMs, cfg.Racks*cfg.PMsPerRack*cfg.VMsPerPM)
+	}
+	if s.OPSs != cfg.OPSCount {
+		t.Fatalf("OPSs = %d, want %d", s.OPSs, cfg.OPSCount)
+	}
+	if s.Services != len(cfg.Services) {
+		t.Fatalf("Services = %d, want %d", s.Services, len(cfg.Services))
+	}
+	if s.AvgToRUplinks != float64(cfg.ToRUplinks) {
+		t.Fatalf("AvgToRUplinks = %f, want %d", s.AvgToRUplinks, cfg.ToRUplinks)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig()
+	t1, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	t2, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	j1, _ := t1.MarshalJSON()
+	j2, _ := t2.MarshalJSON()
+	if string(j1) != string(j2) {
+		t.Fatal("same seed produced different topologies")
+	}
+}
+
+func TestGenerateSeedChangesLayout(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.DualHomeFrac = 0.5
+	t1, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	cfg.Seed = 999
+	t2, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	j1, _ := t1.MarshalJSON()
+	j2, _ := t2.MarshalJSON()
+	if string(j1) == string(j2) {
+		t.Fatal("different seeds produced identical topologies (dual-homing should differ)")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	cases := []func(*GenConfig){
+		func(c *GenConfig) { c.Racks = 0 },
+		func(c *GenConfig) { c.PMsPerRack = 0 },
+		func(c *GenConfig) { c.VMsPerPM = -1 },
+		func(c *GenConfig) { c.OPSCount = 0 },
+		func(c *GenConfig) { c.ToRUplinks = 0 },
+		func(c *GenConfig) { c.ToRUplinks = c.OPSCount + 1 },
+		func(c *GenConfig) { c.DualHomeFrac = 1.5 },
+		func(c *GenConfig) { c.OptoFrac = -0.1 },
+		func(c *GenConfig) { c.Services = nil },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultGenConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestGenerateSingleOPS(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.OPSCount = 1
+	cfg.ToRUplinks = 1
+	topo, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate single-OPS: %v", err)
+	}
+}
+
+func TestGenerateZipfSkewConcentratesServices(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Racks = 16
+	cfg.ServiceSkew = 2.0
+	topo, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	byService := topo.VMsByService()
+	first := len(byService[cfg.Services[0]])
+	last := len(byService[cfg.Services[len(cfg.Services)-1]])
+	if first <= last {
+		t.Fatalf("skewed assignment: first service %d VMs, last %d — expected concentration", first, last)
+	}
+}
+
+func TestGenerateOptoFracRespected(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.OPSCount = 10
+	cfg.OptoFrac = 0.3
+	topo, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	s := topo.ComputeStats()
+	if s.OptoelectronicOPSs != 3 {
+		t.Fatalf("opto OPSs = %d, want 3", s.OptoelectronicOPSs)
+	}
+	// Optoelectronic routers must carry capacity; plain OPSs must not.
+	for _, n := range topo.Nodes(KindOPS) {
+		if n.Optoelectronic && n.Capacity.IsZero() {
+			t.Fatalf("optoelectronic OPS %d has zero capacity", n.ID)
+		}
+		if !n.Optoelectronic && !n.Capacity.IsZero() {
+			t.Fatalf("plain OPS %d has nonzero capacity", n.ID)
+		}
+	}
+}
+
+// Property: every valid generated topology passes validation, across a
+// sweep of shapes and seeds.
+func TestGeneratePropertyAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultGenConfig()
+		cfg.Seed = seed
+		cfg.Racks = 1 + int(abs64(seed)%12)
+		cfg.OPSCount = 1 + int(abs64(seed/7)%8)
+		if cfg.ToRUplinks > cfg.OPSCount {
+			cfg.ToRUplinks = cfg.OPSCount
+		}
+		topo, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		return topo.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateCoreShapes(t *testing.T) {
+	for _, shape := range []CoreShape{CoreRingChords, CoreFullMesh, CoreLeafSpine} {
+		shape := shape
+		t.Run(shape.String(), func(t *testing.T) {
+			cfg := DefaultGenConfig()
+			cfg.Core = shape
+			cfg.OPSCount = 8
+			topo, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if err := topo.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			s := topo.ComputeStats()
+			switch shape {
+			case CoreFullMesh:
+				want := 8 * 7 / 2
+				if s.OpticalLinks != want {
+					t.Fatalf("mesh optical links = %d, want %d", s.OpticalLinks, want)
+				}
+			case CoreLeafSpine:
+				// 2 spines, 6 leaves: 12 leaf-spine + 1 spine-ring link.
+				if s.OpticalLinks != 13 {
+					t.Fatalf("leaf-spine optical links = %d, want 13", s.OpticalLinks)
+				}
+			}
+		})
+	}
+}
+
+func TestCoreShapeString(t *testing.T) {
+	for s, want := range map[CoreShape]string{
+		CoreRingChords: "ring-chords", CoreFullMesh: "full-mesh", CoreLeafSpine: "leaf-spine",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s)
+		}
+	}
+	if CoreShape(99).String() == "" {
+		t.Error("unknown shape must render")
+	}
+}
+
+func TestGenerateSingleOPSAllShapes(t *testing.T) {
+	for _, shape := range []CoreShape{CoreRingChords, CoreFullMesh, CoreLeafSpine} {
+		cfg := DefaultGenConfig()
+		cfg.Core = shape
+		cfg.OPSCount = 1
+		cfg.ToRUplinks = 1
+		topo, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%v: Generate: %v", shape, err)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("%v: Validate: %v", shape, err)
+		}
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		if x == -x { // MinInt64
+			return 0
+		}
+		return -x
+	}
+	return x
+}

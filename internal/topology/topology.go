@@ -1,0 +1,487 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/alvc/alvc/internal/graph"
+)
+
+// Topology is a mutable data-center network. It is not safe for
+// concurrent mutation; the orchestration layers treat it as read-only
+// after construction.
+type Topology struct {
+	nodes    map[NodeID]*Node
+	links    map[LinkID]*Link
+	adj      map[NodeID][]LinkID
+	nextNode NodeID
+	nextLink LinkID
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{
+		nodes: make(map[NodeID]*Node),
+		links: make(map[LinkID]*Link),
+		adj:   make(map[NodeID][]LinkID),
+	}
+}
+
+func (t *Topology) addNode(n Node) NodeID {
+	t.nextNode++
+	n.ID = t.nextNode
+	if n.Name == "" {
+		n.Name = fmt.Sprintf("%s-%d", n.Kind, n.ID)
+	}
+	t.nodes[n.ID] = &n
+	return n.ID
+}
+
+// AddPM adds a physical machine in the given rack with the given
+// capacity.
+func (t *Topology) AddPM(rack int, capacity Resources) NodeID {
+	return t.addNode(Node{Kind: KindPhysicalMachine, Rack: rack, Capacity: capacity})
+}
+
+// AddVM adds a virtual machine hosted on pm offering the given service.
+// It returns an error if pm is not a physical machine.
+func (t *Topology) AddVM(pm NodeID, service string) (NodeID, error) {
+	host, ok := t.nodes[pm]
+	if !ok || host.Kind != KindPhysicalMachine {
+		return 0, fmt.Errorf("topology: AddVM: node %d is not a physical machine", pm)
+	}
+	id := t.addNode(Node{Kind: KindVM, Host: pm, Service: service, Rack: host.Rack})
+	return id, nil
+}
+
+// AddToR adds a Top-of-Rack switch for the given rack.
+func (t *Topology) AddToR(rack int) NodeID {
+	return t.addNode(Node{Kind: KindToR, Rack: rack})
+}
+
+// AddOPS adds an optical packet switch. If optoelectronic is true the
+// switch can host VNFs with the given (limited) capacity.
+func (t *Topology) AddOPS(optoelectronic bool, capacity Resources) NodeID {
+	if !optoelectronic {
+		capacity = Resources{}
+	}
+	return t.addNode(Node{Kind: KindOPS, Rack: -1, Optoelectronic: optoelectronic, Capacity: capacity})
+}
+
+// AddLink connects two existing nodes. The link kind must be consistent
+// with the endpoint kinds (electronic: both electronic-domain nodes;
+// boundary: exactly one OPS; optical: both OPSs).
+func (t *Topology) AddLink(from, to NodeID, kind LinkKind, bandwidthGbps, latencyMicros float64) (LinkID, error) {
+	nf, ok := t.nodes[from]
+	if !ok {
+		return 0, fmt.Errorf("topology: AddLink: unknown node %d", from)
+	}
+	nt, ok := t.nodes[to]
+	if !ok {
+		return 0, fmt.Errorf("topology: AddLink: unknown node %d", to)
+	}
+	if from == to {
+		return 0, fmt.Errorf("topology: AddLink: self link on %d", from)
+	}
+	opsEnds := 0
+	if nf.Kind == KindOPS {
+		opsEnds++
+	}
+	if nt.Kind == KindOPS {
+		opsEnds++
+	}
+	switch kind {
+	case LinkElectronic:
+		if opsEnds != 0 {
+			return 0, fmt.Errorf("topology: AddLink: electronic link %d-%d touches the optical domain", from, to)
+		}
+	case LinkBoundary:
+		if opsEnds != 1 {
+			return 0, fmt.Errorf("topology: AddLink: boundary link %d-%d must have exactly one OPS end", from, to)
+		}
+	case LinkOptical:
+		if opsEnds != 2 {
+			return 0, fmt.Errorf("topology: AddLink: optical link %d-%d must connect two OPSs", from, to)
+		}
+	default:
+		return 0, fmt.Errorf("topology: AddLink: unknown link kind %d", kind)
+	}
+	t.nextLink++
+	l := &Link{ID: t.nextLink, From: from, To: to, Kind: kind,
+		BandwidthGbps: bandwidthGbps, LatencyMicros: latencyMicros}
+	t.links[l.ID] = l
+	t.adj[from] = append(t.adj[from], l.ID)
+	t.adj[to] = append(t.adj[to], l.ID)
+	return l.ID, nil
+}
+
+// RemoveVM deletes a VM from the topology (churn: VM departure). Only
+// VMs can be removed; switches and PMs are fixed plant.
+func (t *Topology) RemoveVM(vm NodeID) error {
+	n := t.nodes[vm]
+	if n == nil || n.Kind != KindVM {
+		return fmt.Errorf("topology: RemoveVM: node %d is not a VM", vm)
+	}
+	delete(t.nodes, vm)
+	return nil
+}
+
+// MigrateVM moves a VM to another physical machine (churn: VM
+// migration). The VM keeps its ID and service label.
+func (t *Topology) MigrateVM(vm, toPM NodeID) error {
+	n := t.nodes[vm]
+	if n == nil || n.Kind != KindVM {
+		return fmt.Errorf("topology: MigrateVM: node %d is not a VM", vm)
+	}
+	host := t.nodes[toPM]
+	if host == nil || host.Kind != KindPhysicalMachine {
+		return fmt.Errorf("topology: MigrateVM: node %d is not a physical machine", toPM)
+	}
+	n.Host = toPM
+	n.Rack = host.Rack
+	return nil
+}
+
+// Node returns the node with the given ID, or nil.
+func (t *Topology) Node(id NodeID) *Node { return t.nodes[id] }
+
+// Link returns the link with the given ID, or nil.
+func (t *Topology) Link(id LinkID) *Link { return t.links[id] }
+
+// NodeCount returns the total number of nodes.
+func (t *Topology) NodeCount() int { return len(t.nodes) }
+
+// LinkCount returns the total number of links.
+func (t *Topology) LinkCount() int { return len(t.links) }
+
+// Nodes returns all nodes of the given kinds (all nodes if none given),
+// sorted by ID.
+func (t *Topology) Nodes(kinds ...NodeKind) []*Node {
+	want := make(map[NodeKind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []*Node
+	for _, n := range t.nodes {
+		if len(want) == 0 || want[n.Kind] {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NodeIDs returns the IDs of all nodes of the given kinds, sorted.
+func (t *Topology) NodeIDs(kinds ...NodeKind) []NodeID {
+	ns := t.Nodes(kinds...)
+	ids := make([]NodeID, len(ns))
+	for i, n := range ns {
+		ids[i] = n.ID
+	}
+	return ids
+}
+
+// Links returns all links sorted by ID.
+func (t *Topology) Links() []*Link {
+	out := make([]*Link, 0, len(t.links))
+	for _, l := range t.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// LinksOf returns the links incident to id sorted by link ID.
+func (t *Topology) LinksOf(id NodeID) []*Link {
+	ids := append([]LinkID(nil), t.adj[id]...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*Link, 0, len(ids))
+	for _, lid := range ids {
+		out = append(out, t.links[lid])
+	}
+	return out
+}
+
+// Neighbors returns the IDs of nodes adjacent to id, deduplicated and
+// sorted.
+func (t *Topology) Neighbors(id NodeID) []NodeID {
+	seen := make(map[NodeID]bool)
+	var out []NodeID
+	for _, l := range t.LinksOf(id) {
+		other := l.From
+		if other == id {
+			other = l.To
+		}
+		if !seen[other] {
+			seen[other] = true
+			out = append(out, other)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// neighborsOfKind returns sorted adjacent live nodes of the given kind,
+// reachable over live links.
+func (t *Topology) neighborsOfKind(id NodeID, kind NodeKind) []NodeID {
+	seen := make(map[NodeID]bool)
+	var out []NodeID
+	for _, l := range t.LinksOf(id) {
+		if l.Down {
+			continue
+		}
+		other := l.From
+		if other == id {
+			other = l.To
+		}
+		n := t.nodes[other]
+		if n == nil || n.Kind != kind || n.Down || seen[other] {
+			continue
+		}
+		seen[other] = true
+		out = append(out, other)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetNodeDown marks a switch or machine as failed (or repaired).
+// Down nodes disappear from connectivity queries and routing graphs.
+func (t *Topology) SetNodeDown(id NodeID, down bool) error {
+	n := t.nodes[id]
+	if n == nil {
+		return fmt.Errorf("topology: SetNodeDown: unknown node %d", id)
+	}
+	n.Down = down
+	return nil
+}
+
+// SetLinkDown marks a link as failed (or repaired).
+func (t *Topology) SetLinkDown(id LinkID, down bool) error {
+	l := t.links[id]
+	if l == nil {
+		return fmt.Errorf("topology: SetLinkDown: unknown link %d", id)
+	}
+	l.Down = down
+	return nil
+}
+
+// LinkBetween returns a live link connecting a and b, or nil.
+func (t *Topology) LinkBetween(a, b NodeID) *Link {
+	for _, l := range t.LinksOf(a) {
+		if l.Down {
+			continue
+		}
+		if l.From == b || l.To == b {
+			return l
+		}
+	}
+	return nil
+}
+
+// ToRsOfPM returns the ToR switches the physical machine is wired to.
+// Racks may be multi-homed, so there can be more than one (Fig. 4 shows
+// machines reachable through several ToRs).
+func (t *Topology) ToRsOfPM(pm NodeID) []NodeID {
+	return t.neighborsOfKind(pm, KindToR)
+}
+
+// ToRsOfVM returns the ToRs of the VM's hosting PM.
+func (t *Topology) ToRsOfVM(vm NodeID) []NodeID {
+	n := t.nodes[vm]
+	if n == nil || n.Kind != KindVM {
+		return nil
+	}
+	return t.ToRsOfPM(n.Host)
+}
+
+// OPSsOfToR returns the OPSs the ToR uplinks to.
+func (t *Topology) OPSsOfToR(tor NodeID) []NodeID {
+	return t.neighborsOfKind(tor, KindOPS)
+}
+
+// VMsOnPM returns the VMs hosted on pm, sorted by ID.
+func (t *Topology) VMsOnPM(pm NodeID) []NodeID {
+	var out []NodeID
+	for _, n := range t.Nodes(KindVM) {
+		if n.Host == pm {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// VMsByService groups all VM IDs by their service label. This is the
+// paper's service-based clustering input (§III-A).
+func (t *Topology) VMsByService() map[string][]NodeID {
+	out := make(map[string][]NodeID)
+	for _, n := range t.Nodes(KindVM) {
+		out[n.Service] = append(out[n.Service], n.ID)
+	}
+	return out
+}
+
+// VMToRBipartite projects the VM↔ToR connectivity of the given VMs onto
+// a bipartite graph (lefts = VMs, rights = ToRs) — the input to the
+// first phase of AL construction (§III-C).
+func (t *Topology) VMToRBipartite(vms []NodeID) (*graph.Bipartite, error) {
+	b := graph.NewBipartite()
+	for _, vm := range vms {
+		n := t.nodes[vm]
+		if n == nil || n.Kind != KindVM {
+			return nil, fmt.Errorf("topology: VMToRBipartite: node %d is not a VM", vm)
+		}
+		b.AddLeft(graph.VertexID(vm))
+		for _, tor := range t.ToRsOfVM(vm) {
+			b.AddEdge(graph.VertexID(vm), graph.VertexID(tor))
+		}
+	}
+	return b, nil
+}
+
+// ToROPSBipartite projects the ToR↔OPS connectivity of the given ToRs
+// onto a bipartite graph (lefts = ToRs, rights = OPSs) — the input to
+// the second phase of AL construction. If allow is non-nil only OPSs in
+// allow appear, honoring the one-OPS-one-AL constraint.
+func (t *Topology) ToROPSBipartite(tors []NodeID, allow map[NodeID]bool) (*graph.Bipartite, error) {
+	b := graph.NewBipartite()
+	for _, tor := range tors {
+		n := t.nodes[tor]
+		if n == nil || n.Kind != KindToR {
+			return nil, fmt.Errorf("topology: ToROPSBipartite: node %d is not a ToR", tor)
+		}
+		b.AddLeft(graph.VertexID(tor))
+		for _, ops := range t.OPSsOfToR(tor) {
+			if allow != nil && !allow[ops] {
+				continue
+			}
+			b.AddEdge(graph.VertexID(tor), graph.VertexID(ops))
+		}
+	}
+	return b, nil
+}
+
+// GraphOptions selects which parts of the topology are projected into a
+// routing graph.
+type GraphOptions struct {
+	// IncludeVMs adds VM nodes linked to their host PM (zero-latency
+	// virtual edges). Off by default: routing usually starts at ToRs.
+	IncludeVMs bool
+	// RestrictOPS, when non-nil, keeps only these OPSs — used to route
+	// inside a slice (AL).
+	RestrictOPS map[NodeID]bool
+	// Weight selects the edge weight: latency (default) or hop count.
+	UseHops bool
+}
+
+// RoutingGraph projects the topology onto a weighted graph for path
+// computation. Edge weight is link latency in microseconds, or 1 per
+// hop when UseHops is set. Down nodes and links are excluded.
+func (t *Topology) RoutingGraph(opts GraphOptions) *graph.Graph {
+	g := graph.New(false)
+	include := func(n *Node) bool {
+		if n.Down {
+			return false
+		}
+		switch n.Kind {
+		case KindVM:
+			return opts.IncludeVMs
+		case KindOPS:
+			return opts.RestrictOPS == nil || opts.RestrictOPS[n.ID]
+		default:
+			return true
+		}
+	}
+	for _, n := range t.Nodes() {
+		if include(n) && n.Kind != KindVM {
+			g.AddVertex(graph.VertexID(n.ID))
+		}
+	}
+	for _, l := range t.Links() {
+		if l.Down {
+			continue
+		}
+		nf, nt := t.nodes[l.From], t.nodes[l.To]
+		if !include(nf) || !include(nt) {
+			continue
+		}
+		if nf.Kind == KindVM || nt.Kind == KindVM {
+			continue
+		}
+		w := l.LatencyMicros
+		if opts.UseHops {
+			w = 1
+		}
+		_ = g.AddEdge(graph.VertexID(l.From), graph.VertexID(l.To), w)
+	}
+	if opts.IncludeVMs {
+		for _, n := range t.Nodes(KindVM) {
+			if n.Down || t.nodes[n.Host] == nil || t.nodes[n.Host].Down {
+				continue
+			}
+			g.AddVertex(graph.VertexID(n.ID))
+			w := 0.1
+			if opts.UseHops {
+				w = 1
+			}
+			_ = g.AddEdge(graph.VertexID(n.ID), graph.VertexID(n.Host), w)
+		}
+	}
+	return g
+}
+
+// Stats summarizes a topology.
+type Stats struct {
+	PMs, VMs, ToRs, OPSs int
+	OptoelectronicOPSs   int
+	ElectronicLinks      int
+	BoundaryLinks        int
+	OpticalLinks         int
+	Services             int
+	AvgToRUplinks        float64
+	AvgVMsPerPM          float64
+}
+
+// ComputeStats returns summary statistics.
+func (t *Topology) ComputeStats() Stats {
+	var s Stats
+	services := make(map[string]bool)
+	for _, n := range t.nodes {
+		switch n.Kind {
+		case KindPhysicalMachine:
+			s.PMs++
+		case KindVM:
+			s.VMs++
+			services[n.Service] = true
+		case KindToR:
+			s.ToRs++
+		case KindOPS:
+			s.OPSs++
+			if n.Optoelectronic {
+				s.OptoelectronicOPSs++
+			}
+		}
+	}
+	for _, l := range t.links {
+		switch l.Kind {
+		case LinkElectronic:
+			s.ElectronicLinks++
+		case LinkBoundary:
+			s.BoundaryLinks++
+		case LinkOptical:
+			s.OpticalLinks++
+		}
+	}
+	s.Services = len(services)
+	if s.ToRs > 0 {
+		total := 0
+		for _, tor := range t.NodeIDs(KindToR) {
+			total += len(t.OPSsOfToR(tor))
+		}
+		s.AvgToRUplinks = float64(total) / float64(s.ToRs)
+	}
+	if s.PMs > 0 {
+		s.AvgVMsPerPM = float64(s.VMs) / float64(s.PMs)
+	}
+	return s
+}
