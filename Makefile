@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race bench fmt fmt-check vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a smoke that perf-critical paths still
+# run, not a measurement. Use `go test -bench=. -benchtime=...` by hand
+# for real numbers.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Exactly what .github/workflows/ci.yml runs.
+ci: build fmt-check vet race bench

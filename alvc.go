@@ -84,6 +84,8 @@ type (
 	ChainRequest = workload.ChainRequest
 	// FlowResult aggregates measured flow costs.
 	FlowResult = flow.Result
+	// BatchResult is the per-spec outcome of a DeployBatch call.
+	BatchResult = orch.BatchResult
 )
 
 // Re-exported AL builders (paper §III-C and its baselines).
@@ -123,11 +125,12 @@ func NFCatalog() []string { return nfv.ProfileNames() }
 type Option func(*settings)
 
 type settings struct {
-	builder     cluster.Builder
-	policy      placement.Policy
-	mode        placement.Mode
-	costModel   *optical.CostModel
-	wavelengths int
+	builder      cluster.Builder
+	policy       placement.Policy
+	mode         placement.Mode
+	costModel    *optical.CostModel
+	wavelengths  int
+	batchWorkers int
 }
 
 // WithBuilder selects the AL construction algorithm (default: the
@@ -162,13 +165,21 @@ func WithWavelengths(n int) Option {
 	return func(s *settings) { s.wavelengths = n }
 }
 
+// WithBatchWorkers sets the worker-pool size DeployBatch uses by
+// default (0 means one worker per CPU). Servers tune this to bound how
+// much parallel provisioning a single batch request may claim.
+func WithBatchWorkers(n int) Option {
+	return func(s *settings) { s.batchWorkers = n }
+}
+
 // Architecture is a running AL-VC instance: a topology plus the full
 // management stack of Fig. 6 (orchestrator over SDN controller and
 // Cloud/NFV manager).
 type Architecture struct {
-	topo  *topology.Topology
-	alloc *cluster.Allocator
-	orch  *orch.Orchestrator
+	topo         *topology.Topology
+	alloc        *cluster.Allocator
+	orch         *orch.Orchestrator
+	batchWorkers int
 }
 
 // New generates a topology from the configuration and stands up the
@@ -213,7 +224,7 @@ func FromTopology(topo *topology.Topology, opts ...Option) (*Architecture, error
 	if err != nil {
 		return nil, fmt.Errorf("alvc: %w", err)
 	}
-	return &Architecture{topo: topo, alloc: alloc, orch: o}, nil
+	return &Architecture{topo: topo, alloc: alloc, orch: o, batchWorkers: s.batchWorkers}, nil
 }
 
 // Topology returns the underlying network.
@@ -249,6 +260,23 @@ func (a *Architecture) Clusters() []*VC { return a.alloc.VCs() }
 func (a *Architecture) Deploy(spec Spec) (*Deployment, error) {
 	return a.orch.Provision(spec)
 }
+
+// DeployBatch provisions independent chain specs concurrently over a
+// bounded worker pool (the WithBatchWorkers size, or one worker per
+// CPU) and returns one result per spec, in input order. Individual
+// failures are rolled back and reported per item; they do not abort
+// the batch.
+func (a *Architecture) DeployBatch(specs []Spec) []BatchResult {
+	return a.orch.ProvisionBatch(specs, a.batchWorkers)
+}
+
+// BatchWorkers returns the configured batch worker-pool size (0 means
+// one worker per CPU).
+func (a *Architecture) BatchWorkers() int { return a.batchWorkers }
+
+// TopologyJSON serializes the topology consistently with respect to
+// concurrent failure injection and repair.
+func (a *Architecture) TopologyJSON() ([]byte, error) { return a.orch.TopologyJSON() }
 
 // DeployRequest deploys a workload-generated chain request.
 func (a *Architecture) DeployRequest(req ChainRequest) (*Deployment, error) {
@@ -286,7 +314,7 @@ func (a *Architecture) FailNode(id NodeID) ([]DeploymentID, error) {
 // RecoverNode marks a failed node as live again. Existing deployments
 // are not rebalanced; new deployments may use it immediately.
 func (a *Architecture) RecoverNode(id NodeID) error {
-	return a.topo.SetNodeDown(id, false)
+	return a.orch.RecoverNode(id)
 }
 
 // Repair rebuilds one deployment around the current topology state.

@@ -1,0 +1,277 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/alvc/alvc/internal/chain"
+)
+
+// loadConfig parameterizes the HTTP load generator.
+type loadConfig struct {
+	URL         string // server base URL, e.g. http://localhost:8080
+	Requests    int    // total provisions to fire
+	Concurrency int    // in-flight request cap
+	BatchSize   int    // >0: use POST /v1/chains:batch in groups of this size
+	Service     string
+	NFs         []string
+	Cleanup     bool // delete each provisioned chain to recycle the OPS pool
+}
+
+// loadReport is the machine-readable result of one load run.
+type loadReport struct {
+	Name          string         `json:"name"`
+	URL           string         `json:"url"`
+	Requests      int            `json:"requests"`
+	Concurrency   int            `json:"concurrency"`
+	BatchSize     int            `json:"batch_size,omitempty"`
+	Succeeded     int            `json:"succeeded"`
+	Failed        int            `json:"failed"`
+	WallSeconds   float64        `json:"wall_seconds"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	LatencyMs     latencyStats   `json:"latency_ms"`
+	Errors        map[string]int `json:"errors,omitempty"`
+}
+
+type latencyStats struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func computeLatency(samples []time.Duration) latencyStats {
+	if len(samples) == 0 {
+		return latencyStats{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return latencyStats{
+		Mean: ms(sum / time.Duration(len(sorted))),
+		P50:  ms(percentile(sorted, 0.50)),
+		P90:  ms(percentile(sorted, 0.90)),
+		P99:  ms(percentile(sorted, 0.99)),
+		Max:  ms(sorted[len(sorted)-1]),
+	}
+}
+
+func loadSpec(cfg loadConfig, i int) chain.Spec {
+	refs := make([]chain.NFRef, len(cfg.NFs))
+	for j, n := range cfg.NFs {
+		refs[j] = chain.NFRef{Name: n}
+	}
+	return chain.Spec{
+		Name:          fmt.Sprintf("bench-%d", i),
+		Tenant:        fmt.Sprintf("bench-t%d", i%10),
+		Service:       cfg.Service,
+		NFs:           refs,
+		BandwidthGbps: 1,
+		FlowBytes:     1 << 20,
+	}
+}
+
+// runLoad fires cfg.Requests provisions at the server and reports
+// throughput and latency percentiles. With Cleanup set, each
+// successfully provisioned chain is deleted after its latency sample
+// is taken, so the OPS pool recycles and the run measures a sustained
+// provision/delete workload rather than pool exhaustion.
+func runLoad(cfg loadConfig) (*loadReport, error) {
+	if cfg.Requests <= 0 || cfg.Concurrency <= 0 {
+		return nil, fmt.Errorf("load: requests and concurrency must be positive")
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	base := strings.TrimRight(cfg.URL, "/")
+
+	// Fail fast when the server is unreachable.
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("load: server unreachable: %w", err)
+	}
+	resp.Body.Close()
+
+	var (
+		mu       sync.Mutex
+		latency  []time.Duration
+		errCount = make(map[string]int)
+		ok       int
+	)
+	record := func(d time.Duration, errClass string) {
+		mu.Lock()
+		defer mu.Unlock()
+		if errClass == "" {
+			ok++
+			latency = append(latency, d)
+		} else {
+			errCount[errClass]++
+		}
+	}
+
+	deleteChain := func(id int) {
+		req, _ := http.NewRequest("DELETE", fmt.Sprintf("%s/v1/chains/%d", base, id), nil)
+		if resp, err := client.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+
+	provisionOne := func(i int) {
+		body, _ := json.Marshal(loadSpec(cfg, i))
+		start := time.Now()
+		resp, err := client.Post(base+"/v1/chains", "application/json", bytes.NewReader(body))
+		elapsed := time.Since(start)
+		if err != nil {
+			record(elapsed, "transport")
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			record(elapsed, fmt.Sprintf("http %d", resp.StatusCode))
+			return
+		}
+		var dep struct {
+			ID int `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&dep); err != nil {
+			record(elapsed, "decode")
+			return
+		}
+		record(elapsed, "")
+		if cfg.Cleanup {
+			deleteChain(dep.ID)
+		}
+	}
+
+	provisionBatch := func(lo, hi int) {
+		specs := make([]chain.Spec, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			specs = append(specs, loadSpec(cfg, i))
+		}
+		body, _ := json.Marshal(map[string]any{"specs": specs})
+		start := time.Now()
+		resp, err := client.Post(base+"/v1/chains:batch", "application/json", bytes.NewReader(body))
+		elapsed := time.Since(start)
+		if err != nil {
+			record(elapsed, "transport")
+			return
+		}
+		defer resp.Body.Close()
+		var br struct {
+			Results []struct {
+				Deployment *struct {
+					ID int `json:"id"`
+				} `json:"deployment"`
+				Error string `json:"error"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			record(elapsed, "decode")
+			return
+		}
+		// Attribute the batch latency to each member request.
+		per := elapsed / time.Duration(max(1, len(br.Results)))
+		for _, res := range br.Results {
+			if res.Deployment != nil {
+				record(per, "")
+				if cfg.Cleanup {
+					deleteChain(res.Deployment.ID)
+				}
+			} else {
+				record(per, "batch item")
+			}
+		}
+	}
+
+	jobs := make(chan [2]int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if cfg.BatchSize > 0 {
+					provisionBatch(j[0], j[1])
+				} else {
+					provisionOne(j[0])
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	if cfg.BatchSize > 0 {
+		for lo := 0; lo < cfg.Requests; lo += cfg.BatchSize {
+			jobs <- [2]int{lo, min(lo+cfg.BatchSize, cfg.Requests)}
+		}
+	} else {
+		for i := 0; i < cfg.Requests; i++ {
+			jobs <- [2]int{i, i + 1}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+
+	failed := 0
+	for _, n := range errCount {
+		failed += n
+	}
+	report := &loadReport{
+		Name:          "load",
+		URL:           cfg.URL,
+		Requests:      cfg.Requests,
+		Concurrency:   cfg.Concurrency,
+		BatchSize:     cfg.BatchSize,
+		Succeeded:     ok,
+		Failed:        failed,
+		WallSeconds:   wall.Seconds(),
+		ThroughputRPS: float64(ok) / wall.Seconds(),
+		LatencyMs:     computeLatency(latency),
+		Errors:        errCount,
+	}
+	return report, nil
+}
+
+func printLoadReport(r *loadReport) {
+	fmt.Printf("load: %d requests (concurrency %d", r.Requests, r.Concurrency)
+	if r.BatchSize > 0 {
+		fmt.Printf(", batches of %d", r.BatchSize)
+	}
+	fmt.Printf(") against %s\n", r.URL)
+	fmt.Printf("  succeeded: %d  failed: %d  wall: %.3fs  throughput: %.1f req/s\n",
+		r.Succeeded, r.Failed, r.WallSeconds, r.ThroughputRPS)
+	fmt.Printf("  latency ms: mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+		r.LatencyMs.Mean, r.LatencyMs.P50, r.LatencyMs.P90, r.LatencyMs.P99, r.LatencyMs.Max)
+	if len(r.Errors) > 0 {
+		for class, n := range r.Errors {
+			fmt.Printf("  error %q: %d\n", class, n)
+		}
+	}
+}
+
+// writeJSONFile writes v as indented JSON to path.
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

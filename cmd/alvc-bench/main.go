@@ -3,17 +3,26 @@
 // regenerated and printed as an aligned table, with the shape findings
 // and any violations listed below each experiment.
 //
+// It doubles as the control-plane load generator: pointed at a running
+// alvc-server it fires concurrent HTTP provisions and reports
+// throughput and latency percentiles.
+//
 // Usage:
 //
-//	alvc-bench            # run everything
-//	alvc-bench -exp E8    # run one experiment
-//	alvc-bench -markdown  # emit EXPERIMENTS.md-ready markdown
+//	alvc-bench                      # run every experiment
+//	alvc-bench -exp E8              # run one experiment
+//	alvc-bench -markdown            # emit EXPERIMENTS.md-ready markdown
+//	alvc-bench -json                # also write BENCH_<id>.json per experiment
+//	alvc-bench -load http://localhost:8080 -n 200 -c 16
+//	alvc-bench -load http://localhost:8080 -n 200 -c 4 -load-batch 25 -json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"github.com/alvc/alvc/internal/experiments"
 )
@@ -22,10 +31,65 @@ func main() {
 	os.Exit(run())
 }
 
+// jsonResult is the machine-readable form of one experiment result,
+// the BENCH_<id>.json format the roadmap's bench trajectory consumes.
+type jsonResult struct {
+	ID         string      `json:"id"`
+	Title      string      `json:"title"`
+	Figure     string      `json:"figure"`
+	Tables     []jsonTable `json:"tables"`
+	Findings   []string    `json:"findings"`
+	Violations []string    `json:"violations"`
+}
+
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
 func run() int {
 	exp := flag.String("exp", "", "run a single experiment (E1..E12); default all")
 	markdown := flag.Bool("markdown", false, "emit markdown tables instead of aligned text")
+	emitJSON := flag.Bool("json", false, "write BENCH_<name>.json machine-readable results")
+	outDir := flag.String("out", ".", "directory for -json output files")
+	loadURL := flag.String("load", "", "load-generator mode: base URL of a running alvc-server")
+	loadN := flag.Int("n", 100, "load mode: total provisions to fire")
+	loadC := flag.Int("c", 8, "load mode: concurrent in-flight requests")
+	loadBatch := flag.Int("load-batch", 0, "load mode: use /v1/chains:batch in groups of this size (0 = singleton POSTs)")
+	loadService := flag.String("service", "web", "load mode: service of the generated chains")
+	loadNFs := flag.String("nfs", "firewall,nat", "load mode: comma-separated NF chain")
+	noCleanup := flag.Bool("no-cleanup", false, "load mode: keep provisioned chains instead of deleting them")
 	flag.Parse()
+
+	if *loadURL != "" {
+		report, err := runLoad(loadConfig{
+			URL:         *loadURL,
+			Requests:    *loadN,
+			Concurrency: *loadC,
+			BatchSize:   *loadBatch,
+			Service:     *loadService,
+			NFs:         strings.Split(*loadNFs, ","),
+			Cleanup:     !*noCleanup,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %v\n", err)
+			return 1
+		}
+		printLoadReport(report)
+		if *emitJSON {
+			path := filepath.Join(*outDir, "BENCH_load.json")
+			if err := writeJSONFile(path, report); err != nil {
+				fmt.Fprintf(os.Stderr, "alvc-bench: write %s: %v\n", path, err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if report.Succeeded == 0 {
+			return 2
+		}
+		return 0
+	}
 
 	var results []*experiments.Result
 	if *exp != "" {
@@ -76,6 +140,22 @@ func run() int {
 				fmt.Printf("  [VIOLATION] %s\n", v)
 			}
 			fmt.Println()
+		}
+		if *emitJSON {
+			out := jsonResult{
+				ID: res.ID, Title: res.Title, Figure: res.Figure,
+				Findings: res.Findings, Violations: res.Violations,
+			}
+			for _, tbl := range res.Tables {
+				out.Tables = append(out.Tables, jsonTable{
+					Title: tbl.Title, Headers: tbl.Headers, Rows: tbl.Rows(),
+				})
+			}
+			path := filepath.Join(*outDir, fmt.Sprintf("BENCH_%s.json", res.ID))
+			if err := writeJSONFile(path, out); err != nil {
+				fmt.Fprintf(os.Stderr, "alvc-bench: write %s: %v\n", path, err)
+				return 1
+			}
 		}
 		violations += len(res.Violations)
 	}

@@ -1,0 +1,121 @@
+// Command alvc-server runs the AL-VC control plane as an HTTP daemon:
+// the network-service form of the paper's Fig. 6 orchestrator. It
+// stands up a generated data-center topology and serves the REST API
+// of internal/server on -addr.
+//
+// Usage:
+//
+//	alvc-server                       # listen on :8080 over the default DCN
+//	alvc-server -addr :9000 -racks 16 -ops 48 -uplinks 24
+//	alvc-server -wavelengths 8        # enable per-flow WDM assignment
+//
+// Quick exercise against a running server:
+//
+//	curl -s localhost:8080/v1/metrics
+//	curl -s -X POST localhost:8080/v1/chains -d '{"name":"c1","tenant":"t1",
+//	  "service":"web","nfs":[{"name":"firewall"},{"name":"lb"}],
+//	  "bandwidth_gbps":2,"flow_bytes":1048576}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/alvc/alvc"
+	"github.com/alvc/alvc/internal/server"
+	"github.com/alvc/alvc/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	racks := flag.Int("racks", 8, "number of racks")
+	ops := flag.Int("ops", 24, "optical switches in the core")
+	uplinks := flag.Int("uplinks", 16, "OPS uplinks per ToR")
+	chords := flag.Int("chords", 2, "extra chord links per OPS")
+	seed := flag.Int64("seed", 1, "topology generator seed")
+	wavelengths := flag.Int("wavelengths", 0, "WDM wavelengths per optical link (0 disables)")
+	workers := flag.Int("batch-workers", 0, "max workers per batch provision (0 = one per CPU)")
+	perRun := flag.Bool("per-run-accounting", false, "use colocation-aware per-run O/E/O accounting")
+	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "alvc-server: ", log.LstdFlags|log.Lmicroseconds)
+
+	cfg := alvc.DefaultTopology()
+	cfg.Racks = *racks
+	cfg.OPSCount = *ops
+	cfg.ToRUplinks = *uplinks
+	cfg.OPSChords = *chords
+	cfg.Seed = *seed
+	cfg.Services = workload.ServiceNames(workload.DefaultCatalog())
+
+	var opts []alvc.Option
+	if *wavelengths > 0 {
+		opts = append(opts, alvc.WithWavelengths(*wavelengths))
+	}
+	if *workers > 0 {
+		opts = append(opts, alvc.WithBatchWorkers(*workers))
+	}
+	if *perRun {
+		opts = append(opts, alvc.WithPerRunAccounting())
+	}
+	arch, err := alvc.New(cfg, opts...)
+	if err != nil {
+		logger.Printf("topology: %v", err)
+		return 1
+	}
+
+	var srvOpts []server.Option
+	if !*quiet {
+		srvOpts = append(srvOpts, server.WithLogger(logger))
+	}
+	ctrl, err := server.New(arch, srvOpts...)
+	if err != nil {
+		logger.Printf("server: %v", err)
+		return 1
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           ctrl.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	sum := arch.Summarize()
+	fmt.Printf("alvc-server listening on %s (%d PMs, %d VMs, %d OPSs, %d services)\n",
+		*addr, sum.PMs, sum.VMs, sum.OPSs, sum.Services)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+			return 1
+		}
+		return 0
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return 0
+		}
+		logger.Printf("serve: %v", err)
+		return 1
+	}
+}

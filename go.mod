@@ -1,0 +1,3 @@
+module github.com/alvc/alvc
+
+go 1.22

@@ -1,12 +1,18 @@
 package nfv
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"github.com/alvc/alvc/internal/topology"
 )
+
+// ErrInsufficientCapacity is wrapped when a hosting node cannot fit a
+// requested allocation. Callers (the HTTP control plane in particular)
+// use it to distinguish capacity exhaustion from malformed requests.
+var ErrInsufficientCapacity = errors.New("nfv: insufficient capacity")
 
 // Ledger tracks resource allocation on hosting-capable nodes: physical
 // machines (electronic domain) and optoelectronic routers (optical
@@ -64,8 +70,8 @@ func (l *Ledger) Alloc(id topology.NodeID, demand topology.Resources) error {
 		return fmt.Errorf("nfv: alloc: node %d cannot host VNFs", id)
 	}
 	if !cap.Sub(l.used[id]).Fits(demand) {
-		return fmt.Errorf("nfv: alloc: node %d lacks capacity for %s (free %s)",
-			id, demand, cap.Sub(l.used[id]))
+		return fmt.Errorf("%w: node %d lacks room for %s (free %s)",
+			ErrInsufficientCapacity, id, demand, cap.Sub(l.used[id]))
 	}
 	l.used[id] = l.used[id].Add(demand)
 	return nil

@@ -1,0 +1,264 @@
+package orch
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/alvc/alvc/internal/chain"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// wideTopology generates a data center able to host many concurrent
+// chains: every ToR sees every OPS so each AL collapses to one OPS
+// (the pool then supports up to opsCount disjoint chains), and PM
+// capacity is raised so VNF hosting never bottlenecks.
+func wideTopology(t testing.TB, opsCount int) *topology.Topology {
+	t.Helper()
+	cfg := topology.DefaultGenConfig()
+	cfg.Racks = 4
+	cfg.PMsPerRack = 2
+	cfg.VMsPerPM = 2
+	cfg.OPSCount = opsCount
+	cfg.ToRUplinks = opsCount
+	cfg.OPSChords = 0
+	cfg.Services = []string{"web"}
+	cfg.PMCapacity = topology.Resources{CPUCores: 1 << 20, MemoryGB: 1 << 20, StorageGB: 1 << 20}
+	topo, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return topo
+}
+
+func batchSpecs(t testing.TB, n int) []chain.Spec {
+	t.Helper()
+	specs := make([]chain.Spec, n)
+	for i := range specs {
+		spec, err := chain.Linear(fmt.Sprintf("chain-%d", i), fmt.Sprintf("tenant-%d", i%10),
+			"web", 1.0, 1<<20, "firewall", "nat")
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		specs[i] = spec
+	}
+	return specs
+}
+
+func newWideOrch(t testing.TB, opsCount int) *Orchestrator {
+	t.Helper()
+	o, err := New(Config{Topo: wideTopology(t, opsCount)})
+	if err != nil {
+		t.Fatalf("orch.New: %v", err)
+	}
+	return o
+}
+
+// TestProvisionBatch100 is the acceptance scenario: 100 independent
+// specs through the bounded pool, all provisioned, invariants intact.
+// Run under -race this also proves the provisioning pipeline's
+// concurrency safety.
+func TestProvisionBatch100(t *testing.T) {
+	o := newWideOrch(t, 128)
+	specs := batchSpecs(t, 100)
+	results := o.ProvisionBatch(specs, 0)
+	if len(results) != 100 {
+		t.Fatalf("got %d results, want 100", len(results))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("spec %d failed: %v", i, res.Err)
+		}
+		if res.Index != i || res.Deployment == nil {
+			t.Fatalf("result %d malformed: %+v", i, res)
+		}
+		if res.Deployment.Spec.Name != specs[i].Name {
+			t.Fatalf("result %d is deployment %q, want %q", i, res.Deployment.Spec.Name, specs[i].Name)
+		}
+	}
+	if n := o.ActiveCount(); n != 100 {
+		t.Fatalf("active count %d, want 100", n)
+	}
+	if !o.Allocator().Disjoint() {
+		t.Fatal("ALs not disjoint after batch")
+	}
+	// Every deployment got its own flow rules.
+	for _, res := range results {
+		if len(o.Controller().RulesForFlow(res.Deployment.FlowKey())) == 0 {
+			t.Fatalf("no flow rules for %s", res.Deployment.FlowKey())
+		}
+	}
+}
+
+func TestProvisionBatchPartialFailure(t *testing.T) {
+	// Pool of 8 OPSs: some of 20 specs must fail with capacity errors,
+	// and the failures must not corrupt the successes.
+	o := newWideOrch(t, 8)
+	results := o.ProvisionBatch(batchSpecs(t, 20), 4)
+	ok, failed := 0, 0
+	for _, res := range results {
+		if res.Err != nil {
+			failed++
+		} else {
+			ok++
+		}
+	}
+	if ok == 0 || failed == 0 {
+		t.Fatalf("expected a mix of outcomes over a tight pool, got %d ok / %d failed", ok, failed)
+	}
+	if got := o.ActiveCount(); got != ok {
+		t.Fatalf("active count %d != successful results %d", got, ok)
+	}
+	if !o.Allocator().Disjoint() {
+		t.Fatal("ALs not disjoint after partial failure")
+	}
+}
+
+func TestProvisionBatchDuplicateFlowKeys(t *testing.T) {
+	o := newWideOrch(t, 16)
+	specs := batchSpecs(t, 3)
+	specs[2].Name = specs[0].Name
+	specs[2].Tenant = specs[0].Tenant
+	results := o.ProvisionBatch(specs, 2)
+	if results[0].Err != nil || results[1].Err != nil {
+		t.Fatalf("unique specs failed: %v / %v", results[0].Err, results[1].Err)
+	}
+	if results[2].Err == nil {
+		t.Fatal("duplicate flow key accepted")
+	}
+	if o.ActiveCount() != 2 {
+		t.Fatalf("active count %d, want 2", o.ActiveCount())
+	}
+}
+
+// TestConcurrentDeleteVsRepairExclusive drives Delete and Repair at
+// the same deployment from many goroutines: the exclusive-operation
+// guard must prevent double teardown, and the terminal state must be
+// exactly one of deleted (with resources released) or active.
+func TestConcurrentDeleteVsRepairExclusive(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		o := newWideOrch(t, 16)
+		dep, err := o.Provision(batchSpecs(t, 1)[0])
+		if err != nil {
+			t.Fatalf("provision: %v", err)
+		}
+		done := make(chan error, 2)
+		go func() { done <- o.Delete(dep.ID) }()
+		go func() { done <- o.Repair(dep.ID) }()
+		<-done
+		<-done
+		got := o.Deployment(dep.ID)
+		switch got.State {
+		case StateDeleted:
+			if o.Allocator().VC(got.VC.ID) != nil {
+				t.Fatalf("deleted deployment still owns VC %d", got.VC.ID)
+			}
+		case StateActive:
+			// Repair won and Delete was rejected as busy — fine.
+		default:
+			t.Fatalf("unexpected terminal state %s", got.State)
+		}
+		if !o.Allocator().Disjoint() {
+			t.Fatal("ALs not disjoint after delete/repair race")
+		}
+	}
+}
+
+// TestDuplicateFlowKeyAcrossCalls ensures the flow-key reservation
+// spans separate Provision calls, not just one batch.
+func TestDuplicateFlowKeyAcrossCalls(t *testing.T) {
+	o := newWideOrch(t, 16)
+	spec := batchSpecs(t, 1)[0]
+	first, err := o.Provision(spec)
+	if err != nil {
+		t.Fatalf("first provision: %v", err)
+	}
+	if _, err := o.Provision(spec); !errors.Is(err, ErrDuplicateChain) {
+		t.Fatalf("second provision: got %v, want ErrDuplicateChain", err)
+	}
+	if err := o.Delete(first.ID); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := o.Provision(spec); err != nil {
+		t.Fatalf("re-provision after delete: %v", err)
+	}
+}
+
+func TestProvisionBatchEmpty(t *testing.T) {
+	o := newWideOrch(t, 4)
+	if got := o.ProvisionBatch(nil, 8); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+// TestProvisionBatchFasterThanSequential asserts the point of the
+// worker pool: a batch of 100 provisions completes in strictly less
+// wall-clock time than the same 100 provisions issued one at a time.
+func TestProvisionBatchFasterThanSequential(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >1 CPU for parallel speedup")
+	}
+	specs := batchSpecs(t, 100)
+	// Best-of-3 per mode damps scheduler noise without weakening the
+	// strict inequality the batch path must win.
+	seq, par := time.Duration(1<<62), time.Duration(1<<62)
+	for attempt := 0; attempt < 3; attempt++ {
+		o := newWideOrch(t, 128)
+		start := time.Now()
+		for _, spec := range specs {
+			if _, err := o.Provision(spec); err != nil {
+				t.Fatalf("sequential provision: %v", err)
+			}
+		}
+		if d := time.Since(start); d < seq {
+			seq = d
+		}
+
+		o = newWideOrch(t, 128)
+		start = time.Now()
+		for _, res := range o.ProvisionBatch(specs, 0) {
+			if res.Err != nil {
+				t.Fatalf("batch provision: %v", res.Err)
+			}
+		}
+		if d := time.Since(start); d < par {
+			par = d
+		}
+	}
+	t.Logf("sequential: %v, batch: %v (%.2fx)", seq, par, float64(seq)/float64(par))
+	if par >= seq {
+		t.Fatalf("batch (%v) not faster than sequential (%v)", par, seq)
+	}
+}
+
+func BenchmarkProvisionSequential100(b *testing.B) {
+	specs := batchSpecs(b, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		o := newWideOrch(b, 128)
+		b.StartTimer()
+		for _, spec := range specs {
+			if _, err := o.Provision(spec); err != nil {
+				b.Fatalf("provision: %v", err)
+			}
+		}
+	}
+}
+
+func BenchmarkProvisionBatch100(b *testing.B) {
+	specs := batchSpecs(b, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		o := newWideOrch(b, 128)
+		b.StartTimer()
+		for _, res := range o.ProvisionBatch(specs, 0) {
+			if res.Err != nil {
+				b.Fatalf("batch: %v", res.Err)
+			}
+		}
+	}
+}

@@ -16,6 +16,8 @@
 package orch
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,6 +29,22 @@ import (
 	"github.com/alvc/alvc/internal/placement"
 	"github.com/alvc/alvc/internal/sdn"
 	"github.com/alvc/alvc/internal/topology"
+)
+
+// Sentinel errors callers (notably the HTTP control plane) classify on.
+var (
+	// ErrUnknownDeployment is wrapped when a deployment ID does not
+	// exist.
+	ErrUnknownDeployment = errors.New("unknown deployment")
+	// ErrNotActive is wrapped when an operation requires an active
+	// deployment but the deployment is deleted or failed.
+	ErrNotActive = errors.New("deployment is not active")
+	// ErrBusy is wrapped when a deployment already has an exclusive
+	// operation (repair, move, delete) in flight.
+	ErrBusy = errors.New("deployment operation in progress")
+	// ErrDuplicateChain is wrapped when a spec's flow key (tenant/name)
+	// collides with an existing active deployment.
+	ErrDuplicateChain = errors.New("duplicate chain")
 )
 
 // DeploymentID identifies a deployed chain.
@@ -124,6 +142,13 @@ type Config struct {
 type Orchestrator struct {
 	mu sync.Mutex
 
+	// topoMu serializes topology mutations (node up/down transitions)
+	// against the provisioning pipeline, which reads liveness bits all
+	// over (VM filtering, path computation, VNF host checks). Readers —
+	// buildChain, MoveNF — hold RLock; SetNodeDown holds Lock. Kept
+	// separate from mu so long builds never block deployment lookups.
+	topoMu sync.RWMutex
+
 	topo      *topology.Topology
 	alloc     *cluster.Allocator
 	slices    *optical.SliceManager
@@ -135,7 +160,15 @@ type Orchestrator struct {
 	costModel optical.CostModel
 
 	deployments map[DeploymentID]*Deployment
-	nextID      DeploymentID
+	// flowKeys maps each active (or being-provisioned) chain's flow key
+	// to its deployment, reserving the SDN flow-table and WDM namespace:
+	// two live chains must never share a key (Delete of one would strip
+	// the other's rules).
+	flowKeys map[string]DeploymentID
+	// busy marks deployments with an exclusive operation (repair, move,
+	// delete) in flight, so those verbs cannot interleave teardowns.
+	busy   map[DeploymentID]bool
+	nextID DeploymentID
 }
 
 // New builds an orchestrator over the given topology.
@@ -197,7 +230,32 @@ func New(cfg Config) (*Orchestrator, error) {
 		mode:        mode,
 		costModel:   model,
 		deployments: make(map[DeploymentID]*Deployment),
+		flowKeys:    make(map[string]DeploymentID),
+		busy:        make(map[DeploymentID]bool),
 	}, nil
+}
+
+// beginExclusive claims the deployment for an exclusive operation. The
+// caller must endExclusive when done. The returned Deployment is the
+// live record; fields may only be touched under o.mu.
+func (o *Orchestrator) beginExclusive(id DeploymentID) (*Deployment, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dep, err := o.activeLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if o.busy[id] {
+		return nil, fmt.Errorf("%w: deployment %d", ErrBusy, id)
+	}
+	o.busy[id] = true
+	return dep, nil
+}
+
+func (o *Orchestrator) endExclusive(id DeploymentID) {
+	o.mu.Lock()
+	delete(o.busy, id)
+	o.mu.Unlock()
 }
 
 // Controller exposes the SDN controller (read-mostly: inspecting flow
@@ -387,17 +445,38 @@ func (o *Orchestrator) teardown(dep *Deployment) error {
 }
 
 // Provision deploys a chain end to end. On any failure all partial
-// state is rolled back and the orchestrator is unchanged.
+// state is rolled back and the orchestrator is unchanged. Safe for
+// concurrent use: independent specs provision in parallel (see also
+// ProvisionBatch), serialized only at the shared resource pools.
 func (o *Orchestrator) Provision(spec chain.Spec) (*Deployment, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("orch: provision: %w", err)
 	}
 	flowKey := spec.Tenant + "/" + spec.Name
+
+	// Reserve the flow key before building: two live chains sharing a
+	// key would share SDN rules and WDM assignments, so the second
+	// teardown would strip the survivor's connectivity.
+	o.mu.Lock()
+	if owner, taken := o.flowKeys[flowKey]; taken {
+		o.mu.Unlock()
+		return nil, fmt.Errorf("orch: provision %q: %w: flow key %q is held by deployment %d",
+			spec.Name, ErrDuplicateChain, flowKey, owner)
+	}
+	o.flowKeys[flowKey] = 0 // reserved, no ID yet
+	o.mu.Unlock()
+
+	o.topoMu.RLock()
+	defer o.topoMu.RUnlock()
 	b, err := o.buildChain(spec, flowKey)
 	if err != nil {
+		o.mu.Lock()
+		delete(o.flowKeys, flowKey)
+		o.mu.Unlock()
 		return nil, fmt.Errorf("orch: provision %q: %w", spec.Name, err)
 	}
 	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.nextID++
 	dep := &Deployment{
 		ID:            o.nextID,
@@ -415,7 +494,7 @@ func (o *Orchestrator) Provision(spec chain.Spec) (*Deployment, error) {
 		EnergyJoules:  o.costModel.TotalEnergy(b.place.Conversions, spec.FlowBytes),
 	}
 	o.deployments[dep.ID] = dep
-	o.mu.Unlock()
+	o.flowKeys[flowKey] = dep.ID
 	return o.snapshot(dep), nil
 }
 
@@ -424,27 +503,23 @@ func (o *Orchestrator) Provision(spec chain.Spec) (*Deployment, error) {
 // On success the deployment stays Active with Repairs incremented; on
 // failure its resources are released and it transitions to Failed.
 func (o *Orchestrator) Repair(id DeploymentID) error {
-	o.mu.Lock()
-	dep, err := o.activeLocked(id)
+	dep, err := o.beginExclusive(id)
 	if err != nil {
-		o.mu.Unlock()
 		return fmt.Errorf("orch: repair: %w", err)
 	}
-	o.mu.Unlock()
+	defer o.endExclusive(id)
 
+	o.topoMu.RLock()
+	defer o.topoMu.RUnlock()
 	// Tear down outside the lock (manager/controller have their own).
 	if err := o.teardown(dep); err != nil {
 		// Resource release failed irrecoverably; mark failed.
-		o.mu.Lock()
-		dep.State = StateFailed
-		o.mu.Unlock()
+		o.failLocked(dep)
 		return fmt.Errorf("orch: repair %d: teardown: %w", id, err)
 	}
 	b, err := o.buildChain(dep.Spec, dep.FlowKey())
 	if err != nil {
-		o.mu.Lock()
-		dep.State = StateFailed
-		o.mu.Unlock()
+		o.failLocked(dep)
 		return fmt.Errorf("orch: repair %d: rebuild: %w", id, err)
 	}
 	o.mu.Lock()
@@ -462,12 +537,24 @@ func (o *Orchestrator) Repair(id DeploymentID) error {
 	return nil
 }
 
+// failLocked transitions a deployment to Failed and frees its flow-key
+// reservation (its resources are already released).
+func (o *Orchestrator) failLocked(dep *Deployment) {
+	o.mu.Lock()
+	dep.State = StateFailed
+	delete(o.flowKeys, dep.FlowKey())
+	o.mu.Unlock()
+}
+
 // HandleNodeFailure marks the node as down and repairs every active
 // deployment that used it (in its slice, as a VNF host, or on its
 // path). It returns the IDs whose repair succeeded; deployments whose
 // repair failed transition to Failed and are reported in err.
 func (o *Orchestrator) HandleNodeFailure(node topology.NodeID) ([]DeploymentID, error) {
-	if err := o.topo.SetNodeDown(node, true); err != nil {
+	o.topoMu.Lock()
+	err := o.topo.SetNodeDown(node, true)
+	o.topoMu.Unlock()
+	if err != nil {
 		return nil, fmt.Errorf("orch: node failure: %w", err)
 	}
 	affected := o.affectedBy(node)
@@ -526,12 +613,14 @@ func (o *Orchestrator) affectedBy(node topology.NodeID) []DeploymentID {
 // O/E/O accounting is updated: moving a VNF between domains changes the
 // conversion count exactly as §IV-D describes.
 func (o *Orchestrator) MoveNF(id DeploymentID, idx int, to topology.NodeID) error {
-	o.mu.Lock()
-	dep, err := o.activeLocked(id)
+	dep, err := o.beginExclusive(id)
 	if err != nil {
-		o.mu.Unlock()
 		return fmt.Errorf("orch: move: %w", err)
 	}
+	defer o.endExclusive(id)
+	o.topoMu.RLock()
+	defer o.topoMu.RUnlock()
+	o.mu.Lock()
 	if idx < 0 || idx >= len(dep.Instances) {
 		o.mu.Unlock()
 		return fmt.Errorf("orch: move: NF index %d out of range [0,%d)", idx, len(dep.Instances))
@@ -658,13 +747,14 @@ func (o *Orchestrator) ScaleNF(id DeploymentID, idx, replicas int) error {
 // slice and cluster released. The deployment record is retained with
 // state Deleted.
 func (o *Orchestrator) Delete(id DeploymentID) error {
-	o.mu.Lock()
-	dep, err := o.activeLocked(id)
+	dep, err := o.beginExclusive(id)
 	if err != nil {
-		o.mu.Unlock()
 		return fmt.Errorf("orch: delete: %w", err)
 	}
+	defer o.endExclusive(id)
+	o.mu.Lock()
 	dep.State = StateDeleted
+	delete(o.flowKeys, dep.FlowKey())
 	o.mu.Unlock()
 	if err := o.teardown(dep); err != nil {
 		return fmt.Errorf("orch: delete deployment %d: %w", id, err)
@@ -711,12 +801,31 @@ func (o *Orchestrator) ActiveCount() int {
 func (o *Orchestrator) activeLocked(id DeploymentID) (*Deployment, error) {
 	dep, ok := o.deployments[id]
 	if !ok {
-		return nil, fmt.Errorf("unknown deployment %d", id)
+		return nil, fmt.Errorf("%w: %d", ErrUnknownDeployment, id)
 	}
 	if dep.State != StateActive {
-		return nil, fmt.Errorf("deployment %d is %s", id, dep.State)
+		return nil, fmt.Errorf("%w: deployment %d is %s", ErrNotActive, id, dep.State)
 	}
 	return dep, nil
+}
+
+// RecoverNode marks a failed node as live again. Existing deployments
+// are not rebalanced; new deployments may use the node immediately.
+func (o *Orchestrator) RecoverNode(node topology.NodeID) error {
+	o.topoMu.Lock()
+	defer o.topoMu.Unlock()
+	if err := o.topo.SetNodeDown(node, false); err != nil {
+		return fmt.Errorf("orch: recover node: %w", err)
+	}
+	return nil
+}
+
+// TopologyJSON serializes the topology consistently with respect to
+// concurrent failure injection and repair.
+func (o *Orchestrator) TopologyJSON() ([]byte, error) {
+	o.topoMu.RLock()
+	defer o.topoMu.RUnlock()
+	return json.Marshal(o.topo)
 }
 
 func (o *Orchestrator) snapshot(dep *Deployment) *Deployment {

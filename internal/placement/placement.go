@@ -17,12 +17,17 @@
 package placement
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"github.com/alvc/alvc/internal/nfv"
 	"github.com/alvc/alvc/internal/topology"
 )
+
+// ErrNoCapacity is wrapped when no candidate host can fit a VNF of the
+// chain — capacity exhaustion, as opposed to a malformed request.
+var ErrNoCapacity = errors.New("placement: no host with sufficient capacity")
 
 // Mode selects the O/E/O accounting convention.
 type Mode int
@@ -206,7 +211,7 @@ func (AllElectronic) Place(ctx Context) (Result, error) {
 	for i, nf := range ctx.NFs {
 		h, ok := pk.firstFit(ctx.ElectronicHosts, nf.Demand)
 		if !ok {
-			return Result{}, fmt.Errorf("placement: all-electronic: no server fits NF %d (%s, %s)", i, nf.Type, nf.Demand)
+			return Result{}, fmt.Errorf("%w: all-electronic: no server fits NF %d (%s, %s)", ErrNoCapacity, i, nf.Type, nf.Demand)
 		}
 		hosts = append(hosts, h)
 		domains = append(domains, topology.DomainElectronic)
@@ -257,7 +262,7 @@ func (OpticalFirst) Place(ctx Context) (Result, error) {
 		}
 		h, ok := pk.firstFit(ctx.ElectronicHosts, nf.Demand)
 		if !ok {
-			return Result{}, fmt.Errorf("placement: optical-first: no host fits NF %d (%s, %s)", i, nf.Type, nf.Demand)
+			return Result{}, fmt.Errorf("%w: optical-first: no host fits NF %d (%s, %s)", ErrNoCapacity, i, nf.Type, nf.Demand)
 		}
 		hosts[i] = h
 		domains[i] = topology.DomainElectronic
@@ -321,7 +326,7 @@ func (Optimal) Place(ctx Context) (Result, error) {
 		}
 	}
 	if bestConv < 0 {
-		return Result{}, fmt.Errorf("placement: optimal: no feasible assignment for %d NFs", n)
+		return Result{}, fmt.Errorf("%w: optimal: no feasible assignment for %d NFs", ErrNoCapacity, n)
 	}
 	domains := make([]topology.Domain, n)
 	for i := 0; i < n; i++ {

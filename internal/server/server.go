@@ -1,0 +1,422 @@
+// Package server exposes the AL-VC orchestrator as a REST control
+// plane: the network-service surface of the paper's Fig. 6
+// orchestrator. Chains are provisioned, inspected, modified, upgraded,
+// scaled, moved and deleted over HTTP; node failures are injected and
+// recovered; topology and resource metrics are observable. All state
+// lives in the wrapped alvc.Architecture — the server itself is
+// stateless and safe for concurrent requests.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"github.com/alvc/alvc"
+	"github.com/alvc/alvc/internal/chain"
+	"github.com/alvc/alvc/internal/cluster"
+	"github.com/alvc/alvc/internal/nfv"
+	"github.com/alvc/alvc/internal/orch"
+	"github.com/alvc/alvc/internal/placement"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// maxBodyBytes bounds request bodies; a 100-spec batch is ~50 KB, so
+// 10 MB leaves ample headroom without letting a client exhaust memory.
+const maxBodyBytes = 10 << 20
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithLogger replaces the default logger.
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// Server is the REST control plane over one Architecture. The batch
+// worker ceiling comes from the Architecture's WithBatchWorkers option
+// (one worker per CPU when unset); requests may lower it per call but
+// never raise it.
+type Server struct {
+	arch    *alvc.Architecture
+	logger  *log.Logger
+	handler http.Handler
+}
+
+// New wires the route table over the architecture.
+func New(arch *alvc.Architecture, opts ...Option) (*Server, error) {
+	if arch == nil {
+		return nil, fmt.Errorf("server: nil architecture")
+	}
+	s := &Server{
+		arch:   arch,
+		logger: log.New(io.Discard, "", 0),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/chains", s.handleProvision)
+	mux.HandleFunc("POST /v1/chains:batch", s.handleProvisionBatch)
+	mux.HandleFunc("GET /v1/chains", s.handleListChains)
+	mux.HandleFunc("GET /v1/chains/{id}", s.handleGetChain)
+	mux.HandleFunc("DELETE /v1/chains/{id}", s.handleDeleteChain)
+	mux.HandleFunc("POST /v1/chains/{id}/modify", s.handleModify)
+	mux.HandleFunc("POST /v1/chains/{id}/upgrade", s.handleUpgrade)
+	mux.HandleFunc("POST /v1/chains/{id}/scale", s.handleScale)
+	mux.HandleFunc("POST /v1/chains/{id}/move", s.handleMove)
+	mux.HandleFunc("POST /v1/failures/{node}", s.handleFailNode)
+	mux.HandleFunc("DELETE /v1/failures/{node}", s.handleRecoverNode)
+	mux.HandleFunc("GET /v1/topology", s.handleTopology)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+
+	s.handler = withLogging(s.logger, withRecovery(s.logger, mux))
+	return s, nil
+}
+
+// Handler returns the fully wrapped route table, ready for
+// http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusOf maps orchestration errors to HTTP statuses: missing things
+// are 404, state conflicts and exhausted pools 409, requests the
+// architecture cannot satisfy 422.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, orch.ErrUnknownDeployment):
+		return http.StatusNotFound
+	case errors.Is(err, orch.ErrNotActive),
+		errors.Is(err, orch.ErrBusy),
+		errors.Is(err, orch.ErrDuplicateChain):
+		return http.StatusConflict
+	case errors.Is(err, cluster.ErrInsufficientOPS),
+		errors.Is(err, nfv.ErrInsufficientCapacity),
+		errors.Is(err, placement.ErrNoCapacity):
+		return http.StatusConflict
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// A trailing second document is as malformed as a syntax error.
+	if dec.More() {
+		return fmt.Errorf("unexpected data after JSON body")
+	}
+	return nil
+}
+
+func (s *Server) pathID(w http.ResponseWriter, r *http.Request) (alvc.DeploymentID, bool) {
+	n, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || n <= 0 {
+		writeError(w, http.StatusBadRequest, "invalid deployment id %q", r.PathValue("id"))
+		return 0, false
+	}
+	return alvc.DeploymentID(n), true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleProvision(w http.ResponseWriter, r *http.Request) {
+	var spec chain.Spec
+	if err := decodeBody(w, r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, "parse chain spec: %v", err)
+		return
+	}
+	dep, err := s.arch.Deploy(spec)
+	if err != nil {
+		writeError(w, statusOf(err), "provision: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toDeploymentJSON(dep))
+}
+
+func (s *Server) handleProvisionBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "parse batch request: %v", err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch request has no specs")
+		return
+	}
+	// Clamp to the architecture's pool size so a client cannot demand
+	// unbounded provisioning parallelism.
+	ceiling := s.arch.BatchWorkers()
+	if ceiling <= 0 {
+		ceiling = orch.DefaultBatchWorkers()
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > ceiling {
+		workers = ceiling
+	}
+	results := s.arch.Orchestrator().ProvisionBatch(req.Specs, workers)
+	resp := BatchResponse{Results: make([]BatchItemJSON, len(results))}
+	for i, res := range results {
+		item := BatchItemJSON{Index: res.Index}
+		if res.Err != nil {
+			item.Error = res.Err.Error()
+			resp.Failed++
+		} else {
+			dj := toDeploymentJSON(res.Deployment)
+			item.Deployment = &dj
+			resp.Provisioned++
+		}
+		resp.Results[i] = item
+	}
+	status := http.StatusCreated
+	if resp.Provisioned == 0 {
+		// Nothing provisioned: surface the dominant failure class.
+		status = http.StatusConflict
+	} else if resp.Failed > 0 {
+		status = http.StatusMultiStatus
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleListChains(w http.ResponseWriter, r *http.Request) {
+	stateFilter := r.URL.Query().Get("state")
+	deps := s.arch.Deployments()
+	out := make([]DeploymentJSON, 0, len(deps))
+	for _, dep := range deps {
+		if stateFilter != "" && dep.State.String() != stateFilter {
+			continue
+		}
+		out = append(out, toDeploymentJSON(dep))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetChain(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.pathID(w, r)
+	if !ok {
+		return
+	}
+	dep := s.arch.Deployment(id)
+	if dep == nil {
+		writeError(w, http.StatusNotFound, "unknown deployment %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, toDeploymentJSON(dep))
+}
+
+func (s *Server) handleDeleteChain(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.pathID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.arch.Delete(id); err != nil {
+		writeError(w, statusOf(err), "delete: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toDeploymentJSON(s.arch.Deployment(id)))
+}
+
+func (s *Server) handleModify(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.pathID(w, r)
+	if !ok {
+		return
+	}
+	var req ModifyRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "parse modify request: %v", err)
+		return
+	}
+	if req.BandwidthGbps <= 0 {
+		writeError(w, http.StatusBadRequest, "bandwidth_gbps must be positive, got %f", req.BandwidthGbps)
+		return
+	}
+	if err := s.arch.Modify(id, req.BandwidthGbps); err != nil {
+		writeError(w, statusOf(err), "modify: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toDeploymentJSON(s.arch.Deployment(id)))
+}
+
+func (s *Server) handleUpgrade(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.pathID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.arch.Upgrade(id); err != nil {
+		writeError(w, statusOf(err), "upgrade: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toDeploymentJSON(s.arch.Deployment(id)))
+}
+
+func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.pathID(w, r)
+	if !ok {
+		return
+	}
+	var req ScaleRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "parse scale request: %v", err)
+		return
+	}
+	if err := s.arch.ScaleNF(id, req.NFIndex, req.Replicas); err != nil {
+		writeError(w, statusOf(err), "scale: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toDeploymentJSON(s.arch.Deployment(id)))
+}
+
+func (s *Server) handleMove(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.pathID(w, r)
+	if !ok {
+		return
+	}
+	var req MoveRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "parse move request: %v", err)
+		return
+	}
+	if err := s.arch.MoveNF(id, req.NFIndex, req.To); err != nil {
+		writeError(w, statusOf(err), "move: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toDeploymentJSON(s.arch.Deployment(id)))
+}
+
+func (s *Server) pathNode(w http.ResponseWriter, r *http.Request) (topology.NodeID, bool) {
+	n, err := strconv.Atoi(r.PathValue("node"))
+	if err != nil || n <= 0 {
+		writeError(w, http.StatusBadRequest, "invalid node id %q", r.PathValue("node"))
+		return 0, false
+	}
+	return topology.NodeID(n), true
+}
+
+func (s *Server) handleFailNode(w http.ResponseWriter, r *http.Request) {
+	node, ok := s.pathNode(w, r)
+	if !ok {
+		return
+	}
+	if s.arch.Topology().Node(node) == nil {
+		writeError(w, http.StatusNotFound, "unknown node %d", node)
+		return
+	}
+	// The node exists, so FailNode's error can only report repairs that
+	// did not succeed — the injection itself has landed. Report those
+	// in-band: the client asked for a failure and got one.
+	failedBefore := make(map[orch.DeploymentID]bool)
+	for _, dep := range s.arch.Deployments() {
+		if dep.State == orch.StateFailed {
+			failedBefore[dep.ID] = true
+		}
+	}
+	repaired, err := s.arch.FailNode(node)
+	resp := FailureResponse{Node: node, Repaired: make([]int, 0, len(repaired))}
+	for _, id := range repaired {
+		resp.Repaired = append(resp.Repaired, int(id))
+	}
+	// Only deployments failed by THIS injection, not earlier ones.
+	for _, dep := range s.arch.Deployments() {
+		if dep.State == orch.StateFailed && !failedBefore[dep.ID] {
+			resp.Failed = append(resp.Failed, int(dep.ID))
+		}
+	}
+	sort.Ints(resp.Failed)
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRecoverNode(w http.ResponseWriter, r *http.Request) {
+	node, ok := s.pathNode(w, r)
+	if !ok {
+		return
+	}
+	if s.arch.Topology().Node(node) == nil {
+		writeError(w, http.StatusNotFound, "unknown node %d", node)
+		return
+	}
+	if err := s.arch.RecoverNode(node); err != nil {
+		writeError(w, statusOf(err), "recover node: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": node, "recovered": true})
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	data, err := s.arch.TopologyJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "marshal topology: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var resp MetricsResponse
+	sum := s.arch.Summarize()
+	resp.Topology.PMs = sum.PMs
+	resp.Topology.VMs = sum.VMs
+	resp.Topology.ToRs = sum.ToRs
+	resp.Topology.OPSs = sum.OPSs
+	resp.Topology.OptoelectronicOPSs = sum.OptoelectronicOPSs
+	resp.Topology.Services = sum.Services
+	resp.Clusters = sum.Clusters
+	resp.InstalledRules = sum.InstalledRules
+	resp.TotalConversions = sum.TotalConversions
+	resp.TotalEnergyJoules = sum.TotalEnergyJoules
+	for _, dep := range s.arch.Deployments() {
+		switch dep.State {
+		case orch.StateActive:
+			resp.Deployments.Active++
+		case orch.StateDeleted:
+			resp.Deployments.Deleted++
+		case orch.StateFailed:
+			resp.Deployments.Failed++
+		}
+	}
+	ledger := s.arch.Orchestrator().Manager().Ledger()
+	resp.Utilization = make(map[string]UtilizationJSON, 2)
+	for _, dom := range []topology.Domain{topology.DomainElectronic, topology.DomainOptical} {
+		var u UtilizationJSON
+		for _, host := range ledger.HostsInDomain(dom) {
+			capacity, ok := ledger.Capacity(host)
+			if !ok {
+				continue
+			}
+			u.Hosts++
+			u.Capacity = u.Capacity.Add(capacity)
+			u.Used = u.Used.Add(ledger.Used(host))
+		}
+		if u.Capacity.CPUCores > 0 {
+			u.CPUPercent = 100 * u.Used.CPUCores / u.Capacity.CPUCores
+		}
+		resp.Utilization[dom.String()] = u
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

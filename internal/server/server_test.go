@@ -1,0 +1,495 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/alvc/alvc"
+	"github.com/alvc/alvc/internal/chain"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// newTestServer stands a control plane up over the 8-rack/24-OPS
+// topology the integration tests use (it fits several concurrent
+// chains).
+func newTestServer(t *testing.T, opts ...alvc.Option) (*httptest.Server, *alvc.Architecture) {
+	t.Helper()
+	cfg := alvc.DefaultTopology()
+	cfg.Racks = 8
+	cfg.OPSCount = 24
+	cfg.ToRUplinks = 16
+	cfg.OPSChords = 2
+	return newTestServerWith(t, cfg, opts...)
+}
+
+// wideConfig returns a topology able to host many concurrent chains:
+// every ToR sees every OPS, so each AL collapses to a single OPS and
+// the pool supports up to OPSCount disjoint chains; PM capacity is
+// raised so VNF hosting is not the bottleneck.
+func wideConfig(opsCount int) alvc.TopologyConfig {
+	cfg := alvc.DefaultTopology()
+	cfg.Racks = 4
+	cfg.PMsPerRack = 2
+	cfg.VMsPerPM = 2
+	cfg.OPSCount = opsCount
+	cfg.ToRUplinks = opsCount
+	cfg.OPSChords = 0
+	cfg.Services = []string{"web"}
+	cfg.PMCapacity = topology.Resources{CPUCores: 1 << 20, MemoryGB: 1 << 20, StorageGB: 1 << 20}
+	return cfg
+}
+
+func newTestServerWith(t *testing.T, cfg alvc.TopologyConfig, opts ...alvc.Option) (*httptest.Server, *alvc.Architecture) {
+	t.Helper()
+	arch, err := alvc.New(cfg, opts...)
+	if err != nil {
+		t.Fatalf("alvc.New: %v", err)
+	}
+	srv, err := New(arch)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, arch
+}
+
+// do issues one request and returns the status and raw body.
+func do(t *testing.T, method, url string, body []byte) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatalf("NewRequest %s %s: %v", method, url, err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, data
+}
+
+func specBody(name, tenant, service string, nfs ...string) []byte {
+	type nf struct {
+		Name string `json:"name"`
+	}
+	refs := make([]nf, len(nfs))
+	for i, n := range nfs {
+		refs[i] = nf{Name: n}
+	}
+	data, _ := json.Marshal(map[string]any{
+		"name": name, "tenant": tenant, "service": service,
+		"nfs": refs, "bandwidth_gbps": 2.0, "flow_bytes": 1 << 20,
+	})
+	return data
+}
+
+func mustSpec(t *testing.T, data []byte) chain.Spec {
+	t.Helper()
+	var s chain.Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("parse spec %s: %v", data, err)
+	}
+	return s
+}
+
+func mustUnmarshal[T any](t *testing.T, data []byte) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("unmarshal %T from %s: %v", v, data, err)
+	}
+	return v
+}
+
+// TestLifecycleOverHTTP drives the acceptance sequence: provision →
+// get → modify → upgrade → scale → inject node failure → observe
+// repair → recover → move → delete.
+func TestLifecycleOverHTTP(t *testing.T) {
+	ts, arch := newTestServer(t)
+
+	status, body := do(t, "POST", ts.URL+"/v1/chains", specBody("c1", "t1", "web", "firewall", "lb", "dpi"))
+	if status != http.StatusCreated {
+		t.Fatalf("provision: got %d, want 201 (%s)", status, body)
+	}
+	dep := mustUnmarshal[DeploymentJSON](t, body)
+	if dep.State != "active" || len(dep.NFs) != 3 || len(dep.SliceOPSs) == 0 {
+		t.Fatalf("unexpected deployment: %+v", dep)
+	}
+	base := fmt.Sprintf("%s/v1/chains/%d", ts.URL, dep.ID)
+
+	status, body = do(t, "GET", base, nil)
+	if status != http.StatusOK {
+		t.Fatalf("get: got %d (%s)", status, body)
+	}
+
+	status, body = do(t, "POST", base+"/modify", []byte(`{"bandwidth_gbps": 5}`))
+	if status != http.StatusOK {
+		t.Fatalf("modify: got %d (%s)", status, body)
+	}
+	if got := mustUnmarshal[DeploymentJSON](t, body); got.BandwidthGbps != 5 {
+		t.Fatalf("modify: bandwidth %f, want 5", got.BandwidthGbps)
+	}
+
+	status, body = do(t, "POST", base+"/upgrade", nil)
+	if status != http.StatusOK {
+		t.Fatalf("upgrade: got %d (%s)", status, body)
+	}
+	if got := mustUnmarshal[DeploymentJSON](t, body); got.Version != 2 {
+		t.Fatalf("upgrade: version %d, want 2", got.Version)
+	}
+
+	status, body = do(t, "POST", base+"/scale", []byte(`{"nf_index": 0, "replicas": 2}`))
+	if status != http.StatusOK {
+		t.Fatalf("scale: got %d (%s)", status, body)
+	}
+
+	// Fail an OPS of the chain's slice; the orchestrator must repair
+	// the chain around it.
+	victim := dep.SliceOPSs[0]
+	status, body = do(t, "POST", fmt.Sprintf("%s/v1/failures/%d", ts.URL, victim), nil)
+	if status != http.StatusOK {
+		t.Fatalf("fail node: got %d (%s)", status, body)
+	}
+	fr := mustUnmarshal[FailureResponse](t, body)
+	found := false
+	for _, id := range fr.Repaired {
+		if id == dep.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failure response does not list deployment %d as repaired: %+v", dep.ID, fr)
+	}
+	status, body = do(t, "GET", base, nil)
+	if status != http.StatusOK {
+		t.Fatalf("get after repair: got %d (%s)", status, body)
+	}
+	repaired := mustUnmarshal[DeploymentJSON](t, body)
+	if repaired.Repairs != 1 || repaired.State != "active" {
+		t.Fatalf("after repair: %+v", repaired)
+	}
+	for _, ops := range repaired.SliceOPSs {
+		if ops == victim {
+			t.Fatalf("repaired slice still contains failed OPS %d", victim)
+		}
+	}
+
+	status, body = do(t, "DELETE", fmt.Sprintf("%s/v1/failures/%d", ts.URL, victim), nil)
+	if status != http.StatusOK {
+		t.Fatalf("recover node: got %d (%s)", status, body)
+	}
+
+	// Move NF 0 to another live PM.
+	var target topology.NodeID
+	for _, pm := range arch.Topology().NodeIDs(topology.KindPhysicalMachine) {
+		if pm != repaired.Hosts[0] {
+			target = pm
+			break
+		}
+	}
+	status, body = do(t, "POST", base+"/move", fmt.Appendf(nil, `{"nf_index": 0, "to": %d}`, target))
+	if status != http.StatusOK {
+		t.Fatalf("move: got %d (%s)", status, body)
+	}
+	if got := mustUnmarshal[DeploymentJSON](t, body); got.Hosts[0] != target {
+		t.Fatalf("move: host %d, want %d", got.Hosts[0], target)
+	}
+
+	status, body = do(t, "DELETE", base, nil)
+	if status != http.StatusOK {
+		t.Fatalf("delete: got %d (%s)", status, body)
+	}
+	if got := mustUnmarshal[DeploymentJSON](t, body); got.State != "deleted" {
+		t.Fatalf("delete: state %s, want deleted", got.State)
+	}
+
+	// The listing filter sees it only under state=deleted.
+	status, body = do(t, "GET", ts.URL+"/v1/chains?state=active", nil)
+	if status != http.StatusOK || string(bytes.TrimSpace(body)) != "[]" {
+		t.Fatalf("list active after delete: %d %s", status, body)
+	}
+	status, body = do(t, "GET", ts.URL+"/v1/chains?state=deleted", nil)
+	if status != http.StatusOK {
+		t.Fatalf("list deleted: got %d", status)
+	}
+	if got := mustUnmarshal[[]DeploymentJSON](t, body); len(got) != 1 || got[0].ID != dep.ID {
+		t.Fatalf("list deleted: %+v", got)
+	}
+}
+
+func TestMalformedRequests400(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name, method, path string
+		body               []byte
+	}{
+		{"provision bad json", "POST", "/v1/chains", []byte(`{"name": `)},
+		{"provision missing fields", "POST", "/v1/chains", []byte(`{"name":"x"}`)},
+		{"provision trailing garbage", "POST", "/v1/chains", append(specBody("c", "t", "web", "nat"), []byte(`{"second":1}`)...)},
+		{"batch bad json", "POST", "/v1/chains:batch", []byte(`[not json`)},
+		{"batch empty", "POST", "/v1/chains:batch", []byte(`{"specs": []}`)},
+		{"modify bad json", "POST", "/v1/chains/1/modify", []byte(`{`)},
+		{"modify non-positive", "POST", "/v1/chains/1/modify", []byte(`{"bandwidth_gbps": 0}`)},
+		{"scale bad json", "POST", "/v1/chains/1/scale", []byte(`"nope"`)},
+		{"move bad json", "POST", "/v1/chains/1/move", []byte(`{]`)},
+		{"bad id", "GET", "/v1/chains/abc", nil},
+		{"negative id", "DELETE", "/v1/chains/-4", nil},
+		{"bad node id", "POST", "/v1/failures/xyz", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := do(t, tc.method, ts.URL+tc.path, tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("got %d, want 400 (%s)", status, body)
+			}
+			if er := mustUnmarshal[ErrorResponse](t, body); er.Error == "" {
+				t.Fatalf("error body missing: %s", body)
+			}
+		})
+	}
+}
+
+func TestUnknownDeployment404(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct{ method, path string }{
+		{"GET", "/v1/chains/999"},
+		{"DELETE", "/v1/chains/999"},
+		{"POST", "/v1/chains/999/upgrade"},
+	}
+	for _, tc := range cases {
+		status, body := do(t, tc.method, ts.URL+tc.path, nil)
+		if status != http.StatusNotFound {
+			t.Fatalf("%s %s: got %d, want 404 (%s)", tc.method, tc.path, status, body)
+		}
+	}
+	status, body := do(t, "POST", ts.URL+"/v1/chains/999/modify", []byte(`{"bandwidth_gbps": 1}`))
+	if status != http.StatusNotFound {
+		t.Fatalf("modify unknown: got %d (%s)", status, body)
+	}
+	status, body = do(t, "POST", ts.URL+"/v1/failures/99999", nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("fail unknown node: got %d (%s)", status, body)
+	}
+}
+
+func TestProvisionOverCapacity409(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// A per-request demand override no PM can satisfy exhausts the
+	// electronic domain: capacity conflict, not a malformed request.
+	body := []byte(`{"name":"huge","tenant":"t1","service":"web",
+		"nfs":[{"name":"firewall","cpu":1000000}],
+		"bandwidth_gbps":1,"flow_bytes":1024}`)
+	status, resp := do(t, "POST", ts.URL+"/v1/chains", body)
+	if status != http.StatusConflict {
+		t.Fatalf("over-capacity provision: got %d, want 409 (%s)", status, resp)
+	}
+}
+
+func TestProvisionUnknownService422(t *testing.T) {
+	ts, _ := newTestServer(t)
+	status, resp := do(t, "POST", ts.URL+"/v1/chains", specBody("c1", "t1", "no-such-service", "nat"))
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown service: got %d, want 422 (%s)", status, resp)
+	}
+}
+
+func TestDuplicateChain409(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := specBody("dup", "t1", "web", "nat")
+	if status, resp := do(t, "POST", ts.URL+"/v1/chains", body); status != http.StatusCreated {
+		t.Fatalf("first provision: %d (%s)", status, resp)
+	}
+	status, resp := do(t, "POST", ts.URL+"/v1/chains", body)
+	if status != http.StatusConflict {
+		t.Fatalf("duplicate provision: got %d, want 409 (%s)", status, resp)
+	}
+	// After deleting the holder the flow key is free again.
+	if status, _ := do(t, "DELETE", ts.URL+"/v1/chains/1", nil); status != http.StatusOK {
+		t.Fatalf("delete: %d", status)
+	}
+	if status, resp := do(t, "POST", ts.URL+"/v1/chains", body); status != http.StatusCreated {
+		t.Fatalf("re-provision after delete: got %d, want 201 (%s)", status, resp)
+	}
+}
+
+func TestDeleteTwice409(t *testing.T) {
+	ts, _ := newTestServer(t)
+	status, body := do(t, "POST", ts.URL+"/v1/chains", specBody("c1", "t1", "web", "nat"))
+	if status != http.StatusCreated {
+		t.Fatalf("provision: %d (%s)", status, body)
+	}
+	dep := mustUnmarshal[DeploymentJSON](t, body)
+	url := fmt.Sprintf("%s/v1/chains/%d", ts.URL, dep.ID)
+	if status, _ = do(t, "DELETE", url, nil); status != http.StatusOK {
+		t.Fatalf("first delete: %d", status)
+	}
+	status, body = do(t, "DELETE", url, nil)
+	if status != http.StatusConflict {
+		t.Fatalf("second delete: got %d, want 409 (%s)", status, body)
+	}
+}
+
+func TestBatchProvision(t *testing.T) {
+	ts, _ := newTestServerWith(t, wideConfig(64))
+	var req BatchRequest
+	for i := 0; i < 20; i++ {
+		req.Specs = append(req.Specs, mustSpec(t, specBody(fmt.Sprintf("c%d", i), "t1", "web", "firewall", "nat")))
+	}
+	body, _ := json.Marshal(req)
+	status, resp := do(t, "POST", ts.URL+"/v1/chains:batch", body)
+	if status != http.StatusCreated {
+		t.Fatalf("batch: got %d, want 201 (%s)", status, resp)
+	}
+	br := mustUnmarshal[BatchResponse](t, resp)
+	if br.Provisioned != 20 || br.Failed != 0 {
+		t.Fatalf("batch: provisioned %d failed %d, want 20/0", br.Provisioned, br.Failed)
+	}
+	status, resp = do(t, "GET", ts.URL+"/v1/chains?state=active", nil)
+	if status != http.StatusOK {
+		t.Fatalf("list: %d", status)
+	}
+	if got := mustUnmarshal[[]DeploymentJSON](t, resp); len(got) != 20 {
+		t.Fatalf("active after batch: %d, want 20", len(got))
+	}
+}
+
+func TestBatchDuplicateFlowKeys(t *testing.T) {
+	ts, _ := newTestServerWith(t, wideConfig(16))
+	var req BatchRequest
+	for i := 0; i < 3; i++ {
+		req.Specs = append(req.Specs, mustSpec(t, specBody("same", "t1", "web", "nat")))
+	}
+	body, _ := json.Marshal(req)
+	status, resp := do(t, "POST", ts.URL+"/v1/chains:batch", body)
+	if status != http.StatusMultiStatus {
+		t.Fatalf("duplicate batch: got %d, want 207 (%s)", status, resp)
+	}
+	br := mustUnmarshal[BatchResponse](t, resp)
+	if br.Provisioned != 1 || br.Failed != 2 {
+		t.Fatalf("duplicate batch: provisioned %d failed %d, want 1/2", br.Provisioned, br.Failed)
+	}
+}
+
+// TestConcurrentTraffic hammers the server from many goroutines —
+// batch provisions, singleton provisions, reads and failure injection
+// all at once. Run under -race this is the control plane's
+// thread-safety proof.
+func TestConcurrentTraffic(t *testing.T) {
+	ts, arch := newTestServerWith(t, wideConfig(96))
+	var wg sync.WaitGroup
+	// Two batch clients.
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var req BatchRequest
+			for i := 0; i < 15; i++ {
+				req.Specs = append(req.Specs, mustSpec(t, specBody(fmt.Sprintf("b%d-%d", c, i), fmt.Sprintf("tenant%d", c), "web", "firewall")))
+			}
+			body, _ := json.Marshal(req)
+			status, resp := do(t, "POST", ts.URL+"/v1/chains:batch", body)
+			if status != http.StatusCreated && status != http.StatusMultiStatus && status != http.StatusConflict {
+				t.Errorf("batch client %d: status %d (%s)", c, status, resp)
+			}
+		}(c)
+	}
+	// Singleton provision clients.
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			status, resp := do(t, "POST", ts.URL+"/v1/chains", specBody(fmt.Sprintf("s%d", c), "tenant-s", "web", "nat"))
+			if status != http.StatusCreated && status != http.StatusConflict && status != http.StatusUnprocessableEntity {
+				t.Errorf("singleton %d: status %d (%s)", c, status, resp)
+			}
+		}(c)
+	}
+	// Read clients.
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if status, _ := do(t, "GET", ts.URL+"/v1/metrics", nil); status != http.StatusOK {
+					t.Errorf("metrics: status %d", status)
+				}
+				if status, _ := do(t, "GET", ts.URL+"/v1/chains", nil); status != http.StatusOK {
+					t.Errorf("list: status %d", status)
+				}
+			}
+		}()
+	}
+	// One failure-injection client flapping a PM.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pm := arch.Topology().NodeIDs(topology.KindPhysicalMachine)[0]
+		for i := 0; i < 5; i++ {
+			do(t, "POST", fmt.Sprintf("%s/v1/failures/%d", ts.URL, pm), nil)
+			do(t, "DELETE", fmt.Sprintf("%s/v1/failures/%d", ts.URL, pm), nil)
+		}
+	}()
+	wg.Wait()
+
+	// Invariants survived the storm: ALs disjoint, state readable.
+	if !arch.Orchestrator().Allocator().Disjoint() {
+		t.Fatal("ALs are not disjoint after concurrent traffic")
+	}
+	status, _ := do(t, "GET", ts.URL+"/v1/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("final metrics: %d", status)
+	}
+}
+
+func TestTopologyAndMetricsEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	status, body := do(t, "GET", ts.URL+"/v1/topology", nil)
+	if status != http.StatusOK {
+		t.Fatalf("topology: %d", status)
+	}
+	topo := mustUnmarshal[struct {
+		Nodes []json.RawMessage `json:"nodes"`
+		Links []json.RawMessage `json:"links"`
+	}](t, body)
+	if len(topo.Nodes) == 0 || len(topo.Links) == 0 {
+		t.Fatalf("topology empty: %d nodes %d links", len(topo.Nodes), len(topo.Links))
+	}
+
+	if status, _ = do(t, "POST", ts.URL+"/v1/chains", specBody("m1", "t1", "web", "firewall")); status != http.StatusCreated {
+		t.Fatalf("provision: %d", status)
+	}
+	status, body = do(t, "GET", ts.URL+"/v1/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("metrics: %d", status)
+	}
+	m := mustUnmarshal[MetricsResponse](t, body)
+	if m.Deployments.Active != 1 || m.InstalledRules == 0 || m.Topology.OPSs == 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if m.Utilization["electronic"].Hosts == 0 {
+		t.Fatalf("metrics utilization missing electronic domain: %+v", m.Utilization)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	status, _ := do(t, "GET", ts.URL+"/healthz", nil)
+	if status != http.StatusOK {
+		t.Fatalf("healthz: %d", status)
+	}
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"github.com/alvc/alvc/internal/chain"
+	"github.com/alvc/alvc/internal/orch"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// DeploymentJSON is the wire form of an orchestrated chain. It
+// flattens the orchestrator's Deployment into stable, client-friendly
+// fields (the internal struct nests cluster and slice objects whose
+// shape is not part of the API contract).
+type DeploymentJSON struct {
+	ID            int               `json:"id"`
+	Name          string            `json:"name"`
+	Tenant        string            `json:"tenant"`
+	Service       string            `json:"service"`
+	State         string            `json:"state"`
+	Version       int               `json:"version"`
+	Repairs       int               `json:"repairs"`
+	NFs           []string          `json:"nfs"`
+	BandwidthGbps float64           `json:"bandwidth_gbps"`
+	FlowBytes     int64             `json:"flow_bytes"`
+	SliceOPSs     []topology.NodeID `json:"slice_opss"`
+	Hosts         []topology.NodeID `json:"hosts"`
+	Domains       []string          `json:"domains"`
+	Path          []topology.NodeID `json:"path"`
+	SliceConfined bool              `json:"slice_confined"`
+	Lambda        int               `json:"lambda"`
+	Conversions   int               `json:"conversions"`
+	EnergyJoules  float64           `json:"energy_joules"`
+}
+
+func toDeploymentJSON(d *orch.Deployment) DeploymentJSON {
+	out := DeploymentJSON{
+		ID:            int(d.ID),
+		Name:          d.Spec.Name,
+		Tenant:        d.Spec.Tenant,
+		Service:       d.Spec.Service,
+		State:         d.State.String(),
+		Version:       d.Version,
+		Repairs:       d.Repairs,
+		NFs:           d.Spec.NFNames(),
+		BandwidthGbps: d.Spec.BandwidthGbps,
+		FlowBytes:     d.Spec.FlowBytes,
+		Hosts:         d.Placement.Hosts,
+		Path:          d.Path,
+		SliceConfined: d.SliceConfined,
+		Lambda:        d.Lambda,
+		Conversions:   d.Conversions,
+		EnergyJoules:  d.EnergyJoules,
+	}
+	if d.Slice != nil {
+		out.SliceOPSs = d.Slice.OPSs
+	}
+	for _, dom := range d.Placement.Domains {
+		out.Domains = append(out.Domains, dom.String())
+	}
+	return out
+}
+
+// BatchRequest is the body of POST /v1/chains:batch. Workers bounds
+// the provisioning pool for this request only; 0 uses the server
+// default.
+type BatchRequest struct {
+	Specs   []chain.Spec `json:"specs"`
+	Workers int          `json:"workers,omitempty"`
+}
+
+// BatchItemJSON is one spec's outcome within a batch response.
+type BatchItemJSON struct {
+	Index      int             `json:"index"`
+	Deployment *DeploymentJSON `json:"deployment,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+// BatchResponse summarizes a batch provision.
+type BatchResponse struct {
+	Provisioned int             `json:"provisioned"`
+	Failed      int             `json:"failed"`
+	Results     []BatchItemJSON `json:"results"`
+}
+
+// ModifyRequest is the body of POST /v1/chains/{id}/modify.
+type ModifyRequest struct {
+	BandwidthGbps float64 `json:"bandwidth_gbps"`
+}
+
+// ScaleRequest is the body of POST /v1/chains/{id}/scale.
+type ScaleRequest struct {
+	NFIndex  int `json:"nf_index"`
+	Replicas int `json:"replicas"`
+}
+
+// MoveRequest is the body of POST /v1/chains/{id}/move.
+type MoveRequest struct {
+	NFIndex int             `json:"nf_index"`
+	To      topology.NodeID `json:"to"`
+}
+
+// FailureResponse reports a node-failure injection: which deployments
+// the orchestrator repaired around the failure, and which could not be
+// repaired (now in state failed).
+type FailureResponse struct {
+	Node     topology.NodeID `json:"node"`
+	Repaired []int           `json:"repaired"`
+	Failed   []int           `json:"failed,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// UtilizationJSON aggregates the resource ledger over one hosting
+// domain (electronic PMs or optical optoelectronic routers).
+type UtilizationJSON struct {
+	Hosts      int                `json:"hosts"`
+	Capacity   topology.Resources `json:"capacity"`
+	Used       topology.Resources `json:"used"`
+	CPUPercent float64            `json:"cpu_percent"`
+}
+
+// MetricsResponse is the body of GET /v1/metrics.
+type MetricsResponse struct {
+	Topology struct {
+		PMs, VMs, ToRs, OPSs int
+		OptoelectronicOPSs   int
+		Services             int
+	} `json:"topology"`
+	Deployments struct {
+		Active  int `json:"active"`
+		Deleted int `json:"deleted"`
+		Failed  int `json:"failed"`
+	} `json:"deployments"`
+	Clusters          int                        `json:"clusters"`
+	InstalledRules    int                        `json:"installed_rules"`
+	TotalConversions  int                        `json:"total_conversions"`
+	TotalEnergyJoules float64                    `json:"total_energy_joules"`
+	Utilization       map[string]UtilizationJSON `json:"utilization"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
