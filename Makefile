@@ -19,6 +19,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Repair-reconciliation smoke: recovery latency after a slice-OPS
+# failure at 50+ chains must not scale with the fleet size and must
+# leave untouched chains alone. Writes BENCH_repair.json.
+.PHONY: bench-repair
+bench-repair:
+	$(GO) run ./cmd/alvc-bench -repair -chains 50 -json
+
 fmt:
 	gofmt -w .
 
@@ -32,4 +39,4 @@ vet:
 	$(GO) vet ./...
 
 # Exactly what .github/workflows/ci.yml runs.
-ci: build fmt-check vet race bench
+ci: build fmt-check vet race bench bench-repair

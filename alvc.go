@@ -86,6 +86,12 @@ type (
 	FlowResult = flow.Result
 	// BatchResult is the per-spec outcome of a DeployBatch call.
 	BatchResult = orch.BatchResult
+	// RepairReport is one chain's reconciliation outcome after a node
+	// failure (action taken: repathed / replaced / patched / rebuilt /
+	// failed / skipped).
+	RepairReport = orch.RepairReport
+	// RepairAction classifies what the reconciler did to one chain.
+	RepairAction = orch.RepairAction
 )
 
 // Re-exported AL builders (paper §III-C and its baselines).
@@ -303,12 +309,20 @@ func (a *Architecture) ScaleNF(id DeploymentID, nfIndex, replicas int) error {
 	return a.orch.ScaleNF(id, nfIndex, replicas)
 }
 
-// FailNode injects a node failure (OPS, ToR or PM) and repairs every
-// chain that used it. It returns the deployments repaired; chains whose
-// repair was impossible transition to the Failed state and are reported
+// FailNode injects a node failure (OPS, ToR or PM) and reconciles
+// every chain that used it, preferring differential repairs (re-path,
+// single-VNF replacement, AL/slice patch) over full rebuilds. It
+// returns one RepairReport per affected chain; chains whose repair was
+// impossible transition to the Failed state and are also reported
 // through the error.
-func (a *Architecture) FailNode(id NodeID) ([]DeploymentID, error) {
+func (a *Architecture) FailNode(id NodeID) ([]RepairReport, error) {
 	return a.orch.HandleNodeFailure(id)
+}
+
+// RepairedIDs filters a FailNode report list down to the chains whose
+// repair succeeded, preserving order.
+func RepairedIDs(reports []RepairReport) []DeploymentID {
+	return orch.RepairedIDs(reports)
 }
 
 // RecoverNode marks a failed node as live again. Existing deployments

@@ -212,12 +212,13 @@ func TestFacadeFailureRecovery(t *testing.T) {
 		t.Fatalf("lambda = %d, want assigned with WithWavelengths", dep.Lambda)
 	}
 	victim := dep.Slice.OPSs[0]
-	repaired, err := arch.FailNode(victim)
+	reports, err := arch.FailNode(victim)
 	if err != nil {
 		t.Fatalf("FailNode: %v", err)
 	}
+	repaired := RepairedIDs(reports)
 	if len(repaired) != 1 || repaired[0] != dep.ID {
-		t.Fatalf("repaired = %v", repaired)
+		t.Fatalf("repaired = %v (reports %+v)", repaired, reports)
 	}
 	after := arch.Deployment(dep.ID)
 	if after.Repairs != 1 || after.Slice.Contains(victim) {

@@ -15,6 +15,7 @@
 //	alvc-bench -json                # also write BENCH_<id>.json per experiment
 //	alvc-bench -load http://localhost:8080 -n 200 -c 16
 //	alvc-bench -load http://localhost:8080 -n 200 -c 4 -load-batch 25 -json
+//	alvc-bench -repair -chains 50 -json
 package main
 
 import (
@@ -60,7 +61,31 @@ func run() int {
 	loadService := flag.String("service", "web", "load mode: service of the generated chains")
 	loadNFs := flag.String("nfs", "firewall,nat", "load mode: comma-separated NF chain")
 	noCleanup := flag.Bool("no-cleanup", false, "load mode: keep provisioned chains instead of deleting them")
+	repairMode := flag.Bool("repair", false, "repair-bench mode: measure in-process recovery latency vs fleet size")
+	repairChains := flag.Int("chains", 50, "repair mode: largest fleet size to measure")
 	flag.Parse()
+
+	if *repairMode {
+		report, err := runRepairBench(*repairChains)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %v\n", err)
+			return 1
+		}
+		printRepairReport(report)
+		if *emitJSON {
+			path := filepath.Join(*outDir, "BENCH_repair.json")
+			if err := writeJSONFile(path, report); err != nil {
+				fmt.Fprintf(os.Stderr, "alvc-bench: write %s: %v\n", path, err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if v := repairViolations(report); v > 0 {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %d repair contract violations\n", v)
+			return 2
+		}
+		return 0
+	}
 
 	if *loadURL != "" {
 		report, err := runLoad(loadConfig{

@@ -52,11 +52,13 @@ func main() {
 	// Kill an OPS in tenant-a's slice.
 	victim := depA.Slice.OPSs[0]
 	fmt.Printf("\n*** OPS %d fails ***\n\n", victim)
-	repaired, err := arch.FailNode(victim)
+	reports, err := arch.FailNode(victim)
 	if err != nil {
 		log.Fatalf("failure-recovery: repair failed: %v", err)
 	}
-	fmt.Printf("repaired deployments: %v\n", repaired)
+	for _, rep := range reports {
+		fmt.Printf("deployment %d: %s\n", rep.ID, rep.Action)
+	}
 
 	after := arch.Deployment(depA.ID)
 	fmt.Printf("tenant-a rebuilt:  OPSs %v  λ%d  (repairs: %d)\n",

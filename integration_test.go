@@ -98,11 +98,11 @@ func TestFullPaperStory(t *testing.T) {
 	// Failure: kill an OPS in blue's slice; repair must succeed and
 	// green/black must stay active.
 	victim := blue.Slice.OPSs[0]
-	repaired, err := arch.FailNode(victim)
+	reports, err := arch.FailNode(victim)
 	if err != nil {
 		t.Fatalf("FailNode: %v", err)
 	}
-	if len(repaired) == 0 {
+	if len(RepairedIDs(reports)) == 0 {
 		t.Fatal("no deployment repaired")
 	}
 	for _, dep := range arch.Deployments() {

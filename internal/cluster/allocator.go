@@ -116,6 +116,51 @@ func (a *Allocator) BuildAllByService() ([]*VC, error) {
 	return built, nil
 }
 
+// PatchVC re-runs the AL construction for an existing cluster over the
+// broken portion only: the builder may reuse the cluster's own
+// surviving (live) OPSs plus whatever the pool has free, so a single
+// failed switch typically swaps one OPS instead of dissolving the
+// layer. The VC keeps its ID; ownership moves atomically from the old
+// membership to the new. The vms argument is the current live VM group
+// to cover (callers pass their liveness-filtered view). On error the
+// allocator is unchanged.
+//
+// A fresh VC record is returned (and stored) rather than mutating the
+// old one in place, so snapshots handed out before the patch stay
+// immutable.
+func (a *Allocator) PatchVC(id VCID, vms []topology.NodeID) (*VC, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	vc, ok := a.vcs[id]
+	if !ok {
+		return nil, fmt.Errorf("cluster: patch: unknown VC %d", id)
+	}
+	allow := a.availableLocked()
+	for _, ops := range vc.AL.OPSs {
+		if n := a.topo.Node(ops); n != nil && !n.Down {
+			allow[ops] = true
+		}
+	}
+	al, err := a.builder.Build(a.topo, vms, allow)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: patch VC %d: %w", id, err)
+	}
+	for _, ops := range vc.AL.OPSs {
+		delete(a.opsOwner, ops)
+	}
+	patched := &VC{
+		ID:      id,
+		Service: vc.Service,
+		VMs:     append([]topology.NodeID(nil), vms...),
+		AL:      al,
+	}
+	for _, ops := range al.OPSs {
+		a.opsOwner[ops] = id
+	}
+	a.vcs[id] = patched
+	return patched, nil
+}
+
 // Release dissolves the cluster and frees its OPSs.
 func (a *Allocator) Release(id VCID) error {
 	a.mu.Lock()

@@ -45,10 +45,11 @@ func E13FailureRepair() (*Result, error) {
 	clean := true
 	for i := 1; i <= 3; i++ {
 		victim := o.Deployment(deps[0].ID).Slice.OPSs[0]
-		repaired, err := o.HandleNodeFailure(victim)
+		reports, err := o.HandleNodeFailure(victim)
 		if err != nil {
 			return nil, fmt.Errorf("E13: failure %d: %w", i, err)
 		}
+		repaired := orch.RepairedIDs(reports)
 		othersTouched := 0
 		for _, id := range repaired {
 			if id != deps[0].ID {

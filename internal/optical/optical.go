@@ -159,6 +159,52 @@ func (m *SliceManager) Release(id SliceID) error {
 	return nil
 }
 
+// PatchMembership swaps the slice's OPS membership while keeping its
+// identity, tenant and bandwidth reservation — the optical-layer side
+// of a differential repair, where a failed OPS is replaced without the
+// tenant ever losing its reservation. The new membership must be live
+// OPSs owned by no other slice (the slice's own survivors are fine). A
+// fresh Slice record is returned (and stored) so snapshots handed out
+// before the patch stay immutable. On error the manager is unchanged.
+func (m *SliceManager) PatchMembership(id SliceID, opss []topology.NodeID) (*Slice, error) {
+	if len(opss) == 0 {
+		return nil, fmt.Errorf("optical: patch: empty OPS set")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.slices[id]
+	if !ok {
+		return nil, fmt.Errorf("optical: patch: unknown slice %d", id)
+	}
+	for _, ops := range opss {
+		n := m.topo.Node(ops)
+		if n == nil || n.Kind != topology.KindOPS {
+			return nil, fmt.Errorf("optical: patch: node %d is not an OPS", ops)
+		}
+		if n.Down {
+			return nil, fmt.Errorf("optical: patch: OPS %d is down", ops)
+		}
+		if owner, taken := m.owner[ops]; taken && owner != id {
+			return nil, fmt.Errorf("optical: patch: OPS %d already in slice %d", ops, owner)
+		}
+	}
+	for _, ops := range s.OPSs {
+		delete(m.owner, ops)
+	}
+	patched := &Slice{
+		ID:            id,
+		Tenant:        s.Tenant,
+		OPSs:          append([]topology.NodeID(nil), opss...),
+		BandwidthGbps: s.BandwidthGbps,
+	}
+	sort.Slice(patched.OPSs, func(i, j int) bool { return patched.OPSs[i] < patched.OPSs[j] })
+	for _, ops := range patched.OPSs {
+		m.owner[ops] = id
+	}
+	m.slices[id] = patched
+	return patched, nil
+}
+
 // UpdateBandwidth changes a slice's bandwidth reservation in place —
 // the slice-level effect of an NFC modification (§IV-B).
 func (m *SliceManager) UpdateBandwidth(id SliceID, bandwidthGbps float64) error {

@@ -29,6 +29,38 @@ func DefaultBatchWorkers() int {
 	return n
 }
 
+// runPool runs fn(i) for every i in [0, n) over a bounded worker pool
+// and blocks until all calls return. It is the pool shape shared by
+// batch provisioning and failure reconciliation; workers <= 0 selects
+// DefaultBatchWorkers.
+func runPool(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultBatchWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
 // ProvisionBatch provisions independent chain specs concurrently over a
 // bounded worker pool and returns one result per spec, in input order.
 // Individual failures do not abort the batch: each failed spec is
@@ -45,12 +77,6 @@ func (o *Orchestrator) ProvisionBatch(specs []chain.Spec, workers int) []BatchRe
 	if len(specs) == 0 {
 		return results
 	}
-	if workers <= 0 {
-		workers = DefaultBatchWorkers()
-	}
-	if workers > len(specs) {
-		workers = len(specs)
-	}
 
 	// Reject intra-batch flow-key duplicates before spawning workers;
 	// everything else (validation, capacity) is reported per item by
@@ -66,28 +92,15 @@ func (o *Orchestrator) ProvisionBatch(specs []chain.Spec, workers int) []BatchRe
 		seen[key] = i
 	}
 
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				dep, err := o.Provision(specs[i])
-				results[i] = BatchResult{Index: i, Deployment: dep, Err: err}
-			}
-		}()
-	}
-	for i := range specs {
+	runPool(len(specs), workers, func(i int) {
 		if first, ok := dup[i]; ok {
 			results[i] = BatchResult{Index: i, Err: fmt.Errorf(
 				"orch: batch: spec %d duplicates flow key %q of spec %d",
 				i, specs[i].Tenant+"/"+specs[i].Name, first)}
-			continue
+			return
 		}
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+		dep, err := o.Provision(specs[i])
+		results[i] = BatchResult{Index: i, Deployment: dep, Err: err}
+	})
 	return results
 }

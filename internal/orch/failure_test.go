@@ -47,10 +47,11 @@ func TestHandleNodeFailureOPS(t *testing.T) {
 	}
 	// Fail one OPS of the deployment's slice.
 	failed := dep.Slice.OPSs[0]
-	repaired, err := o.HandleNodeFailure(failed)
+	reports, err := o.HandleNodeFailure(failed)
 	if err != nil {
 		t.Fatalf("HandleNodeFailure: %v", err)
 	}
+	repaired := RepairedIDs(reports)
 	if len(repaired) != 1 || repaired[0] != dep.ID {
 		t.Fatalf("repaired = %v, want [%d]", repaired, dep.ID)
 	}
@@ -91,11 +92,11 @@ func TestHandleNodeFailureVNFHostPM(t *testing.T) {
 	if pmHost == 0 {
 		t.Skip("no electronic VNF in this placement")
 	}
-	repaired, err := o.HandleNodeFailure(pmHost)
+	reports, err := o.HandleNodeFailure(pmHost)
 	if err != nil {
 		t.Fatalf("HandleNodeFailure: %v", err)
 	}
-	if len(repaired) != 1 {
+	if repaired := RepairedIDs(reports); len(repaired) != 1 {
 		t.Fatalf("repaired = %v", repaired)
 	}
 	got := o.Deployment(dep.ID)
@@ -135,11 +136,11 @@ func TestHandleNodeFailureUntouchedDeploymentsUnaffected(t *testing.T) {
 	if target == 0 {
 		t.Skip("no exclusive OPS found")
 	}
-	repaired, err := o.HandleNodeFailure(target)
+	reports, err := o.HandleNodeFailure(target)
 	if err != nil {
 		t.Fatalf("HandleNodeFailure: %v", err)
 	}
-	for _, id := range repaired {
+	for _, id := range RepairedIDs(reports) {
 		if id == d2.ID {
 			t.Fatal("unaffected deployment was repaired")
 		}

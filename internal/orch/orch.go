@@ -10,9 +10,14 @@
 // (WDM) on the optical segments.
 //
 // Beyond the paper's five verbs the orchestrator also repairs: when a
-// node fails (HandleNodeFailure) every affected chain is torn down and
-// rebuilt around the failure, exercising the architecture's claimed
-// flexibility.
+// node fails (HandleNodeFailure) a differential reconciliation engine
+// (reconcile.go) classifies the damage per affected chain and re-runs
+// only the provisioning stages the failure invalidated — re-path,
+// single-VNF replacement, or AL/slice patch — falling back to a full
+// teardown-and-rebuild only when patching is impossible. This is the
+// paper's central claim (§III) made operational: failures are confined
+// to "the few switches of one AL" instead of re-provisioning the
+// world.
 package orch
 
 import (
@@ -166,9 +171,30 @@ type Orchestrator struct {
 	// the other's rules).
 	flowKeys map[string]DeploymentID
 	// busy marks deployments with an exclusive operation (repair, move,
-	// delete) in flight, so those verbs cannot interleave teardowns.
+	// delete, upgrade, scale) in flight, so those verbs cannot
+	// interleave teardowns.
 	busy   map[DeploymentID]bool
 	nextID DeploymentID
+
+	// nodeIndex is the reverse index node → deployments whose footprint
+	// (slice OPSs, VNF hosts, path nodes) includes it, maintained on
+	// provision/repair/move/delete so failure impact is an O(1) lookup
+	// instead of an O(deployments × path-length) scan. Guarded by mu.
+	nodeIndex map[topology.NodeID]map[DeploymentID]struct{}
+
+	// vmIdx caches the live VMs offering each service (see liveVMs).
+	vmIdx vmIndex
+}
+
+// vmIndex caches the liveness-filtered service → VM grouping so the
+// provisioning pipeline does not rebuild the full VM-by-service map (a
+// scan of every topology node) on every chain build. Node liveness
+// transitions (HandleNodeFailure, RecoverNode) invalidate it
+// wholesale; the next build re-derives it once.
+type vmIndex struct {
+	mu        sync.Mutex
+	valid     bool
+	byService map[string][]topology.NodeID
 }
 
 // New builds an orchestrator over the given topology.
@@ -232,7 +258,98 @@ func New(cfg Config) (*Orchestrator, error) {
 		deployments: make(map[DeploymentID]*Deployment),
 		flowKeys:    make(map[string]DeploymentID),
 		busy:        make(map[DeploymentID]bool),
+		nodeIndex:   make(map[topology.NodeID]map[DeploymentID]struct{}),
 	}, nil
+}
+
+// liveVMs returns the live VMs (VM up, host PM up) offering the given
+// service, sorted by node ID, from the cached service index. Callers
+// must hold topoMu (either side) and must not mutate the returned
+// slice.
+func (o *Orchestrator) liveVMs(service string) []topology.NodeID {
+	o.vmIdx.mu.Lock()
+	defer o.vmIdx.mu.Unlock()
+	if !o.vmIdx.valid {
+		idx := make(map[string][]topology.NodeID)
+		// VMsByService iterates nodes in ID order, so each cached group
+		// is already sorted.
+		for svc, vms := range o.topo.VMsByService() {
+			live := make([]topology.NodeID, 0, len(vms))
+			for _, vm := range vms {
+				n := o.topo.Node(vm)
+				host := o.topo.Node(n.Host)
+				if !n.Down && host != nil && !host.Down {
+					live = append(live, vm)
+				}
+			}
+			idx[svc] = live
+		}
+		o.vmIdx.byService = idx
+		o.vmIdx.valid = true
+	}
+	return o.vmIdx.byService[service]
+}
+
+// InvalidateVMCache drops the cached service → live-VM index. The
+// orchestrator invalidates it on its own liveness transitions
+// (HandleNodeFailure, RecoverNode); callers that mutate the shared
+// topology directly (VM churn, link failures) must call this
+// themselves.
+func (o *Orchestrator) InvalidateVMCache() {
+	o.vmIdx.mu.Lock()
+	o.vmIdx.valid = false
+	o.vmIdx.mu.Unlock()
+}
+
+// indexLocked adds the deployment's current footprint to the reverse
+// node index. Caller holds o.mu.
+func (o *Orchestrator) indexLocked(dep *Deployment) {
+	for _, n := range dep.footprint() {
+		set := o.nodeIndex[n]
+		if set == nil {
+			set = make(map[DeploymentID]struct{})
+			o.nodeIndex[n] = set
+		}
+		set[dep.ID] = struct{}{}
+	}
+}
+
+// unindexLocked removes the deployment's current footprint from the
+// reverse node index; call it before mutating the footprint fields.
+// Caller holds o.mu.
+func (o *Orchestrator) unindexLocked(dep *Deployment) {
+	for _, n := range dep.footprint() {
+		set := o.nodeIndex[n]
+		delete(set, dep.ID)
+		if len(set) == 0 {
+			delete(o.nodeIndex, n)
+		}
+	}
+}
+
+// footprint returns the deduplicated nodes this deployment depends on:
+// its slice's OPSs, its VNF hosts, and every node on its path.
+func (d *Deployment) footprint() []topology.NodeID {
+	seen := make(map[topology.NodeID]struct{}, len(d.Path)+len(d.Placement.Hosts))
+	var out []topology.NodeID
+	add := func(n topology.NodeID) {
+		if _, dup := seen[n]; !dup {
+			seen[n] = struct{}{}
+			out = append(out, n)
+		}
+	}
+	if d.Slice != nil {
+		for _, n := range d.Slice.OPSs {
+			add(n)
+		}
+	}
+	for _, n := range d.Placement.Hosts {
+		add(n)
+	}
+	for _, n := range d.Path {
+		add(n)
+	}
+	return out
 }
 
 // beginExclusive claims the deployment for an exclusive operation. The
@@ -274,148 +391,18 @@ func (o *Orchestrator) Slices() *optical.SliceManager { return o.slices }
 // WDM exposes the wavelength allocator (nil when disabled).
 func (o *Orchestrator) WDM() *optical.WDM { return o.wdm }
 
-// build is the provisioning pipeline shared by Provision and Repair.
-// On error all partial state created by this call is rolled back.
-type build struct {
-	vc        *cluster.VC
-	slice     *optical.Slice
-	instances []nfv.InstanceID
-	place     placement.Result
-	path      []topology.NodeID
-	confined  bool
-	lambda    int
-}
-
-func (o *Orchestrator) buildChain(spec chain.Spec, flowKey string) (*build, error) {
-	vms := o.topo.VMsByService()[spec.Service]
-	live := vms[:0]
-	for _, vm := range vms {
-		n := o.topo.Node(vm)
-		host := o.topo.Node(n.Host)
-		if !n.Down && host != nil && !host.Down {
-			live = append(live, vm)
-		}
-	}
-	vms = live
-	if len(vms) == 0 {
-		return nil, fmt.Errorf("no live VMs offer service %q", spec.Service)
-	}
-	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
-
-	var undo []func()
-	rollback := func() {
-		for i := len(undo) - 1; i >= 0; i-- {
-			undo[i]()
-		}
-	}
-
-	// 1. Virtual cluster: one VC per NFC (§IV-C), AL disjoint from all
-	// other chains' ALs.
-	vc, err := o.alloc.BuildVC(spec.Service, vms)
+// buildChain runs the full provisioning pipeline (pipeline.go) for a
+// spec. On error all partial state created by this call is rolled
+// back. Caller holds topoMu (read side).
+func (o *Orchestrator) buildChain(spec chain.Spec, flowKey string) (*pipeline, error) {
+	p, err := o.newPipeline(spec, flowKey)
 	if err != nil {
 		return nil, err
 	}
-	undo = append(undo, func() { _ = o.alloc.Release(vc.ID) })
-
-	// 2. Optical slice = the AL (§IV-C).
-	slice, err := o.slices.Allocate(spec.Tenant, vc.AL.OPSs, spec.BandwidthGbps)
-	if err != nil {
-		rollback()
-		return nil, fmt.Errorf("slice: %w", err)
-	}
-	undo = append(undo, func() { _ = o.slices.Release(slice.ID) })
-
-	// 3. Resolve the chain and apply per-request demand overrides.
-	profiles, err := nfv.ResolveChain(spec.NFNames())
-	if err != nil {
-		rollback()
+	if err := p.runFrom(stageCluster); err != nil {
 		return nil, err
 	}
-	for i, ref := range spec.NFs {
-		if !ref.Demand.IsZero() {
-			profiles[i].Demand = ref.Demand
-		}
-	}
-
-	// 4. Place VNFs: optical candidates are the AL's optoelectronic
-	// routers; electronic candidates the PMs hosting the service VMs.
-	opticalHosts := o.optoelectronicOf(vc.AL.OPSs)
-	electronicHosts := o.pmsOf(vms)
-	ctx, err := placement.NewContext(o.topo, o.mgr.Ledger(), opticalHosts, electronicHosts, profiles, o.mode)
-	if err != nil {
-		rollback()
-		return nil, err
-	}
-	place, err := o.policy.Place(ctx)
-	if err != nil {
-		rollback()
-		return nil, fmt.Errorf("placement: %w", err)
-	}
-
-	// 5. Instantiate and activate each VNF through the NFV manager.
-	var instances []nfv.InstanceID
-	for i, p := range profiles {
-		inst, err := o.mgr.Create(p.Type, place.Hosts[i])
-		if err != nil {
-			rollback()
-			return nil, fmt.Errorf("create VNF %d: %w", i, err)
-		}
-		id := inst.ID
-		undo = append(undo, func() { _ = o.mgr.Terminate(id) })
-		if err := o.mgr.Activate(id); err != nil {
-			rollback()
-			return nil, fmt.Errorf("activate VNF %d: %w", i, err)
-		}
-		instances = append(instances, id)
-	}
-
-	// 6. Provision connectivity src VM → VNF hosts → dst VM, preferring
-	// a slice-confined route.
-	src, dst := vms[0], vms[len(vms)-1]
-	confined := true
-	path, err := o.ctrl.ComputePathVia(src, place.Hosts, dst, slice.OPSSet())
-	if err != nil {
-		confined = false
-		path, err = o.ctrl.ComputePathVia(src, place.Hosts, dst, nil)
-	}
-	if err != nil {
-		rollback()
-		return nil, fmt.Errorf("path: %w", err)
-	}
-
-	// 7. Wavelength assignment on the optical segments (optional).
-	lambda := -1
-	if o.wdm != nil {
-		links, err := optical.OpticalSegmentLinks(o.topo, path)
-		if err != nil {
-			rollback()
-			return nil, fmt.Errorf("wdm: %w", err)
-		}
-		if len(links) > 0 {
-			lambda, err = o.wdm.AssignPath(flowKey, links)
-			if err != nil {
-				rollback()
-				return nil, fmt.Errorf("wdm: %w", err)
-			}
-			undo = append(undo, func() { _ = o.wdm.Release(flowKey) })
-		}
-	}
-
-	// 8. Flow rules along the path.
-	match := sdn.Match{FlowKey: flowKey, Src: src, Dst: dst}
-	if _, err := o.ctrl.InstallPath(match, path, 100); err != nil {
-		rollback()
-		return nil, fmt.Errorf("install: %w", err)
-	}
-	return &build{
-		vc:        vc,
-		slice:     slice,
-		instances: instances,
-		place:     place,
-		path:      path,
-		confined:  confined,
-		lambda:    lambda,
-	}, nil
+	return p, nil
 }
 
 // teardown releases everything a build holds. Errors are collected into
@@ -479,29 +466,24 @@ func (o *Orchestrator) Provision(spec chain.Spec) (*Deployment, error) {
 	defer o.mu.Unlock()
 	o.nextID++
 	dep := &Deployment{
-		ID:            o.nextID,
-		Spec:          spec,
-		State:         StateActive,
-		Version:       1,
-		VC:            b.vc,
-		Slice:         b.slice,
-		Instances:     b.instances,
-		Placement:     b.place,
-		Path:          b.path,
-		SliceConfined: b.confined,
-		Lambda:        b.lambda,
-		Conversions:   b.place.Conversions,
-		EnergyJoules:  o.costModel.TotalEnergy(b.place.Conversions, spec.FlowBytes),
+		ID:      o.nextID,
+		Spec:    spec,
+		State:   StateActive,
+		Version: 1,
 	}
+	b.apply(dep)
 	o.deployments[dep.ID] = dep
 	o.flowKeys[flowKey] = dep.ID
+	o.indexLocked(dep)
 	return o.snapshot(dep), nil
 }
 
 // Repair tears an active deployment's resources down and rebuilds the
-// chain around the current topology state (e.g. after a node failure).
-// On success the deployment stays Active with Repairs incremented; on
-// failure its resources are released and it transitions to Failed.
+// chain from scratch around the current topology state. This is the
+// heavyweight path; HandleNodeFailure prefers the differential repairs
+// in reconcile.go and only falls back to this. On success the
+// deployment stays Active with Repairs incremented; on failure its
+// resources are released and it transitions to Failed.
 func (o *Orchestrator) Repair(id DeploymentID) error {
 	dep, err := o.beginExclusive(id)
 	if err != nil {
@@ -511,100 +493,46 @@ func (o *Orchestrator) Repair(id DeploymentID) error {
 
 	o.topoMu.RLock()
 	defer o.topoMu.RUnlock()
+	if err := o.rebuild(dep); err != nil {
+		return fmt.Errorf("orch: repair %d: %w", id, err)
+	}
+	return nil
+}
+
+// rebuild is the teardown-and-rebuild-everything repair. The caller
+// holds the deployment's exclusive claim and topoMu (read side). The
+// deployment stays in the reverse index throughout; the commit swaps
+// the index entries atomically with the fields, and the failure paths
+// unindex via failLocked.
+func (o *Orchestrator) rebuild(dep *Deployment) error {
 	// Tear down outside the lock (manager/controller have their own).
 	if err := o.teardown(dep); err != nil {
 		// Resource release failed irrecoverably; mark failed.
 		o.failLocked(dep)
-		return fmt.Errorf("orch: repair %d: teardown: %w", id, err)
+		return fmt.Errorf("teardown: %w", err)
 	}
 	b, err := o.buildChain(dep.Spec, dep.FlowKey())
 	if err != nil {
 		o.failLocked(dep)
-		return fmt.Errorf("orch: repair %d: rebuild: %w", id, err)
+		return fmt.Errorf("rebuild: %w", err)
 	}
 	o.mu.Lock()
-	dep.VC = b.vc
-	dep.Slice = b.slice
-	dep.Instances = b.instances
-	dep.Placement = b.place
-	dep.Path = b.path
-	dep.SliceConfined = b.confined
-	dep.Lambda = b.lambda
-	dep.Conversions = b.place.Conversions
-	dep.EnergyJoules = o.costModel.TotalEnergy(b.place.Conversions, dep.Spec.FlowBytes)
+	o.unindexLocked(dep)
+	b.apply(dep)
+	o.indexLocked(dep)
 	dep.Repairs++
 	o.mu.Unlock()
 	return nil
 }
 
 // failLocked transitions a deployment to Failed and frees its flow-key
-// reservation (its resources are already released).
+// reservation and index entries (its resources are already released).
 func (o *Orchestrator) failLocked(dep *Deployment) {
 	o.mu.Lock()
+	o.unindexLocked(dep)
 	dep.State = StateFailed
 	delete(o.flowKeys, dep.FlowKey())
 	o.mu.Unlock()
-}
-
-// HandleNodeFailure marks the node as down and repairs every active
-// deployment that used it (in its slice, as a VNF host, or on its
-// path). It returns the IDs whose repair succeeded; deployments whose
-// repair failed transition to Failed and are reported in err.
-func (o *Orchestrator) HandleNodeFailure(node topology.NodeID) ([]DeploymentID, error) {
-	o.topoMu.Lock()
-	err := o.topo.SetNodeDown(node, true)
-	o.topoMu.Unlock()
-	if err != nil {
-		return nil, fmt.Errorf("orch: node failure: %w", err)
-	}
-	affected := o.affectedBy(node)
-	var repaired []DeploymentID
-	var firstErr error
-	for _, id := range affected {
-		if err := o.Repair(id); err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		repaired = append(repaired, id)
-	}
-	return repaired, firstErr
-}
-
-func (o *Orchestrator) affectedBy(node topology.NodeID) []DeploymentID {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	var out []DeploymentID
-	for _, dep := range o.deployments {
-		if dep.State != StateActive {
-			continue
-		}
-		if dep.Slice.Contains(node) {
-			out = append(out, dep.ID)
-			continue
-		}
-		hit := false
-		for _, h := range dep.Placement.Hosts {
-			if h == node {
-				hit = true
-				break
-			}
-		}
-		if !hit {
-			for _, p := range dep.Path {
-				if p == node {
-					hit = true
-					break
-				}
-			}
-		}
-		if hit {
-			out = append(out, dep.ID)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 // MoveNF migrates the chain's NF at position idx to another hosting-
@@ -612,6 +540,12 @@ func (o *Orchestrator) affectedBy(node topology.NodeID) []DeploymentID {
 // re-provisions the path and wavelength around the new location. The
 // O/E/O accounting is updated: moving a VNF between domains changes the
 // conversion count exactly as §IV-D describes.
+//
+// The operation is transactional: the deployment record is not touched
+// until the new path, wavelength and rules are all in place (rules
+// swap make-before-break), and a failure after the migration moves the
+// instance back to its original host, so an error never leaves the
+// placement and the installed rules disagreeing.
 func (o *Orchestrator) MoveNF(id DeploymentID, idx int, to topology.NodeID) error {
 	dep, err := o.beginExclusive(id)
 	if err != nil {
@@ -628,57 +562,74 @@ func (o *Orchestrator) MoveNF(id DeploymentID, idx int, to topology.NodeID) erro
 	inst := dep.Instances[idx]
 	o.mu.Unlock()
 
+	before := o.mgr.Instance(inst)
+	if before == nil {
+		return fmt.Errorf("orch: move: unknown instance %d", inst)
+	}
 	if err := o.mgr.Migrate(inst, to); err != nil {
 		return fmt.Errorf("orch: move deployment %d NF %d: %w", id, idx, err)
 	}
 	migrated := o.mgr.Instance(inst)
 
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	dep.Placement.Hosts = append([]topology.NodeID(nil), dep.Placement.Hosts...)
-	dep.Placement.Domains = append([]topology.Domain(nil), dep.Placement.Domains...)
-	dep.Placement.Hosts[idx] = to
-	dep.Placement.Domains[idx] = migrated.Domain
-	dep.Placement.Conversions = placement.CountOEO(dep.Placement.Domains, o.mode)
-	dep.Conversions = dep.Placement.Conversions
-	dep.EnergyJoules = o.costModel.TotalEnergy(dep.Conversions, dep.Spec.FlowBytes)
-
-	// Re-provision connectivity through the new host.
-	src, dst := dep.Path[0], dep.Path[len(dep.Path)-1]
-	confined := true
-	path, err := o.ctrl.ComputePathVia(src, dep.Placement.Hosts, dst, dep.Slice.OPSSet())
-	if err != nil {
-		confined = false
-		path, err = o.ctrl.ComputePathVia(src, dep.Placement.Hosts, dst, nil)
-	}
-	if err != nil {
-		return fmt.Errorf("orch: move deployment %d: re-path: %w", id, err)
-	}
-	o.ctrl.RemoveFlow(dep.FlowKey())
-	if o.wdm != nil {
-		if _, ok := o.wdm.AssignmentOf(dep.FlowKey()); ok {
-			_ = o.wdm.Release(dep.FlowKey())
-		}
-		links, err := optical.OpticalSegmentLinks(o.topo, path)
-		if err != nil {
-			return fmt.Errorf("orch: move deployment %d: wdm: %w", id, err)
-		}
-		dep.Lambda = -1
-		if len(links) > 0 {
-			lambda, err := o.wdm.AssignPath(dep.FlowKey(), links)
-			if err != nil {
-				return fmt.Errorf("orch: move deployment %d: wdm: %w", id, err)
+	// Stage the new placement and re-run only the connectivity stages
+	// of the pipeline (path → WDM → rules).
+	p := o.pipelineFrom(dep)
+	p.place.Hosts[idx] = to
+	p.place.Domains[idx] = migrated.Domain
+	p.place.Conversions = placement.CountOEO(p.place.Domains, o.mode)
+	if err := p.runFrom(stagePath); err != nil {
+		// Re-path (or λ assignment) failed: the old rules were never
+		// removed, so moving the instance back restores the previous
+		// state exactly; the wavelength is re-reserved best-effort.
+		if mErr := o.mgr.Migrate(inst, before.Host); mErr != nil {
+			// The original host's capacity was claimed in the meantime;
+			// a move-back cannot realign the record with reality, so
+			// reconcile by rebuilding the chain in place (the failure
+			// path transitions it to Failed).
+			if rErr := o.rebuild(dep); rErr != nil {
+				return fmt.Errorf("orch: move deployment %d: %v (restore: %v; %w)", id, err, mErr, rErr)
 			}
-			dep.Lambda = lambda
+			return fmt.Errorf("orch: move deployment %d: %v (restore failed: %v; chain rebuilt in place)", id, err, mErr)
+		}
+		o.restoreWavelength(dep)
+		return fmt.Errorf("orch: move deployment %d: %w", id, err)
+	}
+
+	o.mu.Lock()
+	o.unindexLocked(dep)
+	p.apply(dep)
+	o.indexLocked(dep)
+	o.mu.Unlock()
+	return nil
+}
+
+// restoreWavelength re-reserves a wavelength on the deployment's
+// current path after an aborted connectivity re-run released it. The
+// continuity constraint still holds; the λ value may differ from the
+// original, and exhaustion leaves the flow unassigned (best-effort).
+func (o *Orchestrator) restoreWavelength(dep *Deployment) {
+	if o.wdm == nil {
+		return
+	}
+	if _, ok := o.wdm.AssignmentOf(dep.FlowKey()); ok {
+		return
+	}
+	o.mu.Lock()
+	path := dep.Path
+	hadLambda := dep.Lambda >= 0
+	o.mu.Unlock()
+	if !hadLambda {
+		return
+	}
+	lambda := -1
+	if links, err := optical.OpticalSegmentLinks(o.topo, path); err == nil && len(links) > 0 {
+		if l, err := o.wdm.AssignPath(dep.FlowKey(), links); err == nil {
+			lambda = l
 		}
 	}
-	match := sdn.Match{FlowKey: dep.FlowKey(), Src: src, Dst: dst}
-	if _, err := o.ctrl.InstallPath(match, path, 100); err != nil {
-		return fmt.Errorf("orch: move deployment %d: install: %w", id, err)
-	}
-	dep.Path = path
-	dep.SliceConfined = confined
-	return nil
+	o.mu.Lock()
+	dep.Lambda = lambda
+	o.mu.Unlock()
 }
 
 // Modify changes a deployment's bandwidth reservation (§IV-B:
@@ -701,14 +652,16 @@ func (o *Orchestrator) Modify(id DeploymentID, bandwidthGbps float64) error {
 }
 
 // Upgrade performs a rolling version upgrade of every VNF in the chain
-// (§IV-B: upgradation).
+// (§IV-B: upgradation). It claims the deployment's exclusive-operation
+// guard, so a concurrent Delete or Repair surfaces as ErrBusy instead
+// of terminating instances mid-upgrade.
 func (o *Orchestrator) Upgrade(id DeploymentID) error {
-	o.mu.Lock()
-	dep, err := o.activeLocked(id)
+	dep, err := o.beginExclusive(id)
 	if err != nil {
-		o.mu.Unlock()
 		return fmt.Errorf("orch: upgrade: %w", err)
 	}
+	defer o.endExclusive(id)
+	o.mu.Lock()
 	instances := append([]nfv.InstanceID(nil), dep.Instances...)
 	o.mu.Unlock()
 	for _, inst := range instances {
@@ -723,14 +676,16 @@ func (o *Orchestrator) Upgrade(id DeploymentID) error {
 }
 
 // ScaleNF scales the chain's NF at position idx to the given replica
-// count (§IV-B: scaling during the VNF life cycle).
+// count (§IV-B: scaling during the VNF life cycle). Like Upgrade it
+// holds the exclusive-operation guard so the instance cannot be torn
+// down mid-scale by a concurrent Delete.
 func (o *Orchestrator) ScaleNF(id DeploymentID, idx, replicas int) error {
-	o.mu.Lock()
-	dep, err := o.activeLocked(id)
+	dep, err := o.beginExclusive(id)
 	if err != nil {
-		o.mu.Unlock()
 		return fmt.Errorf("orch: scale: %w", err)
 	}
+	defer o.endExclusive(id)
+	o.mu.Lock()
 	if idx < 0 || idx >= len(dep.Instances) {
 		o.mu.Unlock()
 		return fmt.Errorf("orch: scale: NF index %d out of range [0,%d)", idx, len(dep.Instances))
@@ -753,6 +708,7 @@ func (o *Orchestrator) Delete(id DeploymentID) error {
 	}
 	defer o.endExclusive(id)
 	o.mu.Lock()
+	o.unindexLocked(dep)
 	dep.State = StateDeleted
 	delete(o.flowKeys, dep.FlowKey())
 	o.mu.Unlock()
@@ -817,6 +773,7 @@ func (o *Orchestrator) RecoverNode(node topology.NodeID) error {
 	if err := o.topo.SetNodeDown(node, false); err != nil {
 		return fmt.Errorf("orch: recover node: %w", err)
 	}
+	o.InvalidateVMCache()
 	return nil
 }
 

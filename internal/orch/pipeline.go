@@ -1,0 +1,328 @@
+package orch
+
+import (
+	"fmt"
+
+	"github.com/alvc/alvc/internal/chain"
+	"github.com/alvc/alvc/internal/cluster"
+	"github.com/alvc/alvc/internal/nfv"
+	"github.com/alvc/alvc/internal/optical"
+	"github.com/alvc/alvc/internal/placement"
+	"github.com/alvc/alvc/internal/sdn"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// stageID names one stage of the provisioning pipeline. Stages run in
+// declaration order; each registers an undo for what it created, so a
+// failed run unwinds only its own side effects. Repair re-enters the
+// pipeline at the first stage a failure invalidated (runFrom) instead
+// of always rebuilding from stageCluster.
+type stageID int
+
+// Pipeline stages, in execution order.
+const (
+	// stageCluster builds the virtual cluster: one VC per NFC (§IV-C),
+	// its AL disjoint from all other chains' ALs.
+	stageCluster stageID = iota
+	// stageSlice allocates the optical slice — the AL itself (§IV-C).
+	stageSlice
+	// stagePlacement decides the hosting domain of every VNF.
+	stagePlacement
+	// stageInstantiate creates and activates the VNF instances.
+	stageInstantiate
+	// stagePath computes the route src VM → VNF hosts → dst VM,
+	// preferring a slice-confined route.
+	stagePath
+	// stageWDM assigns a wavelength on the path's optical segments
+	// (skipped when WDM is disabled).
+	stageWDM
+	// stageRules swaps the flow rules along the path in make-before-
+	// break order.
+	stageRules
+	numStages
+)
+
+// String returns the stage name.
+func (s stageID) String() string {
+	switch s {
+	case stageCluster:
+		return "cluster"
+	case stageSlice:
+		return "slice"
+	case stagePlacement:
+		return "placement"
+	case stageInstantiate:
+		return "instantiate"
+	case stagePath:
+		return "path"
+	case stageWDM:
+		return "wdm"
+	case stageRules:
+		return "rules"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// pipeline carries one chain build (or partial rebuild) through the
+// staged provisioning sequence. A fresh pipeline (newPipeline) starts
+// empty and runs every stage; a seeded pipeline (pipelineFrom) starts
+// from a live deployment's surviving state so repair can re-run only
+// the invalidated suffix. Callers must hold topoMu (read side).
+type pipeline struct {
+	o       *Orchestrator
+	spec    chain.Spec
+	flowKey string
+
+	// vms are the live VMs offering the spec's service (full builds
+	// only; seeded pipelines keep the deployment's endpoints instead).
+	vms      []topology.NodeID
+	profiles []nfv.NFProfile
+	src, dst topology.NodeID
+
+	vc        *cluster.VC
+	slice     *optical.Slice
+	place     placement.Result
+	instances []nfv.InstanceID
+	path      []topology.NodeID
+	confined  bool
+	lambda    int
+
+	// reentry marks a pipeline seeded from a live deployment: its
+	// connectivity stages must swap the previous generation of
+	// wavelength and rules instead of plainly installing.
+	reentry bool
+
+	undo []func()
+}
+
+// newPipeline resolves the spec (live VMs, NF profiles with demand
+// overrides) and returns a pipeline ready to run from stageCluster.
+func (o *Orchestrator) newPipeline(spec chain.Spec, flowKey string) (*pipeline, error) {
+	vms := o.liveVMs(spec.Service)
+	if len(vms) == 0 {
+		return nil, fmt.Errorf("no live VMs offer service %q", spec.Service)
+	}
+	profiles, err := nfv.ResolveChain(spec.NFNames())
+	if err != nil {
+		return nil, err
+	}
+	for i, ref := range spec.NFs {
+		if !ref.Demand.IsZero() {
+			profiles[i].Demand = ref.Demand
+		}
+	}
+	return &pipeline{
+		o:        o,
+		spec:     spec,
+		flowKey:  flowKey,
+		vms:      vms,
+		profiles: profiles,
+		src:      vms[0],
+		dst:      vms[len(vms)-1],
+		lambda:   -1,
+	}, nil
+}
+
+// pipelineFrom seeds a pipeline with a deployment's surviving state.
+// Placement is deep-copied so in-flight mutation (instance migration)
+// never races snapshot readers; the remaining fields are immutable
+// records or replaced wholesale by the stages that recompute them. The
+// caller must hold the deployment's exclusive-operation claim.
+func (o *Orchestrator) pipelineFrom(dep *Deployment) *pipeline {
+	place := dep.Placement
+	place.Hosts = append([]topology.NodeID(nil), dep.Placement.Hosts...)
+	place.Domains = append([]topology.Domain(nil), dep.Placement.Domains...)
+	return &pipeline{
+		o:         o,
+		spec:      dep.Spec,
+		flowKey:   dep.FlowKey(),
+		src:       dep.Path[0],
+		dst:       dep.Path[len(dep.Path)-1],
+		vc:        dep.VC,
+		slice:     dep.Slice,
+		place:     place,
+		instances: dep.Instances,
+		path:      dep.Path,
+		confined:  dep.SliceConfined,
+		lambda:    dep.Lambda,
+		reentry:   true,
+	}
+}
+
+func (p *pipeline) pushUndo(f func()) { p.undo = append(p.undo, f) }
+
+// rollback unwinds, in reverse order, everything the stages run so far
+// created.
+func (p *pipeline) rollback() {
+	for i := len(p.undo) - 1; i >= 0; i-- {
+		p.undo[i]()
+	}
+	p.undo = nil
+}
+
+// runFrom executes the pipeline from the given stage to the end. On
+// error every undo registered by this pipeline is unwound and the
+// error is returned annotated with the failing stage.
+func (p *pipeline) runFrom(first stageID) error {
+	for s := first; s < numStages; s++ {
+		if err := p.runStage(s); err != nil {
+			p.rollback()
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *pipeline) runStage(s stageID) error {
+	switch s {
+	case stageCluster:
+		return p.runCluster()
+	case stageSlice:
+		return p.runSlice()
+	case stagePlacement:
+		return p.runPlacement()
+	case stageInstantiate:
+		return p.runInstantiate()
+	case stagePath:
+		return p.runPath()
+	case stageWDM:
+		return p.runWDM()
+	case stageRules:
+		return p.runRules()
+	default:
+		return fmt.Errorf("orch: unknown pipeline stage %d", int(s))
+	}
+}
+
+func (p *pipeline) runCluster() error {
+	vc, err := p.o.alloc.BuildVC(p.spec.Service, p.vms)
+	if err != nil {
+		return err
+	}
+	p.vc = vc
+	p.pushUndo(func() { _ = p.o.alloc.Release(vc.ID) })
+	return nil
+}
+
+func (p *pipeline) runSlice() error {
+	slice, err := p.o.slices.Allocate(p.spec.Tenant, p.vc.AL.OPSs, p.spec.BandwidthGbps)
+	if err != nil {
+		return fmt.Errorf("slice: %w", err)
+	}
+	p.slice = slice
+	p.pushUndo(func() { _ = p.o.slices.Release(slice.ID) })
+	return nil
+}
+
+func (p *pipeline) runPlacement() error {
+	// Optical candidates are the AL's optoelectronic routers;
+	// electronic candidates the PMs hosting the service VMs.
+	opticalHosts := p.o.optoelectronicOf(p.vc.AL.OPSs)
+	electronicHosts := p.o.pmsOf(p.vms)
+	ctx, err := placement.NewContext(p.o.topo, p.o.mgr.Ledger(), opticalHosts, electronicHosts, p.profiles, p.o.mode)
+	if err != nil {
+		return err
+	}
+	place, err := p.o.policy.Place(ctx)
+	if err != nil {
+		return fmt.Errorf("placement: %w", err)
+	}
+	p.place = place
+	return nil
+}
+
+func (p *pipeline) runInstantiate() error {
+	p.instances = nil
+	for i, prof := range p.profiles {
+		inst, err := p.o.mgr.Create(prof.Type, p.place.Hosts[i])
+		if err != nil {
+			return fmt.Errorf("create VNF %d: %w", i, err)
+		}
+		id := inst.ID
+		p.pushUndo(func() { _ = p.o.mgr.Terminate(id) })
+		if err := p.o.mgr.Activate(id); err != nil {
+			return fmt.Errorf("activate VNF %d: %w", i, err)
+		}
+		p.instances = append(p.instances, id)
+	}
+	return nil
+}
+
+func (p *pipeline) runPath() error {
+	p.confined = true
+	path, err := p.o.ctrl.ComputePathVia(p.src, p.place.Hosts, p.dst, p.slice.OPSSet())
+	if err != nil {
+		p.confined = false
+		path, err = p.o.ctrl.ComputePathVia(p.src, p.place.Hosts, p.dst, nil)
+	}
+	if err != nil {
+		return fmt.Errorf("path: %w", err)
+	}
+	p.path = path
+	return nil
+}
+
+func (p *pipeline) runWDM() error {
+	p.lambda = -1
+	if p.o.wdm == nil {
+		return nil
+	}
+	// A stage re-run during repair may find the flow still holding its
+	// previous wavelength: release it first so the old links are free
+	// for reuse (continuity-constrained first-fit often wants them).
+	if p.reentry {
+		if _, ok := p.o.wdm.AssignmentOf(p.flowKey); ok {
+			if err := p.o.wdm.Release(p.flowKey); err != nil {
+				return fmt.Errorf("wdm: %w", err)
+			}
+		}
+	}
+	links, err := optical.OpticalSegmentLinks(p.o.topo, p.path)
+	if err != nil {
+		return fmt.Errorf("wdm: %w", err)
+	}
+	if len(links) == 0 {
+		return nil
+	}
+	lambda, err := p.o.wdm.AssignPath(p.flowKey, links)
+	if err != nil {
+		return fmt.Errorf("wdm: %w", err)
+	}
+	p.lambda = lambda
+	p.pushUndo(func() { _ = p.o.wdm.Release(p.flowKey) })
+	return nil
+}
+
+func (p *pipeline) runRules() error {
+	// Make-before-break on re-entry: a repair re-run installs the new
+	// generation of rules before the previous generation disappears. A
+	// fresh build has no previous generation and takes the plain
+	// install, which skips Reroute's old-generation table scan.
+	m := sdn.Match{FlowKey: p.flowKey, Src: p.src, Dst: p.dst}
+	var err error
+	if p.reentry {
+		_, err = p.o.ctrl.Reroute(m, p.path, 100)
+	} else {
+		_, err = p.o.ctrl.InstallPath(m, p.path, 100)
+	}
+	if err != nil {
+		return fmt.Errorf("install: %w", err)
+	}
+	p.pushUndo(func() { p.o.ctrl.RemoveFlow(p.flowKey) })
+	return nil
+}
+
+// apply copies the pipeline's outcome onto the deployment record. The
+// caller must hold o.mu (and the deployment's exclusive claim).
+func (p *pipeline) apply(dep *Deployment) {
+	dep.VC = p.vc
+	dep.Slice = p.slice
+	dep.Instances = p.instances
+	dep.Placement = p.place
+	dep.Path = p.path
+	dep.SliceConfined = p.confined
+	dep.Lambda = p.lambda
+	dep.Conversions = p.place.Conversions
+	dep.EnergyJoules = p.o.costModel.TotalEnergy(p.place.Conversions, dep.Spec.FlowBytes)
+}

@@ -1,0 +1,323 @@
+package orch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/alvc/alvc/internal/placement"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// RepairAction classifies what the reconciliation engine did to one
+// deployment after a node failure, from cheapest to most expensive.
+type RepairAction string
+
+// Repair actions.
+const (
+	// ActionRepathed: the failed node was only a transit hop — the SDN
+	// path was recomputed and the rules swapped make-before-break; the
+	// VC, slice and every VNF instance were left untouched.
+	ActionRepathed RepairAction = "repathed"
+	// ActionReplaced: the failed node hosted VNF instance(s) — only
+	// those instances migrated to surviving hosts, then the path was
+	// swapped; the VC and slice were left untouched.
+	ActionReplaced RepairAction = "replaced"
+	// ActionPatched: the failed node was an OPS of the chain's AL — the
+	// vertex cover was re-run over the broken portion reusing surviving
+	// OPSs (cluster.PatchVC) and the slice membership swapped in place
+	// (optical.PatchMembership), keeping the VC ID, slice ID and
+	// bandwidth reservation; VNFs moved only if the failed OPS hosted
+	// them.
+	ActionPatched RepairAction = "patched"
+	// ActionRebuilt: differential repair was impossible — the chain was
+	// torn down and rebuilt from scratch (the pre-reconciler behavior).
+	ActionRebuilt RepairAction = "rebuilt"
+	// ActionFailed: no repair succeeded; the deployment's resources
+	// were released and it transitioned to StateFailed.
+	ActionFailed RepairAction = "failed"
+	// ActionSkipped: nothing was done — the deployment was concurrently
+	// deleted, already claimed by another exclusive operation, or no
+	// longer touched the failed node.
+	ActionSkipped RepairAction = "skipped"
+)
+
+// RepairReport is one deployment's reconciliation outcome.
+type RepairReport struct {
+	ID     DeploymentID
+	Action RepairAction
+	// Err is set for ActionFailed (and for ActionSkipped when the skip
+	// was caused by a concurrent exclusive operation).
+	Err error
+}
+
+// Succeeded reports whether the repair left the deployment active and
+// consistent with the new topology.
+func (r RepairReport) Succeeded() bool {
+	switch r.Action {
+	case ActionRepathed, ActionReplaced, ActionPatched, ActionRebuilt:
+		return true
+	}
+	return false
+}
+
+// RepairedIDs filters a report list down to the deployments whose
+// repair succeeded, preserving order.
+func RepairedIDs(reports []RepairReport) []DeploymentID {
+	var out []DeploymentID
+	for _, r := range reports {
+		if r.Succeeded() {
+			out = append(out, r.ID)
+		}
+	}
+	return out
+}
+
+// Exclusive operations (upgrade, scale, move, delete) are short; a
+// reconciliation that finds a deployment busy retries a few times
+// before giving up and reporting the skip as an error.
+const (
+	busyRetries    = 10
+	busyRetryDelay = 10 * time.Millisecond
+)
+
+// HandleNodeFailure marks the node as down and reconciles every active
+// deployment whose footprint includes it (O(1) via the reverse index).
+// Affected chains are repaired concurrently over a bounded worker pool
+// (the ProvisionBatch pool shape); untouched chains are never visited,
+// so recovery latency scales with the damage, not with the number of
+// deployed chains. One report per affected deployment is returned in
+// ID order; err carries the first failed repair, if any.
+func (o *Orchestrator) HandleNodeFailure(node topology.NodeID) ([]RepairReport, error) {
+	o.topoMu.Lock()
+	err := o.topo.SetNodeDown(node, true)
+	if err == nil {
+		// Inside the write lock: a provision acquiring topoMu.RLock
+		// after this point must not see the stale live-VM cache.
+		o.InvalidateVMCache()
+	}
+	o.topoMu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("orch: node failure: %w", err)
+	}
+
+	affected := o.affectedBy(node)
+	reports := make([]RepairReport, len(affected))
+	runPool(len(affected), 0, func(i int) {
+		rep := o.repairAround(affected[i], node)
+		for attempt := 0; attempt < busyRetries &&
+			rep.Action == ActionSkipped && errors.Is(rep.Err, ErrBusy); attempt++ {
+			time.Sleep(busyRetryDelay)
+			rep = o.repairAround(affected[i], node)
+		}
+		reports[i] = rep
+	})
+	var firstErr error
+	for _, rep := range reports {
+		if firstErr != nil {
+			break
+		}
+		switch {
+		case rep.Action == ActionFailed:
+			firstErr = fmt.Errorf("orch: repair %d: %w", rep.ID, rep.Err)
+		case rep.Action == ActionSkipped && errors.Is(rep.Err, ErrBusy):
+			// The deployment stayed busy through every retry: it is
+			// still Active with a dead node in its footprint, and the
+			// caller must know the reconciliation is incomplete.
+			firstErr = fmt.Errorf("orch: repair %d: %w", rep.ID, rep.Err)
+		}
+	}
+	return reports, firstErr
+}
+
+// affectedBy returns the active deployments whose footprint includes
+// the node, sorted by ID — a reverse-index lookup, not a scan.
+func (o *Orchestrator) affectedBy(node topology.NodeID) []DeploymentID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]DeploymentID, 0, len(o.nodeIndex[node]))
+	for id := range o.nodeIndex[node] {
+		if dep, ok := o.deployments[id]; ok && dep.State == StateActive {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// repairAround is the per-deployment reconciler: it classifies how the
+// failed node intersects the deployment's footprint, applies the
+// cheapest repair that covers the damage, and falls back to a full
+// rebuild when the differential repair is impossible.
+func (o *Orchestrator) repairAround(id DeploymentID, node topology.NodeID) RepairReport {
+	dep, err := o.beginExclusive(id)
+	if err != nil {
+		// A concurrent delete/repair/move claimed the deployment; its
+		// owner will observe the new topology itself.
+		return RepairReport{ID: id, Action: ActionSkipped, Err: err}
+	}
+	defer o.endExclusive(id)
+	o.topoMu.RLock()
+	defer o.topoMu.RUnlock()
+
+	// Classify the impact. The deployment stays in the reverse index
+	// for its old footprint throughout the repair — a concurrent
+	// failure of another node must still find it — and every commit
+	// point swaps the index entries atomically with the fields.
+	o.mu.Lock()
+	inSlice := dep.Slice.Contains(node)
+	hostHit := false
+	for _, h := range dep.Placement.Hosts {
+		if h == node {
+			hostHit = true
+			break
+		}
+	}
+	onPath := false
+	for _, n := range dep.Path {
+		if n == node {
+			onPath = true
+			break
+		}
+	}
+	o.mu.Unlock()
+
+	var action RepairAction
+	var patchErr error
+	switch {
+	case inSlice:
+		action = ActionPatched
+		patchErr = o.patchSlice(dep, node)
+	case hostHit:
+		action = ActionReplaced
+		patchErr = o.replaceAndRepath(dep, node)
+	case onPath:
+		action = ActionRepathed
+		patchErr = o.repath(dep)
+	default:
+		// The footprint changed since the index snapshot; the failed
+		// node no longer touches this deployment.
+		return RepairReport{ID: id, Action: ActionSkipped}
+	}
+	if patchErr == nil {
+		return RepairReport{ID: id, Action: action}
+	}
+	// Differential repair impossible (e.g. a dead endpoint VM, an
+	// uncoverable VM group, λ exhaustion): rebuild everything.
+	if err := o.rebuild(dep); err != nil {
+		return RepairReport{ID: id, Action: ActionFailed, Err: err}
+	}
+	return RepairReport{ID: id, Action: ActionRebuilt}
+}
+
+// finishRepair re-runs the connectivity stages (path → WDM → rules)
+// over the staged pipeline and, on success, commits the outcome: the
+// reverse index swaps from the old to the new footprint atomically
+// with the field update.
+func (o *Orchestrator) finishRepair(p *pipeline, dep *Deployment) error {
+	if err := p.runFrom(stagePath); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	o.unindexLocked(dep)
+	p.apply(dep)
+	o.indexLocked(dep)
+	dep.Repairs++
+	o.mu.Unlock()
+	return nil
+}
+
+// repath re-runs only the connectivity stages of the pipeline around
+// the deployment's unchanged placement.
+func (o *Orchestrator) repath(dep *Deployment) error {
+	return o.finishRepair(o.pipelineFrom(dep), dep)
+}
+
+// replaceAndRepath migrates the VNF instances hosted on the failed
+// node to surviving hosts and re-runs the connectivity stages. The VC
+// and slice are untouched.
+func (o *Orchestrator) replaceAndRepath(dep *Deployment, node topology.NodeID) error {
+	p := o.pipelineFrom(dep)
+	if err := o.migrateOff(p, dep, node); err != nil {
+		return err
+	}
+	return o.finishRepair(p, dep)
+}
+
+// patchSlice handles an OPS failure inside the chain's AL: the vertex
+// cover is re-run over the broken portion reusing surviving OPSs, the
+// slice membership swaps under the existing reservation, VNFs hosted
+// on the failed OPS (it may be optoelectronic) migrate, and the
+// connectivity stages re-run against the patched slice. The VC ID,
+// slice ID and bandwidth reservation all survive.
+func (o *Orchestrator) patchSlice(dep *Deployment, node topology.NodeID) error {
+	vms := o.liveVMs(dep.Spec.Service)
+	if len(vms) == 0 {
+		return fmt.Errorf("no live VMs offer service %q", dep.Spec.Service)
+	}
+	vc, err := o.alloc.PatchVC(dep.VC.ID, vms)
+	if err != nil {
+		return err
+	}
+	slice, err := o.slices.PatchMembership(dep.Slice.ID, vc.AL.OPSs)
+	if err != nil {
+		// The allocator is already patched; the fallback rebuild
+		// releases both by ID, so no unwind is needed here.
+		return err
+	}
+	// The membership swap changes the footprint mid-repair: keep the
+	// index exact at every commit point.
+	o.mu.Lock()
+	o.unindexLocked(dep)
+	dep.VC = vc
+	dep.Slice = slice
+	o.indexLocked(dep)
+	o.mu.Unlock()
+	p := o.pipelineFrom(dep) // picks up the patched VC and slice
+	if err := o.migrateOff(p, dep, node); err != nil {
+		return err
+	}
+	return o.finishRepair(p, dep)
+}
+
+// migrateOff moves every VNF instance the pipeline places on the
+// failed node to a surviving candidate host — the AL's optoelectronic
+// routers first (placement stays optical when capacity allows), then
+// the PMs hosting the service's live VMs — updating the staged
+// placement and its O/E/O accounting. Instances on other hosts are
+// never touched.
+func (o *Orchestrator) migrateOff(p *pipeline, dep *Deployment, node topology.NodeID) error {
+	var cands []topology.NodeID
+	cands = append(cands, o.optoelectronicOf(p.vc.AL.OPSs)...)
+	cands = append(cands, o.pmsOf(o.liveVMs(dep.Spec.Service))...)
+	moved := false
+	for idx, h := range p.place.Hosts {
+		if h != node {
+			continue
+		}
+		instID := dep.Instances[idx]
+		hosted := false
+		for _, cand := range cands {
+			if cand == node {
+				continue
+			}
+			if err := o.mgr.Migrate(instID, cand); err != nil {
+				continue
+			}
+			inst := o.mgr.Instance(instID)
+			p.place.Hosts[idx] = cand
+			p.place.Domains[idx] = inst.Domain
+			hosted = true
+			moved = true
+			break
+		}
+		if !hosted {
+			return fmt.Errorf("no surviving host can take instance %d (VNF %d)", instID, idx)
+		}
+	}
+	if moved {
+		p.place.Conversions = placement.CountOEO(p.place.Domains, o.mode)
+	}
+	return nil
+}

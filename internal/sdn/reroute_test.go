@@ -1,0 +1,109 @@
+package sdn
+
+import (
+	"testing"
+
+	"github.com/alvc/alvc/internal/topology"
+)
+
+func TestRerouteSwapsRuleGenerations(t *testing.T) {
+	topo, ids := chainTopo(t)
+	c, err := NewController(topo)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	m := Match{FlowKey: "t/chain", Src: ids["vm1"], Dst: ids["vm2"]}
+	oldPath := []topology.NodeID{ids["vm1"], ids["pm1"], ids["tor1"], ids["ops1"], ids["ops2"], ids["tor2"], ids["pm2"], ids["vm2"]}
+	oldIDs, err := c.InstallPath(m, oldPath, 100)
+	if err != nil {
+		t.Fatalf("InstallPath: %v", err)
+	}
+	// Reroute to a shorter path (as after a repair that moved a VNF).
+	newPath := []topology.NodeID{ids["vm1"], ids["pm1"], ids["tor1"], ids["ops1"], ids["ops2"], ids["tor2"], ids["vm2"]}
+	newIDs, err := c.Reroute(m, newPath, 100)
+	if err != nil {
+		t.Fatalf("Reroute: %v", err)
+	}
+	if len(newIDs) != len(newPath) {
+		t.Fatalf("new rules = %d, want %d", len(newIDs), len(newPath))
+	}
+	// Exactly the new generation remains.
+	rules := c.RulesForFlow("t/chain")
+	if len(rules) != len(newPath) {
+		t.Fatalf("rules after reroute = %d, want %d", len(rules), len(newPath))
+	}
+	oldSet := make(map[RuleID]bool, len(oldIDs))
+	for _, id := range oldIDs {
+		oldSet[id] = true
+	}
+	for _, r := range rules {
+		if oldSet[r.ID] {
+			t.Fatalf("old-generation rule %d survived the reroute", r.ID)
+		}
+	}
+	// New rule IDs are strictly newer than the old generation — the
+	// make-before-break order (install first, then remove).
+	for _, id := range newIDs {
+		for _, old := range oldIDs {
+			if id <= old {
+				t.Fatalf("new rule %d not newer than old rule %d", id, old)
+			}
+		}
+	}
+}
+
+func TestRerouteWithoutPriorRulesIsInstall(t *testing.T) {
+	topo, ids := chainTopo(t)
+	c, err := NewController(topo)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	m := Match{FlowKey: "t/fresh", Src: ids["vm1"], Dst: ids["vm2"]}
+	path := []topology.NodeID{ids["vm1"], ids["pm1"], ids["tor1"], ids["ops1"], ids["ops2"], ids["tor2"], ids["pm2"], ids["vm2"]}
+	if _, err := c.Reroute(m, path, 100); err != nil {
+		t.Fatalf("Reroute: %v", err)
+	}
+	if got := len(c.RulesForFlow("t/fresh")); got != len(path) {
+		t.Fatalf("rules = %d, want %d", got, len(path))
+	}
+}
+
+func TestRerouteLeavesOtherFlowsAlone(t *testing.T) {
+	topo, ids := chainTopo(t)
+	c, err := NewController(topo)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	path := []topology.NodeID{ids["vm1"], ids["pm1"], ids["tor1"], ids["ops1"], ids["ops2"], ids["tor2"], ids["pm2"], ids["vm2"]}
+	other := Match{FlowKey: "t/other", Src: ids["vm1"], Dst: ids["vm2"]}
+	if _, err := c.InstallPath(other, path, 100); err != nil {
+		t.Fatalf("InstallPath other: %v", err)
+	}
+	m := Match{FlowKey: "t/chain", Src: ids["vm1"], Dst: ids["vm2"]}
+	if _, err := c.InstallPath(m, path, 100); err != nil {
+		t.Fatalf("InstallPath: %v", err)
+	}
+	if _, err := c.Reroute(m, path[:4], 100); err != nil {
+		t.Fatalf("Reroute: %v", err)
+	}
+	if got := len(c.RulesForFlow("t/other")); got != len(path) {
+		t.Fatalf("other flow's rules = %d, want %d", got, len(path))
+	}
+}
+
+func TestRerouteValidation(t *testing.T) {
+	topo, ids := chainTopo(t)
+	c, err := NewController(topo)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	if _, err := c.Reroute(Match{FlowKey: "k"}, nil, 100); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := c.Reroute(Match{}, []topology.NodeID{ids["vm1"]}, 100); err == nil {
+		t.Fatal("empty flow key accepted")
+	}
+	if _, err := c.Reroute(Match{FlowKey: "k"}, []topology.NodeID{99999}, 100); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}

@@ -168,24 +168,37 @@ func (c *Controller) PathAlternatives(src, dst topology.NodeID, k int, restrictO
 	return out, nil
 }
 
+// validatePath checks an install/reroute request before any rule is
+// touched.
+func (c *Controller) validatePath(m Match, path []topology.NodeID) error {
+	if len(path) < 1 {
+		return fmt.Errorf("sdn: install: empty path")
+	}
+	if m.FlowKey == "" {
+		return fmt.Errorf("sdn: install: empty flow key")
+	}
+	for _, n := range path {
+		if c.topo.Node(n) == nil {
+			return fmt.Errorf("sdn: install: unknown node %d in path", n)
+		}
+	}
+	return nil
+}
+
 // InstallPath installs one rule per hop of the path: each switch
 // forwards matching packets to the next hop; boundary crossings get
 // explicit conversion actions; the final node delivers. It returns the
 // installed rule IDs in path order.
 func (c *Controller) InstallPath(m Match, path []topology.NodeID, priority int) ([]RuleID, error) {
-	if len(path) < 1 {
-		return nil, fmt.Errorf("sdn: install: empty path")
-	}
-	if m.FlowKey == "" {
-		return nil, fmt.Errorf("sdn: install: empty flow key")
-	}
-	for _, n := range path {
-		if c.topo.Node(n) == nil {
-			return nil, fmt.Errorf("sdn: install: unknown node %d in path", n)
-		}
+	if err := c.validatePath(m, path); err != nil {
+		return nil, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.installPathLocked(m, path, priority), nil
+}
+
+func (c *Controller) installPathLocked(m Match, path []topology.NodeID, priority int) []RuleID {
 	var ids []RuleID
 	for i, node := range path {
 		var actions []Action
@@ -215,6 +228,33 @@ func (c *Controller) InstallPath(m Match, path []topology.NodeID, priority int) 
 		ids = append(ids, rule.ID)
 	}
 	c.pathsProvisioned++
+	return ids
+}
+
+// Reroute replaces the flow's rules with rules along the new path in
+// make-before-break order: the new generation is installed before the
+// old one is removed, and both steps happen under one controller lock,
+// so a concurrent reader never observes the flow without rules. It
+// returns the new rule IDs in path order. With no pre-existing rules it
+// degenerates to InstallPath.
+func (c *Controller) Reroute(m Match, path []topology.NodeID, priority int) ([]RuleID, error) {
+	if err := c.validatePath(m, path); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := make(map[RuleID]bool)
+	for _, rules := range c.tables {
+		for _, r := range rules {
+			if r.Match.FlowKey == m.FlowKey {
+				old[r.ID] = true
+			}
+		}
+	}
+	ids := c.installPathLocked(m, path, priority)
+	if len(old) > 0 {
+		c.removeRulesLocked(old)
+	}
 	return ids, nil
 }
 
@@ -240,6 +280,24 @@ func (c *Controller) RemoveFlow(flowKey string) int {
 		}
 	}
 	return removed
+}
+
+// removeRulesLocked deletes the given rules from every switch table.
+func (c *Controller) removeRulesLocked(ids map[RuleID]bool) {
+	for sw, rules := range c.tables {
+		kept := rules[:0]
+		for _, r := range rules {
+			if ids[r.ID] {
+				continue
+			}
+			kept = append(kept, r)
+		}
+		if len(kept) == 0 {
+			delete(c.tables, sw)
+		} else {
+			c.tables[sw] = kept
+		}
+	}
 }
 
 // RulesAt returns copies of the rules installed on the given switch,

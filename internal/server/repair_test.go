@@ -1,0 +1,140 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"github.com/alvc/alvc"
+	"github.com/alvc/alvc/internal/orch"
+)
+
+// provisionChain posts one chain and returns its wire form.
+func provisionChain(t *testing.T, url, name, tenant string) DeploymentJSON {
+	t.Helper()
+	spec := fmt.Sprintf(`{"name":%q,"tenant":%q,"service":"web",
+		"nfs":[{"name":"firewall"},{"name":"lb"}],
+		"bandwidth_gbps":2,"flow_bytes":1048576}`, name, tenant)
+	status, body := do(t, "POST", url+"/v1/chains", []byte(spec))
+	if status != http.StatusCreated {
+		t.Fatalf("provision %s: got %d (%s)", name, status, body)
+	}
+	var dep DeploymentJSON
+	if err := json.Unmarshal(body, &dep); err != nil {
+		t.Fatalf("unmarshal deployment: %v", err)
+	}
+	return dep
+}
+
+// TestFailureEndpointReportsRepairActions drives the reconciliation
+// engine over HTTP: a slice-OPS failure must come back with per-chain
+// repair reports, and a differential action must not have released the
+// chain's cluster or slice.
+func TestFailureEndpointReportsRepairActions(t *testing.T) {
+	ts, arch := newTestServer(t, alvc.WithPolicy(alvc.AllElectronic{}))
+	dep := provisionChain(t, ts.URL, "r1", "tenant-a")
+
+	before := arch.Deployment(alvc.DeploymentID(dep.ID))
+	vcID, sliceID := before.VC.ID, before.Slice.ID
+
+	victim := dep.SliceOPSs[0]
+	status, body := do(t, "POST", fmt.Sprintf("%s/v1/failures/%d", ts.URL, victim), nil)
+	if status != http.StatusOK {
+		t.Fatalf("fail node: got %d (%s)", status, body)
+	}
+	var fr FailureResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatalf("unmarshal failure response: %v", err)
+	}
+	if len(fr.Reports) != 1 {
+		t.Fatalf("reports = %+v, want exactly one", fr.Reports)
+	}
+	rep := fr.Reports[0]
+	if rep.ID != dep.ID {
+		t.Fatalf("report for deployment %d, want %d", rep.ID, dep.ID)
+	}
+	// All VNFs are electronic, so an AL OPS failure must patch the
+	// slice rather than rebuild the chain.
+	if rep.Action != string(orch.ActionPatched) {
+		t.Fatalf("action = %q, want %q", rep.Action, orch.ActionPatched)
+	}
+	if rep.Error != "" {
+		t.Fatalf("unexpected report error: %s", rep.Error)
+	}
+	if len(fr.Repaired) != 1 || fr.Repaired[0] != dep.ID {
+		t.Fatalf("repaired = %v, want [%d]", fr.Repaired, dep.ID)
+	}
+	if len(fr.Failed) != 0 || fr.Error != "" {
+		t.Fatalf("unexpected failures: %+v", fr)
+	}
+
+	// The differential repair kept the chain's identity.
+	after := arch.Deployment(alvc.DeploymentID(dep.ID))
+	if after.VC.ID != vcID || after.Slice.ID != sliceID {
+		t.Fatalf("patch released identity: VC %d->%d slice %d->%d",
+			vcID, after.VC.ID, sliceID, after.Slice.ID)
+	}
+	if after.Repairs != 1 || after.State != orch.StateActive {
+		t.Fatalf("after patch: repairs=%d state=%s", after.Repairs, after.State)
+	}
+
+	// The wire form agrees.
+	status, body = do(t, "GET", fmt.Sprintf("%s/v1/chains/%d", ts.URL, dep.ID), nil)
+	if status != http.StatusOK {
+		t.Fatalf("get after repair: got %d (%s)", status, body)
+	}
+	var got DeploymentJSON
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for _, ops := range got.SliceOPSs {
+		if ops == victim {
+			t.Fatalf("patched slice still lists failed OPS %d", victim)
+		}
+	}
+}
+
+// TestFailureEndpointUntouchedChainsNotReported: chains that do not
+// touch the failed node must not appear in the failure response at
+// all — the reverse index keeps them out of the repair set.
+func TestFailureEndpointUntouchedChainsNotReported(t *testing.T) {
+	ts, arch := newTestServerWith(t, wideConfig(24))
+	a := provisionChain(t, ts.URL, "a", "t-a")
+	b := provisionChain(t, ts.URL, "b", "t-b")
+
+	bDep := arch.Deployment(alvc.DeploymentID(b.ID))
+	bFootprint := make(map[int]bool)
+	for _, n := range bDep.Slice.OPSs {
+		bFootprint[int(n)] = true
+	}
+	for _, n := range bDep.Path {
+		bFootprint[int(n)] = true
+	}
+	var victim int
+	for _, ops := range a.SliceOPSs {
+		if !bFootprint[int(ops)] {
+			victim = int(ops)
+			break
+		}
+	}
+	if victim == 0 {
+		t.Skip("chains share every OPS on this seed")
+	}
+	status, body := do(t, "POST", fmt.Sprintf("%s/v1/failures/%d", ts.URL, victim), nil)
+	if status != http.StatusOK {
+		t.Fatalf("fail node: got %d (%s)", status, body)
+	}
+	var fr FailureResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for _, rep := range fr.Reports {
+		if rep.ID == b.ID {
+			t.Fatalf("untouched chain %d appears in reports: %+v", b.ID, fr.Reports)
+		}
+	}
+	if got := arch.Deployment(alvc.DeploymentID(b.ID)); got.Repairs != 0 {
+		t.Fatalf("untouched chain gained %d repairs", got.Repairs)
+	}
+}

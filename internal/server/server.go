@@ -326,23 +326,26 @@ func (s *Server) handleFailNode(w http.ResponseWriter, r *http.Request) {
 	// The node exists, so FailNode's error can only report repairs that
 	// did not succeed — the injection itself has landed. Report those
 	// in-band: the client asked for a failure and got one.
-	failedBefore := make(map[orch.DeploymentID]bool)
-	for _, dep := range s.arch.Deployments() {
-		if dep.State == orch.StateFailed {
-			failedBefore[dep.ID] = true
+	reports, err := s.arch.FailNode(node)
+	resp := FailureResponse{
+		Node:     node,
+		Reports:  make([]RepairReportJSON, 0, len(reports)),
+		Repaired: make([]int, 0, len(reports)),
+	}
+	for _, rep := range reports {
+		rj := RepairReportJSON{ID: int(rep.ID), Action: string(rep.Action)}
+		if rep.Err != nil {
+			rj.Error = rep.Err.Error()
+		}
+		resp.Reports = append(resp.Reports, rj)
+		switch {
+		case rep.Succeeded():
+			resp.Repaired = append(resp.Repaired, int(rep.ID))
+		case rep.Action == orch.ActionFailed:
+			resp.Failed = append(resp.Failed, int(rep.ID))
 		}
 	}
-	repaired, err := s.arch.FailNode(node)
-	resp := FailureResponse{Node: node, Repaired: make([]int, 0, len(repaired))}
-	for _, id := range repaired {
-		resp.Repaired = append(resp.Repaired, int(id))
-	}
-	// Only deployments failed by THIS injection, not earlier ones.
-	for _, dep := range s.arch.Deployments() {
-		if dep.State == orch.StateFailed && !failedBefore[dep.ID] {
-			resp.Failed = append(resp.Failed, int(dep.ID))
-		}
-	}
+	sort.Ints(resp.Repaired)
 	sort.Ints(resp.Failed)
 	if err != nil {
 		resp.Error = err.Error()

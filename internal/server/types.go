@@ -98,14 +98,24 @@ type MoveRequest struct {
 	To      topology.NodeID `json:"to"`
 }
 
-// FailureResponse reports a node-failure injection: which deployments
-// the orchestrator repaired around the failure, and which could not be
-// repaired (now in state failed).
+// RepairReportJSON is one deployment's reconciliation outcome within a
+// failure response: the action the engine took (repathed / replaced /
+// patched / rebuilt / failed / skipped) and the error for failed ones.
+type RepairReportJSON struct {
+	ID     int    `json:"id"`
+	Action string `json:"action"`
+	Error  string `json:"error,omitempty"`
+}
+
+// FailureResponse reports a node-failure injection: the per-chain
+// reconciliation reports, plus the repaired/failed ID lists derived
+// from them (kept as first-class fields for scripting convenience).
 type FailureResponse struct {
-	Node     topology.NodeID `json:"node"`
-	Repaired []int           `json:"repaired"`
-	Failed   []int           `json:"failed,omitempty"`
-	Error    string          `json:"error,omitempty"`
+	Node     topology.NodeID    `json:"node"`
+	Reports  []RepairReportJSON `json:"reports"`
+	Repaired []int              `json:"repaired"`
+	Failed   []int              `json:"failed,omitempty"`
+	Error    string             `json:"error,omitempty"`
 }
 
 // UtilizationJSON aggregates the resource ledger over one hosting
