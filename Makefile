@@ -26,6 +26,13 @@ bench:
 bench-repair:
 	$(GO) run ./cmd/alvc-bench -repair -chains 50 -json
 
+# Resilience smoke: standby-swap recovery must run zero shortest-path
+# computations and beat the cold re-path; a rack event must visit each
+# chain at most once. Writes BENCH_resilience.json.
+.PHONY: bench-resilience
+bench-resilience:
+	$(GO) run ./cmd/alvc-bench -resilience -chains 25 -json
+
 fmt:
 	gofmt -w .
 
@@ -39,4 +46,4 @@ vet:
 	$(GO) vet ./...
 
 # Exactly what .github/workflows/ci.yml runs.
-ci: build fmt-check vet race bench bench-repair
+ci: build fmt-check vet race bench bench-repair bench-resilience

@@ -38,6 +38,7 @@ import (
 	"github.com/alvc/alvc/internal/optical"
 	"github.com/alvc/alvc/internal/orch"
 	"github.com/alvc/alvc/internal/placement"
+	"github.com/alvc/alvc/internal/resilience"
 	"github.com/alvc/alvc/internal/topology"
 	"github.com/alvc/alvc/internal/workload"
 )
@@ -61,6 +62,8 @@ type (
 	TopologyConfig = topology.GenConfig
 	// NodeID identifies a node of the topology.
 	NodeID = topology.NodeID
+	// LinkID identifies a link of the topology.
+	LinkID = topology.LinkID
 	// Resources is a CPU/memory/storage vector.
 	Resources = topology.Resources
 	// Spec is a network-function-chain request.
@@ -86,12 +89,18 @@ type (
 	FlowResult = flow.Result
 	// BatchResult is the per-spec outcome of a DeployBatch call.
 	BatchResult = orch.BatchResult
-	// RepairReport is one chain's reconciliation outcome after a node
-	// failure (action taken: repathed / replaced / patched / rebuilt /
-	// failed / skipped).
+	// RepairReport is one chain's reconciliation outcome after a
+	// failure (action taken: swapped / repathed / restandby / replaced /
+	// patched / rebuilt / failed / skipped).
 	RepairReport = orch.RepairReport
 	// RepairAction classifies what the reconciler did to one chain.
 	RepairAction = orch.RepairAction
+	// Standby is a chain's precomputed alternate route; a live standby
+	// turns a data-path failure into a pure rule swap.
+	Standby = resilience.Standby
+	// ImpactEntry is one chain inside a resource's blast radius with the
+	// roles the resource plays for it (slice/host/path/standby).
+	ImpactEntry = orch.ImpactEntry
 )
 
 // Re-exported AL builders (paper §III-C and its baselines).
@@ -137,6 +146,7 @@ type settings struct {
 	costModel    *optical.CostModel
 	wavelengths  int
 	batchWorkers int
+	standbyK     int
 }
 
 // WithBuilder selects the AL construction algorithm (default: the
@@ -176,6 +186,14 @@ func WithWavelengths(n int) Option {
 // much parallel provisioning a single batch request may claim.
 func WithBatchWorkers(n int) Option {
 	return func(s *settings) { s.batchWorkers = n }
+}
+
+// WithStandbyK sets how many alternatives Yen's k-shortest explores per
+// path segment when planning each chain's standby route at provision
+// time (0 keeps the default; negative disables standby planning, so
+// every data-path repair is a cold re-path — useful as a baseline).
+func WithStandbyK(k int) Option {
+	return func(s *settings) { s.standbyK = k }
 }
 
 // Architecture is a running AL-VC instance: a topology plus the full
@@ -226,6 +244,7 @@ func FromTopology(topo *topology.Topology, opts ...Option) (*Architecture, error
 		Mode:        s.mode,
 		CostModel:   s.costModel,
 		Wavelengths: s.wavelengths,
+		StandbyK:    s.standbyK,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("alvc: %w", err)
@@ -329,6 +348,40 @@ func RepairedIDs(reports []RepairReport) []DeploymentID {
 // are not rebalanced; new deployments may use it immediately.
 func (a *Architecture) RecoverNode(id NodeID) error {
 	return a.orch.RecoverNode(id)
+}
+
+// FailLink injects a link failure and reconciles every chain whose
+// primary or standby path crossed it: a dead primary link swaps to the
+// standby when one survives (zero shortest-path runs), re-paths cold
+// otherwise; a dead standby link merely replans the standby.
+func (a *Architecture) FailLink(id LinkID) ([]RepairReport, error) {
+	return a.orch.HandleLinkFailure(id)
+}
+
+// RecoverLink marks a failed link as live again. Existing deployments
+// are not rerouted back; new paths may use it immediately.
+func (a *Architecture) RecoverLink(id LinkID) error {
+	return a.orch.RecoverLink(id)
+}
+
+// FailBatch injects a set of node and link failures as one event — a
+// rack-scale incident — and reconciles each affected chain exactly
+// once against the union of dead resources.
+func (a *Architecture) FailBatch(nodes []NodeID, links []LinkID) ([]RepairReport, error) {
+	return a.orch.HandleFailures(nodes, links)
+}
+
+// NodeImpact returns the blast radius of a node: every active chain
+// that would be affected if it died, with the roles the node plays
+// (slice / host / path / standby), from the reverse index.
+func (a *Architecture) NodeImpact(id NodeID) []ImpactEntry {
+	return a.orch.NodeImpact(id)
+}
+
+// LinkImpact returns the blast radius of a link (roles: path /
+// standby).
+func (a *Architecture) LinkImpact(id LinkID) []ImpactEntry {
+	return a.orch.LinkImpact(id)
 }
 
 // Repair rebuilds one deployment around the current topology state.

@@ -62,8 +62,31 @@ func run() int {
 	loadNFs := flag.String("nfs", "firewall,nat", "load mode: comma-separated NF chain")
 	noCleanup := flag.Bool("no-cleanup", false, "load mode: keep provisioned chains instead of deleting them")
 	repairMode := flag.Bool("repair", false, "repair-bench mode: measure in-process recovery latency vs fleet size")
-	repairChains := flag.Int("chains", 50, "repair mode: largest fleet size to measure")
+	repairChains := flag.Int("chains", 50, "repair/resilience mode: fleet size to measure")
+	resilienceMode := flag.Bool("resilience", false, "resilience-bench mode: compare standby-swap vs cold-repath recovery and rack-event batching")
 	flag.Parse()
+
+	if *resilienceMode {
+		report, err := runResilienceBench(*repairChains)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %v\n", err)
+			return 1
+		}
+		printResilienceReport(report)
+		if *emitJSON {
+			path := filepath.Join(*outDir, "BENCH_resilience.json")
+			if err := writeJSONFile(path, report); err != nil {
+				fmt.Fprintf(os.Stderr, "alvc-bench: write %s: %v\n", path, err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if v := resilienceViolations(report); v > 0 {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %d resilience contract violations\n", v)
+			return 2
+		}
+		return 0
+	}
 
 	if *repairMode {
 		report, err := runRepairBench(*repairChains)

@@ -23,6 +23,11 @@ type WDM struct {
 	used map[topology.LinkID]map[int]string
 	// flows[flowKey] = assignment.
 	flows map[string]Assignment
+	// graced[flowKey] = the previous generation of a flow mid-retune:
+	// during a make-before-break repair the flow briefly holds two
+	// wavelengths — the old channel stays lit until the new rules are
+	// live (RetuneCommit), or the move is aborted (RetuneAbort).
+	graced map[string]Assignment
 }
 
 // Assignment records one flow's wavelength on its optical links.
@@ -40,6 +45,7 @@ func NewWDM(wavelengths int) (*WDM, error) {
 		capacity: wavelengths,
 		used:     make(map[topology.LinkID]map[int]string),
 		flows:    make(map[string]Assignment),
+		graced:   make(map[string]Assignment),
 	}, nil
 }
 
@@ -59,6 +65,12 @@ func (w *WDM) AssignPath(flowKey string, links []topology.LinkID) (int, error) {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.assignLocked(flowKey, links)
+}
+
+// assignLocked is the first-fit continuity-constrained search. Caller
+// holds w.mu.
+func (w *WDM) assignLocked(flowKey string, links []topology.LinkID) (int, error) {
 	if _, dup := w.flows[flowKey]; dup {
 		return 0, fmt.Errorf("optical: wdm: flow %q already assigned", flowKey)
 	}
@@ -86,22 +98,113 @@ func (w *WDM) AssignPath(flowKey string, links []topology.LinkID) (int, error) {
 		flowKey, len(links), w.capacity)
 }
 
-// Release frees the flow's wavelength. Releasing an unknown flow is an
-// error.
-func (w *WDM) Release(flowKey string) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	a, ok := w.flows[flowKey]
-	if !ok {
-		return fmt.Errorf("optical: wdm: release: unknown flow %q", flowKey)
-	}
+// releaseAssignmentLocked frees one assignment's channels. Caller holds
+// w.mu.
+func (w *WDM) releaseAssignmentLocked(a Assignment) {
 	for _, l := range a.Links {
 		delete(w.used[l], a.Lambda)
 		if len(w.used[l]) == 0 {
 			delete(w.used, l)
 		}
 	}
+}
+
+// RetuneBegin starts a make-before-break wavelength move: the flow's
+// current assignment is parked in a grace slot — its channels stay
+// reserved, the optical signal stays lit — and a second wavelength is
+// assigned on the new links. The move finishes with RetuneCommit (after
+// the new rules are live) or RetuneAbort (the repair failed; the old
+// assignment is restored untouched). A flow with no current assignment
+// degenerates to a plain AssignPath. It fails without side effects when
+// no second wavelength is free (callers may then fall back to
+// break-before-make) or when a retune is already in progress.
+func (w *WDM) RetuneBegin(flowKey string, links []topology.LinkID) (int, error) {
+	if flowKey == "" {
+		return 0, fmt.Errorf("optical: wdm: empty flow key")
+	}
+	if len(links) == 0 {
+		return 0, fmt.Errorf("optical: wdm: empty link list")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, inGrace := w.graced[flowKey]; inGrace {
+		return 0, fmt.Errorf("optical: wdm: flow %q already mid-retune", flowKey)
+	}
+	old, had := w.flows[flowKey]
+	if !had {
+		return w.assignLocked(flowKey, links)
+	}
 	delete(w.flows, flowKey)
+	lambda, err := w.assignLocked(flowKey, links)
+	if err != nil {
+		w.flows[flowKey] = old // restore; nothing changed
+		return 0, err
+	}
+	w.graced[flowKey] = old
+	return lambda, nil
+}
+
+// RetuneCommit releases the parked previous-generation wavelength; the
+// new assignment becomes the flow's only one. Committing a flow that is
+// not mid-retune is an error.
+func (w *WDM) RetuneCommit(flowKey string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	old, ok := w.graced[flowKey]
+	if !ok {
+		return fmt.Errorf("optical: wdm: commit: flow %q not mid-retune", flowKey)
+	}
+	w.releaseAssignmentLocked(old)
+	delete(w.graced, flowKey)
+	return nil
+}
+
+// RetuneAbort undoes RetuneBegin: the new wavelength is released and
+// the parked previous generation becomes current again, exactly as
+// before the move.
+func (w *WDM) RetuneAbort(flowKey string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	old, ok := w.graced[flowKey]
+	if !ok {
+		return fmt.Errorf("optical: wdm: abort: flow %q not mid-retune", flowKey)
+	}
+	if cur, has := w.flows[flowKey]; has {
+		w.releaseAssignmentLocked(cur)
+	}
+	w.flows[flowKey] = old
+	delete(w.graced, flowKey)
+	return nil
+}
+
+// InGrace reports whether the flow is mid-retune (holding two
+// wavelengths).
+func (w *WDM) InGrace(flowKey string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.graced[flowKey]
+	return ok
+}
+
+// Release frees the flow's wavelength — both generations, if the flow
+// is mid-retune (a teardown must not leak the graced channel).
+// Releasing an unknown flow is an error.
+func (w *WDM) Release(flowKey string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	a, ok := w.flows[flowKey]
+	old, inGrace := w.graced[flowKey]
+	if !ok && !inGrace {
+		return fmt.Errorf("optical: wdm: release: unknown flow %q", flowKey)
+	}
+	if ok {
+		w.releaseAssignmentLocked(a)
+		delete(w.flows, flowKey)
+	}
+	if inGrace {
+		w.releaseAssignmentLocked(old)
+		delete(w.graced, flowKey)
+	}
 	return nil
 }
 

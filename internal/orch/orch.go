@@ -9,15 +9,18 @@
 // the SDN controller — optionally with per-flow wavelength assignment
 // (WDM) on the optical segments.
 //
-// Beyond the paper's five verbs the orchestrator also repairs: when a
-// node fails (HandleNodeFailure) a differential reconciliation engine
-// (reconcile.go) classifies the damage per affected chain and re-runs
-// only the provisioning stages the failure invalidated — re-path,
-// single-VNF replacement, or AL/slice patch — falling back to a full
-// teardown-and-rebuild only when patching is impossible. This is the
-// paper's central claim (§III) made operational: failures are confined
-// to "the few switches of one AL" instead of re-provisioning the
-// world.
+// Beyond the paper's five verbs the orchestrator also repairs: when
+// nodes or links fail (HandleNodeFailure, HandleLinkFailure, or a
+// rack-scale HandleFailures batch) a differential reconciliation
+// engine (reconcile.go) classifies the damage per affected chain
+// against the union of dead resources and re-runs only the
+// provisioning stages the failure invalidated — a make-before-break
+// swap to the precomputed standby path (internal/resilience, zero
+// shortest-path runs), a cold re-path, single-VNF replacement, or
+// AL/slice patch — falling back to a full teardown-and-rebuild only
+// when patching is impossible. This is the paper's central claim
+// (§III) made operational: failures are confined to "the few switches
+// of one AL" instead of re-provisioning the world.
 package orch
 
 import (
@@ -32,6 +35,7 @@ import (
 	"github.com/alvc/alvc/internal/nfv"
 	"github.com/alvc/alvc/internal/optical"
 	"github.com/alvc/alvc/internal/placement"
+	"github.com/alvc/alvc/internal/resilience"
 	"github.com/alvc/alvc/internal/sdn"
 	"github.com/alvc/alvc/internal/topology"
 )
@@ -99,6 +103,11 @@ type Deployment struct {
 	Placement placement.Result
 	// Path is the provisioned route src VM → VNF hosts → dst VM.
 	Path []topology.NodeID
+	// Standby is the precomputed alternate route (nil when planning is
+	// disabled, no alternative exists, or the standby was consumed by a
+	// repair and not yet replanned). A valid standby turns a data-path
+	// failure into a pure rule swap with no shortest-path run.
+	Standby *resilience.Standby
 	// SliceConfined reports whether the path stayed inside the slice's
 	// OPSs (it can leave the slice when the AL is not connected in the
 	// optical mesh; transit then uses foreign OPSs but hosting does
@@ -113,6 +122,16 @@ type Deployment struct {
 	// EnergyJoules is the conversion energy for one representative flow
 	// of Spec.FlowBytes.
 	EnergyJoules float64
+
+	// idxNodes/idxLinks record exactly what indexLocked registered in
+	// the reverse indexes, so unindexLocked removes the same set even
+	// after the footprint fields (or link liveness) changed underneath.
+	// primaryLinks caches the primary path's physical links (computed
+	// once per commit alongside the index), so per-chain failure
+	// classification under o.mu is a set probe, not a topology walk.
+	idxNodes     []topology.NodeID
+	idxLinks     []topology.LinkID
+	primaryLinks []topology.LinkID
 }
 
 // FlowKey returns the SDN flow tag isolating this deployment.
@@ -140,7 +159,17 @@ type Config struct {
 	// Wavelengths, when positive, enables per-flow WDM assignment with
 	// that many wavelengths per optical link.
 	Wavelengths int
+	// StandbyK is how many alternatives Yen's k-shortest explores per
+	// path segment when planning a chain's standby route at provision
+	// time. 0 selects DefaultStandbyK; negative disables standby
+	// planning entirely (every data-path repair is then a cold re-path).
+	StandbyK int
 }
+
+// DefaultStandbyK is the Yen's search width used when Config.StandbyK
+// is zero: enough alternatives that a disjoint route is found whenever
+// the topology has one, small enough to keep provisioning cheap.
+const DefaultStandbyK = 4
 
 // Orchestrator coordinates the cluster allocator, slice manager,
 // Cloud/NFV manager and SDN controller. Safe for concurrent use.
@@ -177,10 +206,19 @@ type Orchestrator struct {
 	nextID DeploymentID
 
 	// nodeIndex is the reverse index node → deployments whose footprint
-	// (slice OPSs, VNF hosts, path nodes) includes it, maintained on
-	// provision/repair/move/delete so failure impact is an O(1) lookup
-	// instead of an O(deployments × path-length) scan. Guarded by mu.
+	// (slice OPSs, VNF hosts, path nodes, standby nodes) includes it,
+	// maintained on provision/repair/move/delete so failure impact is an
+	// O(1) lookup instead of an O(deployments × path-length) scan.
+	// Guarded by mu.
 	nodeIndex map[topology.NodeID]map[DeploymentID]struct{}
+	// linkIndex is the same reverse index for links (primary-path and
+	// standby links), so link failures classify without scanning.
+	// Guarded by mu.
+	linkIndex map[topology.LinkID]map[DeploymentID]struct{}
+
+	// standbyK is the Yen's search width for standby planning
+	// (non-positive: disabled).
+	standbyK int
 
 	// vmIdx caches the live VMs offering each service (see liveVMs).
 	vmIdx vmIndex
@@ -245,6 +283,13 @@ func New(cfg Config) (*Orchestrator, error) {
 			return nil, fmt.Errorf("orch: %w", err)
 		}
 	}
+	standbyK := cfg.StandbyK
+	if standbyK == 0 {
+		standbyK = DefaultStandbyK
+	}
+	if standbyK < 0 {
+		standbyK = 0 // disabled
+	}
 	return &Orchestrator{
 		topo:        cfg.Topo,
 		alloc:       alloc,
@@ -255,14 +300,18 @@ func New(cfg Config) (*Orchestrator, error) {
 		policy:      policy,
 		mode:        mode,
 		costModel:   model,
+		standbyK:    standbyK,
 		deployments: make(map[DeploymentID]*Deployment),
 		flowKeys:    make(map[string]DeploymentID),
 		busy:        make(map[DeploymentID]bool),
 		nodeIndex:   make(map[topology.NodeID]map[DeploymentID]struct{}),
+		linkIndex:   make(map[topology.LinkID]map[DeploymentID]struct{}),
 	}, nil
 }
 
-// liveVMs returns the live VMs (VM up, host PM up) offering the given
+// liveVMs returns the live VMs (VM up, host PM up, and at least one
+// live ToR uplink — a rack event that strands a machine makes its VMs
+// unusable for clustering and routing alike) offering the given
 // service, sorted by node ID, from the cached service index. Callers
 // must hold topoMu (either side) and must not mutate the returned
 // slice.
@@ -278,7 +327,8 @@ func (o *Orchestrator) liveVMs(service string) []topology.NodeID {
 			for _, vm := range vms {
 				n := o.topo.Node(vm)
 				host := o.topo.Node(n.Host)
-				if !n.Down && host != nil && !host.Down {
+				if !n.Down && host != nil && !host.Down &&
+					len(o.topo.ToRsOfPM(n.Host)) > 0 {
 					live = append(live, vm)
 				}
 			}
@@ -301,10 +351,20 @@ func (o *Orchestrator) InvalidateVMCache() {
 	o.vmIdx.mu.Unlock()
 }
 
-// indexLocked adds the deployment's current footprint to the reverse
-// node index. Caller holds o.mu.
+// indexLocked adds the deployment's current footprint (nodes and
+// links, primary and standby) to the reverse indexes, recording exactly
+// what was registered on the deployment so the matching unindexLocked
+// removes the same set even if liveness changed in between. Caller
+// holds o.mu; the topology must be readable (topoMu either side or a
+// quiescent deployment).
 func (o *Orchestrator) indexLocked(dep *Deployment) {
-	for _, n := range dep.footprint() {
+	dep.idxNodes = dep.footprint()
+	// The primary link enumeration can only fail on a path whose hops
+	// are no longer adjacent — impossible at a commit point, where the
+	// path was just computed or verified alive.
+	dep.primaryLinks, _ = resilience.PathLinks(o.topo, dep.Path)
+	dep.idxLinks = dep.linkFootprint(dep.primaryLinks)
+	for _, n := range dep.idxNodes {
 		set := o.nodeIndex[n]
 		if set == nil {
 			set = make(map[DeploymentID]struct{})
@@ -312,23 +372,41 @@ func (o *Orchestrator) indexLocked(dep *Deployment) {
 		}
 		set[dep.ID] = struct{}{}
 	}
+	for _, l := range dep.idxLinks {
+		set := o.linkIndex[l]
+		if set == nil {
+			set = make(map[DeploymentID]struct{})
+			o.linkIndex[l] = set
+		}
+		set[dep.ID] = struct{}{}
+	}
 }
 
-// unindexLocked removes the deployment's current footprint from the
-// reverse node index; call it before mutating the footprint fields.
+// unindexLocked removes the deployment's registered footprint from the
+// reverse indexes; call it before mutating the footprint fields.
 // Caller holds o.mu.
 func (o *Orchestrator) unindexLocked(dep *Deployment) {
-	for _, n := range dep.footprint() {
+	for _, n := range dep.idxNodes {
 		set := o.nodeIndex[n]
 		delete(set, dep.ID)
 		if len(set) == 0 {
 			delete(o.nodeIndex, n)
 		}
 	}
+	for _, l := range dep.idxLinks {
+		set := o.linkIndex[l]
+		delete(set, dep.ID)
+		if len(set) == 0 {
+			delete(o.linkIndex, l)
+		}
+	}
+	dep.idxNodes, dep.idxLinks = nil, nil
 }
 
 // footprint returns the deduplicated nodes this deployment depends on:
-// its slice's OPSs, its VNF hosts, and every node on its path.
+// its slice's OPSs, its VNF hosts, every node on its path, and every
+// node on its standby path (a failure consuming only the standby still
+// needs reconciling — the standby must be replanned).
 func (d *Deployment) footprint() []topology.NodeID {
 	seen := make(map[topology.NodeID]struct{}, len(d.Path)+len(d.Placement.Hosts))
 	var out []topology.NodeID
@@ -348,6 +426,31 @@ func (d *Deployment) footprint() []topology.NodeID {
 	}
 	for _, n := range d.Path {
 		add(n)
+	}
+	if d.Standby != nil {
+		for _, n := range d.Standby.Path {
+			add(n)
+		}
+	}
+	return out
+}
+
+// linkFootprint returns the deduplicated physical links of the primary
+// (already enumerated by the caller) and standby paths.
+func (d *Deployment) linkFootprint(primary []topology.LinkID) []topology.LinkID {
+	seen := make(map[topology.LinkID]struct{})
+	var out []topology.LinkID
+	add := func(ids []topology.LinkID) {
+		for _, l := range ids {
+			if _, dup := seen[l]; !dup {
+				seen[l] = struct{}{}
+				out = append(out, l)
+			}
+		}
+	}
+	add(primary)
+	if d.Standby != nil {
+		add(d.Standby.Links)
 	}
 	return out
 }
@@ -600,6 +703,7 @@ func (o *Orchestrator) MoveNF(id DeploymentID, idx int, to topology.NodeID) erro
 	p.apply(dep)
 	o.indexLocked(dep)
 	o.mu.Unlock()
+	p.commitWDM()
 	return nil
 }
 
@@ -777,6 +881,19 @@ func (o *Orchestrator) RecoverNode(node topology.NodeID) error {
 	return nil
 }
 
+// RecoverLink marks a failed link as live again. Existing deployments
+// are not rerouted back; new paths may use the link immediately.
+func (o *Orchestrator) RecoverLink(link topology.LinkID) error {
+	o.topoMu.Lock()
+	defer o.topoMu.Unlock()
+	if err := o.topo.SetLinkDown(link, false); err != nil {
+		return fmt.Errorf("orch: recover link: %w", err)
+	}
+	// A recovered PM↔ToR link can bring stranded VMs back.
+	o.InvalidateVMCache()
+	return nil
+}
+
 // TopologyJSON serializes the topology consistently with respect to
 // concurrent failure injection and repair.
 func (o *Orchestrator) TopologyJSON() ([]byte, error) {
@@ -789,6 +906,8 @@ func (o *Orchestrator) snapshot(dep *Deployment) *Deployment {
 	cp := *dep
 	cp.Instances = append([]nfv.InstanceID(nil), dep.Instances...)
 	cp.Path = append([]topology.NodeID(nil), dep.Path...)
+	cp.Standby = dep.Standby.Clone()
+	cp.idxNodes, cp.idxLinks = nil, nil
 	return &cp
 }
 

@@ -8,6 +8,7 @@ import (
 	"github.com/alvc/alvc/internal/nfv"
 	"github.com/alvc/alvc/internal/optical"
 	"github.com/alvc/alvc/internal/placement"
+	"github.com/alvc/alvc/internal/resilience"
 	"github.com/alvc/alvc/internal/sdn"
 	"github.com/alvc/alvc/internal/topology"
 )
@@ -33,8 +34,14 @@ const (
 	// stagePath computes the route src VM → VNF hosts → dst VM,
 	// preferring a slice-confined route.
 	stagePath
+	// stageStandby precomputes a disjoint alternate route (best-effort;
+	// never fails the build), so a later data-path failure is repaired
+	// by a pure rule swap with no shortest-path run.
+	stageStandby
 	// stageWDM assigns a wavelength on the path's optical segments
-	// (skipped when WDM is disabled).
+	// (skipped when WDM is disabled). On re-entry the move is
+	// make-before-break: the flow holds a second wavelength until the
+	// new rules are live (two-λ grace).
 	stageWDM
 	// stageRules swaps the flow rules along the path in make-before-
 	// break order.
@@ -55,6 +62,8 @@ func (s stageID) String() string {
 		return "instantiate"
 	case stagePath:
 		return "path"
+	case stageStandby:
+		return "standby"
 	case stageWDM:
 		return "wdm"
 	case stageRules:
@@ -87,11 +96,16 @@ type pipeline struct {
 	path      []topology.NodeID
 	confined  bool
 	lambda    int
+	standby   *resilience.Standby
 
 	// reentry marks a pipeline seeded from a live deployment: its
 	// connectivity stages must swap the previous generation of
 	// wavelength and rules instead of plainly installing.
 	reentry bool
+	// graced marks an in-flight two-λ wavelength move; the old channel
+	// is released by commitWDM after the caller commits the pipeline
+	// outcome, or restored by the undo chain on rollback.
+	graced bool
 
 	undo []func()
 }
@@ -146,6 +160,7 @@ func (o *Orchestrator) pipelineFrom(dep *Deployment) *pipeline {
 		path:      dep.Path,
 		confined:  dep.SliceConfined,
 		lambda:    dep.Lambda,
+		standby:   dep.Standby,
 		reentry:   true,
 	}
 }
@@ -186,6 +201,8 @@ func (p *pipeline) runStage(s stageID) error {
 		return p.runInstantiate()
 	case stagePath:
 		return p.runPath()
+	case stageStandby:
+		return p.runStandby()
 	case stageWDM:
 		return p.runWDM()
 	case stageRules:
@@ -263,24 +280,78 @@ func (p *pipeline) runPath() error {
 	return nil
 }
 
+// planStandby plans the chain's alternate route via Yen's k-shortest
+// (sdn.PathAlternatives) and stores it on the pipeline. The error
+// reports why no standby exists (planning disabled counts as no
+// error); callers decide whether that is fatal.
+func (p *pipeline) planStandby() error {
+	p.standby = nil
+	k := p.o.standbyK
+	if k <= 0 {
+		return nil
+	}
+	// The endpoint VMs' host PMs are mandatory waypoints of any route
+	// (a VM is reachable only through its host), so list them as stops —
+	// otherwise no standby could ever count as disjoint.
+	src, dst := p.path[0], p.path[len(p.path)-1]
+	stops := make([]topology.NodeID, 0, len(p.place.Hosts)+4)
+	stops = append(stops, src)
+	if n := p.o.topo.Node(src); n != nil && n.Kind == topology.KindVM {
+		stops = append(stops, n.Host)
+	}
+	stops = append(stops, p.place.Hosts...)
+	if n := p.o.topo.Node(dst); n != nil && n.Kind == topology.KindVM {
+		stops = append(stops, n.Host)
+	}
+	stops = append(stops, dst)
+	sb, err := resilience.PlanStandby(p.o.ctrl, p.o.topo, p.path, stops, p.slice.OPSSet(), k)
+	if err != nil {
+		return err
+	}
+	p.standby = sb
+	return nil
+}
+
+// runStandby is planStandby as a pipeline stage: best-effort by
+// design — a chain without a standby is merely unprotected, so
+// planning failure never fails the build, and the stage registers no
+// undo (the record is pure data).
+func (p *pipeline) runStandby() error {
+	_ = p.planStandby()
+	return nil
+}
+
 func (p *pipeline) runWDM() error {
 	p.lambda = -1
 	if p.o.wdm == nil {
 		return nil
 	}
+	links, err := optical.OpticalSegmentLinks(p.o.topo, p.path)
+	if err != nil {
+		return fmt.Errorf("wdm: %w", err)
+	}
 	// A stage re-run during repair may find the flow still holding its
-	// previous wavelength: release it first so the old links are free
-	// for reuse (continuity-constrained first-fit often wants them).
+	// previous wavelength. Prefer a make-before-break move: park the old
+	// channel in a grace slot (it stays lit until commitWDM) and take a
+	// second wavelength on the new links. Only when no second channel is
+	// free fall back to the old release-then-assign.
 	if p.reentry {
 		if _, ok := p.o.wdm.AssignmentOf(p.flowKey); ok {
+			if len(links) > 0 {
+				if lambda, err := p.o.wdm.RetuneBegin(p.flowKey, links); err == nil {
+					p.lambda = lambda
+					p.graced = true
+					p.pushUndo(func() {
+						_ = p.o.wdm.RetuneAbort(p.flowKey)
+						p.graced = false
+					})
+					return nil
+				}
+			}
 			if err := p.o.wdm.Release(p.flowKey); err != nil {
 				return fmt.Errorf("wdm: %w", err)
 			}
 		}
-	}
-	links, err := optical.OpticalSegmentLinks(p.o.topo, p.path)
-	if err != nil {
-		return fmt.Errorf("wdm: %w", err)
 	}
 	if len(links) == 0 {
 		return nil
@@ -292,6 +363,18 @@ func (p *pipeline) runWDM() error {
 	p.lambda = lambda
 	p.pushUndo(func() { _ = p.o.wdm.Release(p.flowKey) })
 	return nil
+}
+
+// commitWDM ends the two-λ grace window: once the caller has committed
+// the pipeline outcome (new rules live, deployment record swapped), the
+// previous-generation wavelength is released. Must be called after a
+// successful re-entrant run; a no-op otherwise.
+func (p *pipeline) commitWDM() {
+	if !p.graced {
+		return
+	}
+	_ = p.o.wdm.RetuneCommit(p.flowKey)
+	p.graced = false
 }
 
 func (p *pipeline) runRules() error {
@@ -323,6 +406,7 @@ func (p *pipeline) apply(dep *Deployment) {
 	dep.Path = p.path
 	dep.SliceConfined = p.confined
 	dep.Lambda = p.lambda
+	dep.Standby = p.standby
 	dep.Conversions = p.place.Conversions
 	dep.EnergyJoules = p.o.costModel.TotalEnergy(p.place.Conversions, dep.Spec.FlowBytes)
 }

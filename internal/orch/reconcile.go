@@ -7,28 +7,40 @@ import (
 	"time"
 
 	"github.com/alvc/alvc/internal/placement"
+	"github.com/alvc/alvc/internal/resilience"
 	"github.com/alvc/alvc/internal/topology"
 )
 
 // RepairAction classifies what the reconciliation engine did to one
-// deployment after a node failure, from cheapest to most expensive.
+// deployment after a failure, from cheapest to most expensive.
 type RepairAction string
 
 // Repair actions.
 const (
-	// ActionRepathed: the failed node was only a transit hop — the SDN
-	// path was recomputed and the rules swapped make-before-break; the
-	// VC, slice and every VNF instance were left untouched.
+	// ActionSwapped: the failure hit the primary path but the
+	// precomputed standby survived — the route swapped to the standby
+	// make-before-break with zero shortest-path runs; the VC, slice and
+	// every VNF instance were left untouched, and the consumed standby
+	// awaits replanning.
+	ActionSwapped RepairAction = "swapped"
+	// ActionRepathed: the failure hit the primary path and no valid
+	// standby existed — the SDN path was recomputed cold and the rules
+	// swapped make-before-break; the VC, slice and every VNF instance
+	// were left untouched.
 	ActionRepathed RepairAction = "repathed"
-	// ActionReplaced: the failed node hosted VNF instance(s) — only
-	// those instances migrated to surviving hosts, then the path was
-	// swapped; the VC and slice were left untouched.
+	// ActionRestandby: the failure consumed only the deployment's
+	// standby path; the primary kept carrying traffic and only the
+	// standby was replanned.
+	ActionRestandby RepairAction = "restandby"
+	// ActionReplaced: a failed node hosted VNF instance(s) — only those
+	// instances migrated to surviving hosts, then the path was swapped;
+	// the VC and slice were left untouched.
 	ActionReplaced RepairAction = "replaced"
-	// ActionPatched: the failed node was an OPS of the chain's AL — the
+	// ActionPatched: a failed node was an OPS of the chain's AL — the
 	// vertex cover was re-run over the broken portion reusing surviving
 	// OPSs (cluster.PatchVC) and the slice membership swapped in place
 	// (optical.PatchMembership), keeping the VC ID, slice ID and
-	// bandwidth reservation; VNFs moved only if the failed OPS hosted
+	// bandwidth reservation; VNFs moved only if a failed OPS hosted
 	// them.
 	ActionPatched RepairAction = "patched"
 	// ActionRebuilt: differential repair was impossible — the chain was
@@ -39,7 +51,7 @@ const (
 	ActionFailed RepairAction = "failed"
 	// ActionSkipped: nothing was done — the deployment was concurrently
 	// deleted, already claimed by another exclusive operation, or no
-	// longer touched the failed node.
+	// longer touched the failed resources.
 	ActionSkipped RepairAction = "skipped"
 )
 
@@ -47,8 +59,10 @@ const (
 type RepairReport struct {
 	ID     DeploymentID
 	Action RepairAction
-	// Err is set for ActionFailed (and for ActionSkipped when the skip
-	// was caused by a concurrent exclusive operation).
+	// Err is set for ActionFailed, for ActionSkipped when the skip was
+	// caused by a concurrent exclusive operation, and for
+	// ActionRestandby when no new standby could be planned (the chain
+	// keeps carrying traffic but is left unprotected).
 	Err error
 }
 
@@ -56,7 +70,7 @@ type RepairReport struct {
 // consistent with the new topology.
 func (r RepairReport) Succeeded() bool {
 	switch r.Action {
-	case ActionRepathed, ActionReplaced, ActionPatched, ActionRebuilt:
+	case ActionSwapped, ActionRepathed, ActionRestandby, ActionReplaced, ActionPatched, ActionRebuilt:
 		return true
 	}
 	return false
@@ -82,34 +96,71 @@ const (
 	busyRetryDelay = 10 * time.Millisecond
 )
 
-// HandleNodeFailure marks the node as down and reconciles every active
-// deployment whose footprint includes it (O(1) via the reverse index).
-// Affected chains are repaired concurrently over a bounded worker pool
-// (the ProvisionBatch pool shape); untouched chains are never visited,
-// so recovery latency scales with the damage, not with the number of
-// deployed chains. One report per affected deployment is returned in
-// ID order; err carries the first failed repair, if any.
+// HandleNodeFailure marks one node as down and reconciles every active
+// deployment whose footprint includes it. It is the single-node form of
+// HandleFailures.
 func (o *Orchestrator) HandleNodeFailure(node topology.NodeID) ([]RepairReport, error) {
-	o.topoMu.Lock()
-	err := o.topo.SetNodeDown(node, true)
-	if err == nil {
-		// Inside the write lock: a provision acquiring topoMu.RLock
-		// after this point must not see the stale live-VM cache.
-		o.InvalidateVMCache()
-	}
-	o.topoMu.Unlock()
-	if err != nil {
-		return nil, fmt.Errorf("orch: node failure: %w", err)
-	}
+	return o.HandleFailures([]topology.NodeID{node}, nil)
+}
 
-	affected := o.affectedBy(node)
+// HandleLinkFailure marks one link as down and reconciles every active
+// deployment whose primary or standby path crosses it. It is the
+// single-link form of HandleFailures.
+func (o *Orchestrator) HandleLinkFailure(link topology.LinkID) ([]RepairReport, error) {
+	return o.HandleFailures(nil, []topology.LinkID{link})
+}
+
+// HandleFailures marks every given node and link as down in one
+// topology transaction and reconciles each affected active deployment
+// exactly once, classifying it against the union of dead resources — a
+// rack-level event (a ToR plus all its PMs, or a cable bundle) is one
+// reconciliation pass, not one per resource. Affected chains are found
+// through the reverse node and link indexes (O(damage), not
+// O(deployments)) and repaired concurrently over a bounded worker pool.
+// One report per affected deployment is returned in ID order; err
+// carries the first failed repair, if any.
+//
+// Unknown IDs are rejected up front: nothing is marked down and no
+// repair runs, so callers can map the error to a 404 without partial
+// state.
+func (o *Orchestrator) HandleFailures(nodes []topology.NodeID, links []topology.LinkID) ([]RepairReport, error) {
+	if len(nodes) == 0 && len(links) == 0 {
+		return nil, nil
+	}
+	o.topoMu.Lock()
+	for _, n := range nodes {
+		if o.topo.Node(n) == nil {
+			o.topoMu.Unlock()
+			return nil, fmt.Errorf("orch: node failure: topology: SetNodeDown: unknown node %d", n)
+		}
+	}
+	for _, l := range links {
+		if o.topo.Link(l) == nil {
+			o.topoMu.Unlock()
+			return nil, fmt.Errorf("orch: link failure: topology: SetLinkDown: unknown link %d", l)
+		}
+	}
+	for _, n := range nodes {
+		_ = o.topo.SetNodeDown(n, true)
+	}
+	for _, l := range links {
+		_ = o.topo.SetLinkDown(l, true)
+	}
+	// Inside the write lock: a provision acquiring topoMu.RLock after
+	// this point must not see the stale live-VM cache. Link failures
+	// invalidate it too — a dead PM↔ToR link strands that PM's VMs.
+	o.InvalidateVMCache()
+	o.topoMu.Unlock()
+
+	dead := resilience.NewFailureSet(nodes, links)
+	affected := o.affectedBy(dead)
 	reports := make([]RepairReport, len(affected))
 	runPool(len(affected), 0, func(i int) {
-		rep := o.repairAround(affected[i], node)
+		rep := o.repairAround(affected[i], dead)
 		for attempt := 0; attempt < busyRetries &&
 			rep.Action == ActionSkipped && errors.Is(rep.Err, ErrBusy); attempt++ {
 			time.Sleep(busyRetryDelay)
-			rep = o.repairAround(affected[i], node)
+			rep = o.repairAround(affected[i], dead)
 		}
 		reports[i] = rep
 	})
@@ -123,7 +174,7 @@ func (o *Orchestrator) HandleNodeFailure(node topology.NodeID) ([]RepairReport, 
 			firstErr = fmt.Errorf("orch: repair %d: %w", rep.ID, rep.Err)
 		case rep.Action == ActionSkipped && errors.Is(rep.Err, ErrBusy):
 			// The deployment stayed busy through every retry: it is
-			// still Active with a dead node in its footprint, and the
+			// still Active with a dead resource in its footprint, and the
 			// caller must know the reconciliation is incomplete.
 			firstErr = fmt.Errorf("orch: repair %d: %w", rep.ID, rep.Err)
 		}
@@ -131,26 +182,40 @@ func (o *Orchestrator) HandleNodeFailure(node topology.NodeID) ([]RepairReport, 
 	return reports, firstErr
 }
 
-// affectedBy returns the active deployments whose footprint includes
-// the node, sorted by ID — a reverse-index lookup, not a scan.
-func (o *Orchestrator) affectedBy(node topology.NodeID) []DeploymentID {
+// affectedBy returns the active deployments whose footprint intersects
+// the failure set, each exactly once, sorted by ID — a union of
+// reverse-index lookups, not a scan.
+func (o *Orchestrator) affectedBy(dead resilience.FailureSet) []DeploymentID {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	out := make([]DeploymentID, 0, len(o.nodeIndex[node]))
-	for id := range o.nodeIndex[node] {
-		if dep, ok := o.deployments[id]; ok && dep.State == StateActive {
-			out = append(out, id)
+	seen := make(map[DeploymentID]bool)
+	var out []DeploymentID
+	collect := func(set map[DeploymentID]struct{}) {
+		for id := range set {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if dep, ok := o.deployments[id]; ok && dep.State == StateActive {
+				out = append(out, id)
+			}
 		}
+	}
+	for n := range dead.Nodes {
+		collect(o.nodeIndex[n])
+	}
+	for l := range dead.Links {
+		collect(o.linkIndex[l])
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // repairAround is the per-deployment reconciler: it classifies how the
-// failed node intersects the deployment's footprint, applies the
-// cheapest repair that covers the damage, and falls back to a full
-// rebuild when the differential repair is impossible.
-func (o *Orchestrator) repairAround(id DeploymentID, node topology.NodeID) RepairReport {
+// failure set intersects the deployment's footprint, applies the
+// cheapest repair that covers the whole damage, and falls back to a
+// full rebuild when the differential repair is impossible.
+func (o *Orchestrator) repairAround(id DeploymentID, dead resilience.FailureSet) RepairReport {
 	dep, err := o.beginExclusive(id)
 	if err != nil {
 		// A concurrent delete/repair/move claimed the deployment; its
@@ -161,43 +226,48 @@ func (o *Orchestrator) repairAround(id DeploymentID, node topology.NodeID) Repai
 	o.topoMu.RLock()
 	defer o.topoMu.RUnlock()
 
-	// Classify the impact. The deployment stays in the reverse index
-	// for its old footprint throughout the repair — a concurrent
-	// failure of another node must still find it — and every commit
-	// point swaps the index entries atomically with the fields.
+	// Classify the impact against the union of dead resources. The
+	// deployment stays in the reverse indexes for its old footprint
+	// throughout the repair — a concurrent failure of another resource
+	// must still find it — and every commit point swaps the index
+	// entries atomically with the fields.
 	o.mu.Lock()
-	inSlice := dep.Slice.Contains(node)
-	hostHit := false
-	for _, h := range dep.Placement.Hosts {
-		if h == node {
-			hostHit = true
-			break
-		}
-	}
-	onPath := false
-	for _, n := range dep.Path {
-		if n == node {
-			onPath = true
-			break
-		}
-	}
+	sliceHit := dep.Slice != nil && dead.HitsAnyNode(dep.Slice.OPSs)
+	hostHit := dead.HitsAnyNode(dep.Placement.Hosts)
+	pathHit := dead.HitsAnyNode(dep.Path) || dead.HitsAnyLink(dep.primaryLinks)
+	standbyHit := dep.Standby != nil &&
+		(dead.HitsAnyNode(dep.Standby.Path) || dead.HitsAnyLink(dep.Standby.Links))
+	standbyAlive := dep.Standby != nil && resilience.PathAlive(o.topo, dep.Standby.Path)
 	o.mu.Unlock()
 
 	var action RepairAction
 	var patchErr error
 	switch {
-	case inSlice:
+	case sliceHit:
 		action = ActionPatched
-		patchErr = o.patchSlice(dep, node)
+		patchErr = o.patchSlice(dep, dead)
 	case hostHit:
 		action = ActionReplaced
-		patchErr = o.replaceAndRepath(dep, node)
-	case onPath:
-		action = ActionRepathed
-		patchErr = o.repath(dep)
+		patchErr = o.replaceAndRepath(dep, dead)
+	case pathHit:
+		if standbyAlive {
+			action = ActionSwapped
+			patchErr = o.swapToStandby(dep)
+		} else {
+			action = ActionRepathed
+			patchErr = o.repath(dep)
+		}
+	case standbyHit:
+		// The primary is intact; only the anticipation was consumed.
+		// Replanning runs shortest paths, but off the hot recovery path
+		// of any chain actually carrying traffic over dead resources.
+		// A replan failure is NOT grounds for the rebuild fallback —
+		// the chain still works — but the report must say the chain is
+		// now unprotected instead of silently claiming re-protection.
+		return RepairReport{ID: id, Action: ActionRestandby, Err: o.replanStandby(dep)}
 	default:
-		// The footprint changed since the index snapshot; the failed
-		// node no longer touches this deployment.
+		// The footprint changed since the index snapshot; the failure
+		// no longer touches this deployment.
 		return RepairReport{ID: id, Action: ActionSkipped}
 	}
 	if patchErr == nil {
@@ -211,12 +281,12 @@ func (o *Orchestrator) repairAround(id DeploymentID, node topology.NodeID) Repai
 	return RepairReport{ID: id, Action: ActionRebuilt}
 }
 
-// finishRepair re-runs the connectivity stages (path → WDM → rules)
-// over the staged pipeline and, on success, commits the outcome: the
-// reverse index swaps from the old to the new footprint atomically
-// with the field update.
-func (o *Orchestrator) finishRepair(p *pipeline, dep *Deployment) error {
-	if err := p.runFrom(stagePath); err != nil {
+// finishRepairFrom re-runs the pipeline from the given stage and, on
+// success, commits the outcome: the reverse indexes swap from the old
+// to the new footprint atomically with the field update, and any two-λ
+// grace window closes only after the new rules are live.
+func (o *Orchestrator) finishRepairFrom(p *pipeline, dep *Deployment, first stageID) error {
+	if err := p.runFrom(first); err != nil {
 		return err
 	}
 	o.mu.Lock()
@@ -225,33 +295,70 @@ func (o *Orchestrator) finishRepair(p *pipeline, dep *Deployment) error {
 	o.indexLocked(dep)
 	dep.Repairs++
 	o.mu.Unlock()
+	p.commitWDM()
 	return nil
 }
 
-// repath re-runs only the connectivity stages of the pipeline around
-// the deployment's unchanged placement.
+// repath re-runs the connectivity stages of the pipeline (path →
+// standby → wdm → rules) around the deployment's unchanged placement —
+// the cold data-path repair, which also replans the standby.
 func (o *Orchestrator) repath(dep *Deployment) error {
-	return o.finishRepair(o.pipelineFrom(dep), dep)
+	return o.finishRepairFrom(o.pipelineFrom(dep), dep, stagePath)
 }
 
-// replaceAndRepath migrates the VNF instances hosted on the failed
-// node to surviving hosts and re-runs the connectivity stages. The VC
-// and slice are untouched.
-func (o *Orchestrator) replaceAndRepath(dep *Deployment, node topology.NodeID) error {
+// swapToStandby promotes the precomputed standby to primary: the
+// pipeline re-enters at the WDM stage with the standby's route already
+// in hand, so recovery performs no shortest-path computation at all —
+// only a wavelength retune (two-λ grace) and a make-before-break rule
+// swap. The consumed standby is cleared; a later ActionRestandby or any
+// cold repair replans it.
+func (o *Orchestrator) swapToStandby(dep *Deployment) error {
 	p := o.pipelineFrom(dep)
-	if err := o.migrateOff(p, dep, node); err != nil {
+	sb := dep.Standby
+	p.path = append([]topology.NodeID(nil), sb.Path...)
+	p.confined = sb.Confined
+	p.standby = nil
+	return o.finishRepairFrom(p, dep, stageWDM)
+}
+
+// replanStandby recomputes only the standby route (the primary is
+// untouched, so this is not counted as a repair of the deployment) and
+// swaps the reverse-index entries to the new anticipation footprint.
+// On planning failure the dead standby is still dropped — the index
+// must not keep routing failures at a stale alternate — and the error
+// reports that the chain is left unprotected.
+func (o *Orchestrator) replanStandby(dep *Deployment) error {
+	p := o.pipelineFrom(dep)
+	planErr := p.planStandby()
+	o.mu.Lock()
+	o.unindexLocked(dep)
+	dep.Standby = p.standby // nil when planning failed
+	o.indexLocked(dep)
+	o.mu.Unlock()
+	if planErr != nil {
+		return fmt.Errorf("chain left unprotected: %w", planErr)
+	}
+	return nil
+}
+
+// replaceAndRepath migrates the VNF instances hosted on dead nodes to
+// surviving hosts and re-runs the connectivity stages. The VC and slice
+// are untouched.
+func (o *Orchestrator) replaceAndRepath(dep *Deployment, dead resilience.FailureSet) error {
+	p := o.pipelineFrom(dep)
+	if err := o.migrateOff(p, dep, dead); err != nil {
 		return err
 	}
-	return o.finishRepair(p, dep)
+	return o.finishRepairFrom(p, dep, stagePath)
 }
 
-// patchSlice handles an OPS failure inside the chain's AL: the vertex
+// patchSlice handles OPS failures inside the chain's AL: the vertex
 // cover is re-run over the broken portion reusing surviving OPSs, the
 // slice membership swaps under the existing reservation, VNFs hosted
-// on the failed OPS (it may be optoelectronic) migrate, and the
+// on failed OPSs (they may be optoelectronic) migrate, and the
 // connectivity stages re-run against the patched slice. The VC ID,
 // slice ID and bandwidth reservation all survive.
-func (o *Orchestrator) patchSlice(dep *Deployment, node topology.NodeID) error {
+func (o *Orchestrator) patchSlice(dep *Deployment, dead resilience.FailureSet) error {
 	vms := o.liveVMs(dep.Spec.Service)
 	if len(vms) == 0 {
 		return fmt.Errorf("no live VMs offer service %q", dep.Spec.Service)
@@ -275,31 +382,30 @@ func (o *Orchestrator) patchSlice(dep *Deployment, node topology.NodeID) error {
 	o.indexLocked(dep)
 	o.mu.Unlock()
 	p := o.pipelineFrom(dep) // picks up the patched VC and slice
-	if err := o.migrateOff(p, dep, node); err != nil {
+	if err := o.migrateOff(p, dep, dead); err != nil {
 		return err
 	}
-	return o.finishRepair(p, dep)
+	return o.finishRepairFrom(p, dep, stagePath)
 }
 
-// migrateOff moves every VNF instance the pipeline places on the
-// failed node to a surviving candidate host — the AL's optoelectronic
-// routers first (placement stays optical when capacity allows), then
-// the PMs hosting the service's live VMs — updating the staged
-// placement and its O/E/O accounting. Instances on other hosts are
-// never touched.
-func (o *Orchestrator) migrateOff(p *pipeline, dep *Deployment, node topology.NodeID) error {
+// migrateOff moves every VNF instance the pipeline places on a dead
+// node to a surviving candidate host — the AL's optoelectronic routers
+// first (placement stays optical when capacity allows), then the PMs
+// hosting the service's live VMs — updating the staged placement and
+// its O/E/O accounting. Instances on surviving hosts are never touched.
+func (o *Orchestrator) migrateOff(p *pipeline, dep *Deployment, dead resilience.FailureSet) error {
 	var cands []topology.NodeID
 	cands = append(cands, o.optoelectronicOf(p.vc.AL.OPSs)...)
 	cands = append(cands, o.pmsOf(o.liveVMs(dep.Spec.Service))...)
 	moved := false
 	for idx, h := range p.place.Hosts {
-		if h != node {
+		if !dead.Nodes[h] {
 			continue
 		}
 		instID := dep.Instances[idx]
 		hosted := false
 		for _, cand := range cands {
-			if cand == node {
+			if dead.Nodes[cand] {
 				continue
 			}
 			if err := o.mgr.Migrate(instID, cand); err != nil {

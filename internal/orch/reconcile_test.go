@@ -8,6 +8,7 @@ import (
 
 	"github.com/alvc/alvc/internal/chain"
 	"github.com/alvc/alvc/internal/placement"
+	"github.com/alvc/alvc/internal/resilience"
 	"github.com/alvc/alvc/internal/topology"
 )
 
@@ -257,9 +258,10 @@ func TestTransitNodeFailureRepathsOnly(t *testing.T) {
 				t.Fatalf("failed node %d still on path %v", victim, after.Path)
 			}
 		}
-		if rep.Action == ActionRepathed {
+		if rep.Action == ActionRepathed || rep.Action == ActionSwapped {
 			sawRepath = true
-			// The pure re-path must keep cluster, slice and instances.
+			// The pure re-path (cold or standby swap) must keep
+			// cluster, slice and instances.
 			if after.VC.ID != dep.VC.ID || after.Slice.ID != dep.Slice.ID {
 				t.Fatal("re-path touched cluster or slice identity")
 			}
@@ -334,7 +336,7 @@ func TestReverseIndexMaintained(t *testing.T) {
 		t.Fatalf("Provision: %v", err)
 	}
 	for _, n := range o.Deployment(dep.ID).Path {
-		ids := o.affectedBy(n)
+		ids := o.affectedBy(resilience.NewFailureSet([]topology.NodeID{n}, nil))
 		if len(ids) != 1 || ids[0] != dep.ID {
 			t.Fatalf("affectedBy(%d) = %v, want [%d]", n, ids, dep.ID)
 		}
@@ -343,10 +345,13 @@ func TestReverseIndexMaintained(t *testing.T) {
 		t.Fatalf("Delete: %v", err)
 	}
 	o.mu.Lock()
-	leftover := len(o.nodeIndex)
+	leftoverNodes, leftoverLinks := len(o.nodeIndex), len(o.linkIndex)
 	o.mu.Unlock()
-	if leftover != 0 {
-		t.Fatalf("node index leaked %d entries after delete", leftover)
+	if leftoverNodes != 0 {
+		t.Fatalf("node index leaked %d entries after delete", leftoverNodes)
+	}
+	if leftoverLinks != 0 {
+		t.Fatalf("link index leaked %d entries after delete", leftoverLinks)
 	}
 }
 

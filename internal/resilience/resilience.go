@@ -1,0 +1,290 @@
+// Package resilience owns failure anticipation for the AL-VC
+// orchestrator: standby paths precomputed at provision time so a
+// data-path failure becomes a pure make-before-break rule swap, and the
+// failure-set algebra the reconciler classifies rack-scale events
+// against. The paper's central claim (§III) is that the abstraction
+// layer localizes failure impact; this package makes the localized
+// repair proactive — the alternate route already exists when the
+// failure arrives, the way segment-routing NFV chains encode backup
+// segments ahead of time.
+//
+// The package is deliberately free of orchestrator state: everything
+// here is a pure function over the topology plus plain records, so the
+// reconciler (internal/orch) can hold its own locks while calling in.
+package resilience
+
+import (
+	"fmt"
+
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// FailureSet is the union of dead resources of one failure event — a
+// rack-scale incident (ToR plus its PMs, or a bundle of links) is
+// classified against the whole set at once, so each affected chain is
+// reconciled exactly once instead of once per dead resource.
+type FailureSet struct {
+	Nodes map[topology.NodeID]bool
+	Links map[topology.LinkID]bool
+}
+
+// NewFailureSet builds the union set of the given dead nodes and links.
+func NewFailureSet(nodes []topology.NodeID, links []topology.LinkID) FailureSet {
+	f := FailureSet{
+		Nodes: make(map[topology.NodeID]bool, len(nodes)),
+		Links: make(map[topology.LinkID]bool, len(links)),
+	}
+	for _, n := range nodes {
+		f.Nodes[n] = true
+	}
+	for _, l := range links {
+		f.Links[l] = true
+	}
+	return f
+}
+
+// HitsAnyNode reports whether any of the given nodes is dead.
+func (f FailureSet) HitsAnyNode(nodes []topology.NodeID) bool {
+	for _, n := range nodes {
+		if f.Nodes[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// HitsAnyLink reports whether any of the given links is dead.
+func (f FailureSet) HitsAnyLink(links []topology.LinkID) bool {
+	for _, l := range links {
+		if f.Links[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// PathLinks returns, in order, the physical link IDs along a node path.
+// Virtual VM↔host hops have no Link record and are skipped; down links
+// are still reported (unlike Topology.LinkBetween), because the caller
+// is usually asking "did the dead link sit on this path", after the
+// link was already marked down.
+func PathLinks(topo *topology.Topology, path []topology.NodeID) ([]topology.LinkID, error) {
+	var out []topology.LinkID
+	for i := 0; i+1 < len(path); i++ {
+		a, b := topo.Node(path[i]), topo.Node(path[i+1])
+		if a == nil || b == nil {
+			return nil, fmt.Errorf("resilience: path links: unknown node in path")
+		}
+		if virtualHop(a, b) {
+			continue
+		}
+		l := anyLinkBetween(topo, path[i], path[i+1])
+		if l == nil {
+			return nil, fmt.Errorf("resilience: path links: no link %d-%d", path[i], path[i+1])
+		}
+		out = append(out, l.ID)
+	}
+	return out, nil
+}
+
+// virtualHop reports whether the hop is a VM↔hosting-PM edge, which has
+// no Link record (the routing graph synthesizes it).
+func virtualHop(a, b *topology.Node) bool {
+	return (a.Kind == topology.KindVM && a.Host == b.ID) ||
+		(b.Kind == topology.KindVM && b.Host == a.ID)
+}
+
+// anyLinkBetween is LinkBetween without the liveness filter.
+func anyLinkBetween(topo *topology.Topology, a, b topology.NodeID) *topology.Link {
+	for _, l := range topo.LinksOf(a) {
+		if l.From == b || l.To == b {
+			return l
+		}
+	}
+	return nil
+}
+
+// PathAlive reports whether every node on the path is live and every
+// consecutive physical hop still has a live link. It is an O(path)
+// walk — no graph search — which is what lets a standby swap run with
+// zero shortest-path computations at recovery time.
+func PathAlive(topo *topology.Topology, path []topology.NodeID) bool {
+	if len(path) == 0 {
+		return false
+	}
+	for _, id := range path {
+		n := topo.Node(id)
+		if n == nil || n.Down {
+			return false
+		}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		a, b := topo.Node(path[i]), topo.Node(path[i+1])
+		if virtualHop(a, b) {
+			continue
+		}
+		if topo.LinkBetween(path[i], path[i+1]) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Standby is one chain's precomputed alternate route: it visits the
+// same endpoints and VNF hosts as the primary, over transit nodes and
+// links chosen to be disjoint from the primary wherever the topology
+// allows. The record is immutable once planned.
+type Standby struct {
+	// Path is the full alternate route src VM → VNF hosts → dst VM.
+	Path []topology.NodeID
+	// Links are the physical link IDs along Path (virtual VM hops
+	// skipped), kept so link failures index straight to the standby.
+	Links []topology.LinkID
+	// Disjoint reports full transit-node and link disjointness from the
+	// primary at plan time. A non-disjoint standby still helps: its
+	// validity is re-checked against the live topology before any swap.
+	Disjoint bool
+	// Confined reports whether every OPS on the standby belongs to the
+	// chain's own slice.
+	Confined bool
+}
+
+// Clone returns a deep copy.
+func (s *Standby) Clone() *Standby {
+	if s == nil {
+		return nil
+	}
+	cp := *s
+	cp.Path = append([]topology.NodeID(nil), s.Path...)
+	cp.Links = append([]topology.LinkID(nil), s.Links...)
+	return &cp
+}
+
+// PathFinder yields alternate routes between two nodes; it is the
+// corner of the SDN controller the planner needs (Yen's k-shortest).
+type PathFinder interface {
+	PathAlternatives(src, dst topology.NodeID, k int, restrictOPS map[topology.NodeID]bool) ([][]topology.NodeID, error)
+}
+
+// PlanStandby computes a standby route for a chain whose primary path
+// visits the given stops (src, VNF hosts, dst) in order. Per segment it
+// asks the finder for up to k alternatives and picks the one sharing
+// the fewest transit nodes and links with the primary (ties break
+// toward the shorter alternative, which is first in Yen's order, so
+// planning is deterministic). Stops themselves are shared by
+// construction — the standby must still visit every VNF.
+//
+// The result is best-effort: when no fully disjoint alternative exists
+// the least-overlapping one is returned with Disjoint=false, and the
+// reconciler's liveness check decides at recovery time whether it
+// survived the actual failure. An error means no alternate route
+// exists at all for some segment.
+func PlanStandby(f PathFinder, topo *topology.Topology, primary []topology.NodeID, stops []topology.NodeID, sliceOPS map[topology.NodeID]bool, k int) (*Standby, error) {
+	if f == nil || topo == nil {
+		return nil, fmt.Errorf("resilience: plan standby: nil finder or topology")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("resilience: plan standby: k must be positive, got %d", k)
+	}
+	if len(primary) == 0 || len(stops) < 2 {
+		return nil, fmt.Errorf("resilience: plan standby: primary and stops required")
+	}
+	stopSet := make(map[topology.NodeID]bool, len(stops))
+	for _, s := range stops {
+		stopSet[s] = true
+	}
+	// Primary transit nodes (everything that is not a mandatory stop)
+	// and primary links are what the standby tries to avoid.
+	transit := make(map[topology.NodeID]bool)
+	for _, n := range primary {
+		if !stopSet[n] {
+			transit[n] = true
+		}
+	}
+	primaryLinks, err := PathLinks(topo, primary)
+	if err != nil {
+		return nil, err
+	}
+	linkSet := make(map[topology.LinkID]bool, len(primaryLinks))
+	for _, l := range primaryLinks {
+		linkSet[l] = true
+	}
+
+	overlap := func(seg []topology.NodeID) (int, error) {
+		score := 0
+		for _, n := range seg[1 : len(seg)-1] {
+			if transit[n] {
+				score++
+			}
+		}
+		segLinks, err := PathLinks(topo, seg)
+		if err != nil {
+			return 0, err
+		}
+		for _, l := range segLinks {
+			if linkSet[l] {
+				score++
+			}
+		}
+		return score, nil
+	}
+
+	var full []topology.NodeID
+	totalOverlap := 0
+	for i := 0; i+1 < len(stops); i++ {
+		a, b := stops[i], stops[i+1]
+		if a == b {
+			continue
+		}
+		alts, err := f.PathAlternatives(a, b, k, nil)
+		if err != nil {
+			return nil, fmt.Errorf("resilience: plan standby segment %d: %w", i, err)
+		}
+		best := -1
+		bestScore := 0
+		for j, alt := range alts {
+			if len(alt) < 2 {
+				continue
+			}
+			score, err := overlap(alt)
+			if err != nil {
+				continue
+			}
+			if best < 0 || score < bestScore {
+				best, bestScore = j, score
+			}
+			if score == 0 {
+				break // Yen's order: first zero-overlap alt is the shortest
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("resilience: plan standby segment %d: no usable alternative %d->%d", i, a, b)
+		}
+		seg := alts[best]
+		totalOverlap += bestScore
+		if len(full) > 0 {
+			seg = seg[1:] // drop the duplicated joint
+		}
+		full = append(full, seg...)
+	}
+	if len(full) == 0 {
+		return nil, fmt.Errorf("resilience: plan standby: degenerate stop list")
+	}
+	links, err := PathLinks(topo, full)
+	if err != nil {
+		return nil, err
+	}
+	confined := true
+	for _, id := range full {
+		if n := topo.Node(id); n != nil && n.Kind == topology.KindOPS && !sliceOPS[id] {
+			confined = false
+			break
+		}
+	}
+	return &Standby{
+		Path:     full,
+		Links:    links,
+		Disjoint: totalOverlap == 0,
+		Confined: confined,
+	}, nil
+}

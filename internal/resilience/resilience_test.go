@@ -1,0 +1,203 @@
+package resilience
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// twoRouteTopo: pm1 and pm2 joined by two disjoint ToR routes, the
+// first cheaper. Returns the topology, endpoints, and per-route transit
+// nodes/links.
+func twoRouteTopo(t *testing.T) (topo *topology.Topology, pm1, pm2 topology.NodeID,
+	tors [2][2]topology.NodeID, links [2][2]topology.LinkID) {
+	t.Helper()
+	topo = topology.New()
+	big := topology.Resources{CPUCores: 32, MemoryGB: 64, StorageGB: 512}
+	pm1 = topo.AddPM(0, big)
+	pm2 = topo.AddPM(1, big)
+	for r := 0; r < 2; r++ {
+		tors[r][0] = topo.AddToR(0)
+		tors[r][1] = topo.AddToR(1)
+		lat := float64(1 + r)
+		var err error
+		if links[r][0], err = topo.AddLink(pm1, tors[r][0], topology.LinkElectronic, 10, lat); err != nil {
+			t.Fatalf("AddLink: %v", err)
+		}
+		if _, err = topo.AddLink(tors[r][0], tors[r][1], topology.LinkElectronic, 10, lat); err != nil {
+			t.Fatalf("AddLink: %v", err)
+		}
+		if links[r][1], err = topo.AddLink(tors[r][1], pm2, topology.LinkElectronic, 10, lat); err != nil {
+			t.Fatalf("AddLink: %v", err)
+		}
+	}
+	return topo, pm1, pm2, tors, links
+}
+
+func TestFailureSetUnion(t *testing.T) {
+	f := NewFailureSet([]topology.NodeID{3, 5}, []topology.LinkID{7})
+	if !f.HitsAnyNode([]topology.NodeID{1, 5}) {
+		t.Fatal("missed node 5")
+	}
+	if f.HitsAnyNode([]topology.NodeID{1, 2}) {
+		t.Fatal("phantom node hit")
+	}
+	if !f.HitsAnyLink([]topology.LinkID{7}) || f.HitsAnyLink([]topology.LinkID{8}) {
+		t.Fatal("link hit detection wrong")
+	}
+	empty := NewFailureSet(nil, nil)
+	if empty.HitsAnyNode([]topology.NodeID{3}) || empty.HitsAnyLink([]topology.LinkID{7}) {
+		t.Fatal("empty set hits resources")
+	}
+}
+
+func TestPathLinksSkipsVirtualHopsAndSeesDownLinks(t *testing.T) {
+	topo, pm1, pm2, tors, links := twoRouteTopo(t)
+	vm, err := topo.AddVM(pm1, "web")
+	if err != nil {
+		t.Fatalf("AddVM: %v", err)
+	}
+	path := []topology.NodeID{vm, pm1, tors[0][0], tors[0][1], pm2}
+	got, err := PathLinks(topo, path)
+	if err != nil {
+		t.Fatalf("PathLinks: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("PathLinks = %v, want 3 physical links (virtual VM hop skipped)", got)
+	}
+	if got[0] != links[0][0] {
+		t.Fatalf("first link = %d, want %d", got[0], links[0][0])
+	}
+	// A down link must still be enumerated — classification happens
+	// after the failure is marked.
+	if err := topo.SetLinkDown(links[0][0], true); err != nil {
+		t.Fatalf("SetLinkDown: %v", err)
+	}
+	again, err := PathLinks(topo, path)
+	if err != nil {
+		t.Fatalf("PathLinks after down: %v", err)
+	}
+	if len(again) != 3 || again[0] != links[0][0] {
+		t.Fatalf("PathLinks after down = %v, want the dead link reported", again)
+	}
+	// Disconnected hops are an error.
+	if _, err := PathLinks(topo, []topology.NodeID{pm1, pm2}); err == nil {
+		t.Fatal("PathLinks accepted a non-adjacent hop")
+	}
+}
+
+func TestPathAlive(t *testing.T) {
+	topo, pm1, pm2, tors, links := twoRouteTopo(t)
+	path := []topology.NodeID{pm1, tors[0][0], tors[0][1], pm2}
+	if !PathAlive(topo, path) {
+		t.Fatal("fresh path not alive")
+	}
+	if err := topo.SetLinkDown(links[0][1], true); err != nil {
+		t.Fatalf("SetLinkDown: %v", err)
+	}
+	if PathAlive(topo, path) {
+		t.Fatal("path alive over a dead link")
+	}
+	if err := topo.SetLinkDown(links[0][1], false); err != nil {
+		t.Fatalf("SetLinkUp: %v", err)
+	}
+	if err := topo.SetNodeDown(tors[0][0], true); err != nil {
+		t.Fatalf("SetNodeDown: %v", err)
+	}
+	if PathAlive(topo, path) {
+		t.Fatal("path alive over a dead node")
+	}
+	if PathAlive(topo, nil) {
+		t.Fatal("empty path alive")
+	}
+}
+
+// stubFinder serves canned alternatives keyed by src->dst.
+type stubFinder struct {
+	alts map[string][][]topology.NodeID
+}
+
+func (s stubFinder) PathAlternatives(src, dst topology.NodeID, k int, _ map[topology.NodeID]bool) ([][]topology.NodeID, error) {
+	key := fmt.Sprintf("%d-%d", src, dst)
+	out, ok := s.alts[key]
+	if !ok {
+		return nil, fmt.Errorf("no route %s", key)
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+func TestPlanStandbyPrefersDisjoint(t *testing.T) {
+	topo, pm1, pm2, tors, _ := twoRouteTopo(t)
+	primary := []topology.NodeID{pm1, tors[0][0], tors[0][1], pm2}
+	alt := []topology.NodeID{pm1, tors[1][0], tors[1][1], pm2}
+	finder := stubFinder{alts: map[string][][]topology.NodeID{
+		fmt.Sprintf("%d-%d", pm1, pm2): {primary, alt},
+	}}
+	sb, err := PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4)
+	if err != nil {
+		t.Fatalf("PlanStandby: %v", err)
+	}
+	if !sb.Disjoint {
+		t.Fatalf("standby %+v not marked disjoint", sb)
+	}
+	if len(sb.Path) != 4 || sb.Path[1] != tors[1][0] {
+		t.Fatalf("standby path = %v, want the second route", sb.Path)
+	}
+	if len(sb.Links) != 3 {
+		t.Fatalf("standby links = %v, want 3", sb.Links)
+	}
+}
+
+func TestPlanStandbyBestEffortWhenOnlyOverlappingAltExists(t *testing.T) {
+	topo, pm1, pm2, tors, _ := twoRouteTopo(t)
+	primary := []topology.NodeID{pm1, tors[0][0], tors[0][1], pm2}
+	finder := stubFinder{alts: map[string][][]topology.NodeID{
+		fmt.Sprintf("%d-%d", pm1, pm2): {primary},
+	}}
+	sb, err := PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4)
+	if err != nil {
+		t.Fatalf("PlanStandby: %v", err)
+	}
+	if sb.Disjoint {
+		t.Fatal("identical standby marked disjoint")
+	}
+}
+
+func TestPlanStandbyErrors(t *testing.T) {
+	topo, pm1, pm2, tors, _ := twoRouteTopo(t)
+	primary := []topology.NodeID{pm1, tors[0][0], tors[0][1], pm2}
+	finder := stubFinder{alts: map[string][][]topology.NodeID{}}
+	if _, err := PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4); err == nil {
+		t.Fatal("no-route segment accepted")
+	}
+	good := stubFinder{alts: map[string][][]topology.NodeID{
+		fmt.Sprintf("%d-%d", pm1, pm2): {primary},
+	}}
+	if _, err := PlanStandby(good, topo, primary, []topology.NodeID{pm1, pm2}, nil, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := PlanStandby(nil, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4); err == nil {
+		t.Fatal("nil finder accepted")
+	}
+	if _, err := PlanStandby(good, topo, nil, []topology.NodeID{pm1, pm2}, nil, 4); err == nil {
+		t.Fatal("empty primary accepted")
+	}
+}
+
+func TestStandbyClone(t *testing.T) {
+	var nilStandby *Standby
+	if nilStandby.Clone() != nil {
+		t.Fatal("nil clone not nil")
+	}
+	sb := &Standby{Path: []topology.NodeID{1, 2}, Links: []topology.LinkID{9}, Disjoint: true}
+	cp := sb.Clone()
+	cp.Path[0] = 42
+	cp.Links[0] = 43
+	if sb.Path[0] != 1 || sb.Links[0] != 9 {
+		t.Fatal("clone aliases the original")
+	}
+}

@@ -87,6 +87,11 @@ type Controller struct {
 
 	pathsProvisioned int
 	rulesInstalled   int
+	// pathComputations counts graph searches (shortest-path and Yen's
+	// runs). The resilience contract — a standby swap performs zero
+	// shortest-path work at recovery time — is asserted against this
+	// counter.
+	pathComputations int
 }
 
 // NewController returns a controller over the topology.
@@ -104,6 +109,7 @@ func NewController(topo *topology.Topology) (*Controller, error) {
 // restrictOPS is non-nil only those OPSs may be traversed (routing
 // inside a slice). VMs are routed via their host PM.
 func (c *Controller) ComputePath(src, dst topology.NodeID, restrictOPS map[topology.NodeID]bool) ([]topology.NodeID, error) {
+	c.countPathComputation()
 	g := c.topo.RoutingGraph(topology.GraphOptions{IncludeVMs: true, RestrictOPS: restrictOPS})
 	vp, _, err := g.ShortestPath(graph.VertexID(src), graph.VertexID(dst))
 	if err != nil {
@@ -152,6 +158,7 @@ func (c *Controller) PathAlternatives(src, dst topology.NodeID, k int, restrictO
 	if k <= 0 {
 		return nil, fmt.Errorf("sdn: path alternatives: k must be positive, got %d", k)
 	}
+	c.countPathComputation()
 	g := c.topo.RoutingGraph(topology.GraphOptions{IncludeVMs: true, RestrictOPS: restrictOPS})
 	vps, _, err := g.KShortestPaths(graph.VertexID(src), graph.VertexID(dst), k)
 	if err != nil {
@@ -388,6 +395,22 @@ func (c *Controller) Stats() (paths, rules int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.pathsProvisioned, c.rulesInstalled
+}
+
+func (c *Controller) countPathComputation() {
+	c.mu.Lock()
+	c.pathComputations++
+	c.mu.Unlock()
+}
+
+// PathComputations returns the cumulative number of graph searches the
+// controller has run (ComputePath calls and Yen's k-shortest runs).
+// Recovery code paths that promise "no shortest-path work" are asserted
+// against the delta of this counter.
+func (c *Controller) PathComputations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pathComputations
 }
 
 // CountConversionsOnPath counts the domain boundary crossings along a

@@ -111,6 +111,13 @@ func TestFailureEndpointUntouchedChainsNotReported(t *testing.T) {
 	for _, n := range bDep.Path {
 		bFootprint[int(n)] = true
 	}
+	// The standby path is part of the footprint too: a failure on it
+	// would legitimately produce a restandby report for chain b.
+	if bDep.Standby != nil {
+		for _, n := range bDep.Standby.Path {
+			bFootprint[int(n)] = true
+		}
+	}
 	var victim int
 	for _, ops := range a.SliceOPSs {
 		if !bFootprint[int(ops)] {

@@ -74,6 +74,11 @@ func New(arch *alvc.Architecture, opts ...Option) (*Server, error) {
 	mux.HandleFunc("POST /v1/chains/{id}/move", s.handleMove)
 	mux.HandleFunc("POST /v1/failures/{node}", s.handleFailNode)
 	mux.HandleFunc("DELETE /v1/failures/{node}", s.handleRecoverNode)
+	mux.HandleFunc("POST /v1/failures/links/{link}", s.handleFailLink)
+	mux.HandleFunc("DELETE /v1/failures/links/{link}", s.handleRecoverLink)
+	mux.HandleFunc("POST /v1/failures:batch", s.handleFailBatch)
+	mux.HandleFunc("GET /v1/nodes/{node}/impact", s.handleNodeImpact)
+	mux.HandleFunc("GET /v1/links/{link}/impact", s.handleLinkImpact)
 	mux.HandleFunc("GET /v1/topology", s.handleTopology)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 
@@ -314,24 +319,10 @@ func (s *Server) pathNode(w http.ResponseWriter, r *http.Request) (topology.Node
 	return topology.NodeID(n), true
 }
 
-func (s *Server) handleFailNode(w http.ResponseWriter, r *http.Request) {
-	node, ok := s.pathNode(w, r)
-	if !ok {
-		return
-	}
-	if s.arch.Topology().Node(node) == nil {
-		writeError(w, http.StatusNotFound, "unknown node %d", node)
-		return
-	}
-	// The node exists, so FailNode's error can only report repairs that
-	// did not succeed — the injection itself has landed. Report those
-	// in-band: the client asked for a failure and got one.
-	reports, err := s.arch.FailNode(node)
-	resp := FailureResponse{
-		Node:     node,
-		Reports:  make([]RepairReportJSON, 0, len(reports)),
-		Repaired: make([]int, 0, len(reports)),
-	}
+// fillReports folds the reconciler's reports into the wire response.
+func fillReports(resp *FailureResponse, reports []orch.RepairReport, err error) {
+	resp.Reports = make([]RepairReportJSON, 0, len(reports))
+	resp.Repaired = make([]int, 0, len(reports))
 	for _, rep := range reports {
 		rj := RepairReportJSON{ID: int(rep.ID), Action: string(rep.Action)}
 		if rep.Err != nil {
@@ -350,6 +341,23 @@ func (s *Server) handleFailNode(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		resp.Error = err.Error()
 	}
+}
+
+func (s *Server) handleFailNode(w http.ResponseWriter, r *http.Request) {
+	node, ok := s.pathNode(w, r)
+	if !ok {
+		return
+	}
+	if s.arch.Topology().Node(node) == nil {
+		writeError(w, http.StatusNotFound, "unknown node %d", node)
+		return
+	}
+	// The node exists, so FailNode's error can only report repairs that
+	// did not succeed — the injection itself has landed. Report those
+	// in-band: the client asked for a failure and got one.
+	reports, err := s.arch.FailNode(node)
+	resp := FailureResponse{Node: node}
+	fillReports(&resp, reports, err)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -367,6 +375,113 @@ func (s *Server) handleRecoverNode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"node": node, "recovered": true})
+}
+
+func (s *Server) pathLink(w http.ResponseWriter, r *http.Request) (topology.LinkID, bool) {
+	n, err := strconv.Atoi(r.PathValue("link"))
+	if err != nil || n <= 0 {
+		writeError(w, http.StatusBadRequest, "invalid link id %q", r.PathValue("link"))
+		return 0, false
+	}
+	return topology.LinkID(n), true
+}
+
+func (s *Server) handleFailLink(w http.ResponseWriter, r *http.Request) {
+	link, ok := s.pathLink(w, r)
+	if !ok {
+		return
+	}
+	if s.arch.Topology().Link(link) == nil {
+		writeError(w, http.StatusNotFound, "unknown link %d", link)
+		return
+	}
+	// Mirrors handleFailNode: the injection has landed, so per-chain
+	// repair outcomes are reported in-band.
+	reports, err := s.arch.FailLink(link)
+	resp := FailureResponse{Link: link}
+	fillReports(&resp, reports, err)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRecoverLink(w http.ResponseWriter, r *http.Request) {
+	link, ok := s.pathLink(w, r)
+	if !ok {
+		return
+	}
+	if s.arch.Topology().Link(link) == nil {
+		writeError(w, http.StatusNotFound, "unknown link %d", link)
+		return
+	}
+	if err := s.arch.RecoverLink(link); err != nil {
+		writeError(w, statusOf(err), "recover link: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"link": link, "recovered": true})
+}
+
+func (s *Server) handleFailBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchFailureRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "parse batch failure request: %v", err)
+		return
+	}
+	if len(req.Nodes) == 0 && len(req.Links) == 0 {
+		writeError(w, http.StatusBadRequest, "batch failure names no nodes or links")
+		return
+	}
+	topo := s.arch.Topology()
+	for _, n := range req.Nodes {
+		if topo.Node(n) == nil {
+			writeError(w, http.StatusNotFound, "unknown node %d", n)
+			return
+		}
+	}
+	for _, l := range req.Links {
+		if topo.Link(l) == nil {
+			writeError(w, http.StatusNotFound, "unknown link %d", l)
+			return
+		}
+	}
+	reports, err := s.arch.FailBatch(req.Nodes, req.Links)
+	resp := FailureResponse{Nodes: req.Nodes, Links: req.Links}
+	fillReports(&resp, reports, err)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleNodeImpact(w http.ResponseWriter, r *http.Request) {
+	node, ok := s.pathNode(w, r)
+	if !ok {
+		return
+	}
+	if s.arch.Topology().Node(node) == nil {
+		writeError(w, http.StatusNotFound, "unknown node %d", node)
+		return
+	}
+	entries := s.arch.NodeImpact(node)
+	resp := ImpactResponse{Node: node, Chains: toImpactJSON(entries), Count: len(entries)}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLinkImpact(w http.ResponseWriter, r *http.Request) {
+	link, ok := s.pathLink(w, r)
+	if !ok {
+		return
+	}
+	if s.arch.Topology().Link(link) == nil {
+		writeError(w, http.StatusNotFound, "unknown link %d", link)
+		return
+	}
+	entries := s.arch.LinkImpact(link)
+	resp := ImpactResponse{Link: link, Chains: toImpactJSON(entries), Count: len(entries)}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func toImpactJSON(entries []alvc.ImpactEntry) []ImpactEntryJSON {
+	out := make([]ImpactEntryJSON, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, ImpactEntryJSON{ID: int(e.ID), Roles: e.Roles})
+	}
+	return out
 }
 
 func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {

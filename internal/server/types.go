@@ -29,6 +29,11 @@ type DeploymentJSON struct {
 	Lambda        int               `json:"lambda"`
 	Conversions   int               `json:"conversions"`
 	EnergyJoules  float64           `json:"energy_joules"`
+	// StandbyPath is the precomputed alternate route (absent when no
+	// standby is currently planned); StandbyDisjoint reports full
+	// transit-node/link disjointness from the primary.
+	StandbyPath     []topology.NodeID `json:"standby_path,omitempty"`
+	StandbyDisjoint bool              `json:"standby_disjoint,omitempty"`
 }
 
 func toDeploymentJSON(d *orch.Deployment) DeploymentJSON {
@@ -52,6 +57,10 @@ func toDeploymentJSON(d *orch.Deployment) DeploymentJSON {
 	}
 	if d.Slice != nil {
 		out.SliceOPSs = d.Slice.OPSs
+	}
+	if d.Standby != nil {
+		out.StandbyPath = d.Standby.Path
+		out.StandbyDisjoint = d.Standby.Disjoint
 	}
 	for _, dom := range d.Placement.Domains {
 		out.Domains = append(out.Domains, dom.String())
@@ -107,15 +116,44 @@ type RepairReportJSON struct {
 	Error  string `json:"error,omitempty"`
 }
 
-// FailureResponse reports a node-failure injection: the per-chain
-// reconciliation reports, plus the repaired/failed ID lists derived
-// from them (kept as first-class fields for scripting convenience).
+// FailureResponse reports a failure injection (single node, single
+// link, or a batch of both): the per-chain reconciliation reports, plus
+// the repaired/failed ID lists derived from them (kept as first-class
+// fields for scripting convenience). Exactly one of Node/Link or the
+// Nodes/Links pair is populated, matching the endpoint used.
 type FailureResponse struct {
-	Node     topology.NodeID    `json:"node"`
+	Node     topology.NodeID    `json:"node,omitempty"`
+	Link     topology.LinkID    `json:"link,omitempty"`
+	Nodes    []topology.NodeID  `json:"nodes,omitempty"`
+	Links    []topology.LinkID  `json:"links,omitempty"`
 	Reports  []RepairReportJSON `json:"reports"`
 	Repaired []int              `json:"repaired"`
 	Failed   []int              `json:"failed,omitempty"`
 	Error    string             `json:"error,omitempty"`
+}
+
+// BatchFailureRequest is the body of POST /v1/failures:batch — one
+// rack-scale event: every named node and link goes down together and
+// each affected chain is reconciled exactly once against the union.
+type BatchFailureRequest struct {
+	Nodes []topology.NodeID `json:"nodes,omitempty"`
+	Links []topology.LinkID `json:"links,omitempty"`
+}
+
+// ImpactEntryJSON is one chain inside a resource's blast radius.
+type ImpactEntryJSON struct {
+	ID    int      `json:"id"`
+	Roles []string `json:"roles"`
+}
+
+// ImpactResponse is the body of GET /v1/nodes/{id}/impact and
+// GET /v1/links/{id}/impact: the active chains that would be affected
+// if the resource died, with the roles it plays for each.
+type ImpactResponse struct {
+	Node   topology.NodeID   `json:"node,omitempty"`
+	Link   topology.LinkID   `json:"link,omitempty"`
+	Chains []ImpactEntryJSON `json:"chains"`
+	Count  int               `json:"count"`
 }
 
 // UtilizationJSON aggregates the resource ledger over one hosting
