@@ -33,6 +33,15 @@ bench-repair:
 bench-resilience:
 	$(GO) run ./cmd/alvc-bench -resilience -chains 25 -json
 
+# Optimizer smoke: a rack event must run zero inline Yen searches with
+# the background engine attached (vs dozens inline), every affected
+# chain must be re-protected after a drain (disjoint again once the
+# outage heals), and the λ-defrag pass must compact fragmented
+# wavelengths. Writes BENCH_optimizer.json.
+.PHONY: bench-optimizer
+bench-optimizer:
+	$(GO) run ./cmd/alvc-bench -optimizer -chains 16 -json
+
 fmt:
 	gofmt -w .
 
@@ -46,4 +55,4 @@ vet:
 	$(GO) vet ./...
 
 # Exactly what .github/workflows/ci.yml runs.
-ci: build fmt-check vet race bench bench-repair bench-resilience
+ci: build fmt-check vet race bench bench-repair bench-resilience bench-optimizer

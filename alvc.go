@@ -36,6 +36,7 @@ import (
 	"github.com/alvc/alvc/internal/flow"
 	"github.com/alvc/alvc/internal/nfv"
 	"github.com/alvc/alvc/internal/optical"
+	"github.com/alvc/alvc/internal/optimizer"
 	"github.com/alvc/alvc/internal/orch"
 	"github.com/alvc/alvc/internal/placement"
 	"github.com/alvc/alvc/internal/resilience"
@@ -101,6 +102,17 @@ type (
 	// ImpactEntry is one chain inside a resource's blast radius with the
 	// roles the resource plays for it (slice/host/path/standby).
 	ImpactEntry = orch.ImpactEntry
+	// Optimizer is the background maintenance engine: async standby
+	// re-protection, recover-time refresh, placement re-homing and
+	// λ defragmentation behind a deduplicating prioritized queue.
+	Optimizer = optimizer.Engine
+	// OptimizerOptions tunes the background optimizer.
+	OptimizerOptions = optimizer.Options
+	// OptimizerStatus is the engine's observable state (queue depth,
+	// per-kind counters, recent task results).
+	OptimizerStatus = optimizer.Status
+	// OptimizerTaskResult is one executed maintenance task's outcome.
+	OptimizerTaskResult = optimizer.TaskResult
 )
 
 // Re-exported AL builders (paper §III-C and its baselines).
@@ -147,6 +159,7 @@ type settings struct {
 	wavelengths  int
 	batchWorkers int
 	standbyK     int
+	optimizer    *optimizer.Options
 }
 
 // WithBuilder selects the AL construction algorithm (default: the
@@ -196,13 +209,27 @@ func WithStandbyK(k int) Option {
 	return func(s *settings) { s.standbyK = k }
 }
 
+// WithOptimizer attaches the background optimization engine: repairs
+// stop replanning standbys inline (Yen's search leaves the recovery
+// hot path; the engine re-protects chains asynchronously), recoveries
+// trigger standby refresh and placement re-homing, and idle ticks
+// consolidate fragmented wavelength assignments. The engine is wired
+// as the orchestrator's event sink; drive it with
+// Architecture.Optimize (synchronous drain) or Optimizer().Start (a
+// daemon's background loop).
+func WithOptimizer(opts OptimizerOptions) Option {
+	return func(s *settings) { s.optimizer = &opts }
+}
+
 // Architecture is a running AL-VC instance: a topology plus the full
 // management stack of Fig. 6 (orchestrator over SDN controller and
-// Cloud/NFV manager).
+// Cloud/NFV manager), optionally with the background optimization
+// engine attached.
 type Architecture struct {
 	topo         *topology.Topology
 	alloc        *cluster.Allocator
 	orch         *orch.Orchestrator
+	opt          *optimizer.Engine
 	batchWorkers int
 }
 
@@ -249,7 +276,16 @@ func FromTopology(topo *topology.Topology, opts ...Option) (*Architecture, error
 	if err != nil {
 		return nil, fmt.Errorf("alvc: %w", err)
 	}
-	return &Architecture{topo: topo, alloc: alloc, orch: o, batchWorkers: s.batchWorkers}, nil
+	arch := &Architecture{topo: topo, alloc: alloc, orch: o, batchWorkers: s.batchWorkers}
+	if s.optimizer != nil {
+		eng, err := optimizer.New(o, *s.optimizer)
+		if err != nil {
+			return nil, fmt.Errorf("alvc: %w", err)
+		}
+		o.SetEventSink(eng)
+		arch.opt = eng
+	}
+	return arch, nil
 }
 
 // Topology returns the underlying network.
@@ -386,6 +422,29 @@ func (a *Architecture) LinkImpact(id LinkID) []ImpactEntry {
 
 // Repair rebuilds one deployment around the current topology state.
 func (a *Architecture) Repair(id DeploymentID) error { return a.orch.Repair(id) }
+
+// Optimizer returns the background optimization engine, or nil when
+// the architecture was built without WithOptimizer.
+func (a *Architecture) Optimizer() *Optimizer { return a.opt }
+
+// OptimizerStatus snapshots the background optimizer's state; ok is
+// false when no optimizer is attached.
+func (a *Architecture) OptimizerStatus() (OptimizerStatus, bool) {
+	if a.opt == nil {
+		return OptimizerStatus{}, false
+	}
+	return a.opt.Status(), true
+}
+
+// Optimize drains the background optimizer's queue synchronously and
+// returns the executed task results (nil when no optimizer is
+// attached) — the in-process form of POST /v1/optimizer:run.
+func (a *Architecture) Optimize() []OptimizerTaskResult {
+	if a.opt == nil {
+		return nil
+	}
+	return a.opt.Drain()
+}
 
 // Deployments lists all deployments.
 func (a *Architecture) Deployments() []*Deployment { return a.orch.Deployments() }

@@ -64,7 +64,30 @@ func run() int {
 	repairMode := flag.Bool("repair", false, "repair-bench mode: measure in-process recovery latency vs fleet size")
 	repairChains := flag.Int("chains", 50, "repair/resilience mode: fleet size to measure")
 	resilienceMode := flag.Bool("resilience", false, "resilience-bench mode: compare standby-swap vs cold-repath recovery and rack-event batching")
+	optimizerMode := flag.Bool("optimizer", false, "optimizer-bench mode: inline vs async re-protection at 12/25/50 chains and lambda-defrag before/after")
 	flag.Parse()
+
+	if *optimizerMode {
+		report, err := runOptimizerBench(*repairChains)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %v\n", err)
+			return 1
+		}
+		printOptimizerReport(report)
+		if *emitJSON {
+			path := filepath.Join(*outDir, "BENCH_optimizer.json")
+			if err := writeJSONFile(path, report); err != nil {
+				fmt.Fprintf(os.Stderr, "alvc-bench: write %s: %v\n", path, err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if v := optimizerViolations(report); v > 0 {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %d optimizer contract violations\n", v)
+			return 2
+		}
+		return 0
+	}
 
 	if *resilienceMode {
 		report, err := runResilienceBench(*repairChains)

@@ -44,10 +44,14 @@ func run() int {
 	ops := flag.Int("ops", 24, "optical switches in the core")
 	uplinks := flag.Int("uplinks", 16, "OPS uplinks per ToR")
 	chords := flag.Int("chords", 2, "extra chord links per OPS")
+	dualHome := flag.Float64("dual-home", 0.25, "fraction of PMs wired to a second ToR (1.0 lets every chain plan a disjoint standby)")
 	seed := flag.Int64("seed", 1, "topology generator seed")
 	wavelengths := flag.Int("wavelengths", 0, "WDM wavelengths per optical link (0 disables)")
 	workers := flag.Int("batch-workers", 0, "max workers per batch provision (0 = one per CPU)")
 	perRun := flag.Bool("per-run-accounting", false, "use colocation-aware per-run O/E/O accounting")
+	optimize := flag.Bool("optimizer", true, "run the background optimization engine (async re-protection, standby refresh, re-homing, lambda defrag)")
+	optTick := flag.Duration("optimizer-tick", 30*time.Second, "idle-tick interval for the optimizer's opportunistic work (0 = event-driven only)")
+	rehomeMargin := flag.Int("rehome-margin", 1, "hysteresis: conversions a fresh placement must save before re-homing migrates")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	flag.Parse()
 
@@ -58,6 +62,7 @@ func run() int {
 	cfg.OPSCount = *ops
 	cfg.ToRUplinks = *uplinks
 	cfg.OPSChords = *chords
+	cfg.DualHomeFrac = *dualHome
 	cfg.Seed = *seed
 	cfg.Services = workload.ServiceNames(workload.DefaultCatalog())
 
@@ -71,10 +76,20 @@ func run() int {
 	if *perRun {
 		opts = append(opts, alvc.WithPerRunAccounting())
 	}
+	if *optimize {
+		opts = append(opts, alvc.WithOptimizer(alvc.OptimizerOptions{RehomeMargin: *rehomeMargin}))
+	}
 	arch, err := alvc.New(cfg, opts...)
 	if err != nil {
 		logger.Printf("topology: %v", err)
 		return 1
+	}
+	if eng := arch.Optimizer(); eng != nil {
+		if err := eng.Start(*optTick); err != nil {
+			logger.Printf("optimizer: %v", err)
+			return 1
+		}
+		defer eng.Stop()
 	}
 
 	var srvOpts []server.Option

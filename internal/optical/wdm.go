@@ -239,6 +239,21 @@ func (w *WDM) Flows() []string {
 	return keys
 }
 
+// LambdaHistogram returns λ → number of flows currently assigned it
+// (current generation only; parked grace channels are not counted).
+// The λ-defragmentation bench derives its fragmentation metrics — the
+// highest channel in use and the channel-index sum — from this map: a
+// compacted assignment uses the lowest channels available.
+func (w *WDM) LambdaHistogram() map[int]int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[int]int)
+	for _, a := range w.flows {
+		out[a.Lambda]++
+	}
+	return out
+}
+
 // OpticalSegmentLinks extracts, in order, the link IDs of the path's
 // optical segments: every hop where at least one endpoint is an OPS
 // (boundary and optical links) — the links a wavelength must be

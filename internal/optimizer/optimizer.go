@@ -1,0 +1,614 @@
+// Package optimizer is the background maintenance engine of the AL-VC
+// management stack: an event-driven control loop that consumes
+// orchestrator lifecycle events (repair completed, node/link
+// recovered, deployment deleted, plus an idle tick) and continuously
+// restores the fleet to its best achievable state off the request and
+// recovery hot paths.
+//
+// The paper's orchestrator (Fig. 6) provisions and repairs at runtime;
+// related SFC work (Bhamare et al., arXiv:1903.11550; Mehraghdam et
+// al., arXiv:1406.1058) shows chain placements degrade as context
+// shifts and treats placement as an ongoing optimization. This package
+// operationalizes that: four task kinds, in strict priority order —
+//
+//	re-protect  replan a consumed or dead standby (repairs no longer
+//	            run Yen's inline; they enqueue here instead)
+//	refresh     replan standbys whose Disjoint flag is false now that
+//	            a recovery improved the topology
+//	re-home     undo rebuild-induced placement drift via transactional
+//	            VNF migration when a fresh placement beats the current
+//	            one by a hysteresis margin
+//	λ-defrag    consolidate fragmented wavelength assignments during
+//	            quiet periods with the make-before-break retune
+//
+// — behind a deduplicating work queue keyed by (deployment, kind): a
+// chain hit by ten events is optimized once. Tasks take the
+// orchestrator's per-deployment exclusive guard; a busy deployment is
+// skipped and requeued, a deleted one cancels its pending work. The
+// engine is fully observable (Status) and drainable synchronously
+// (Drain) for tests, benches and the POST /v1/optimizer:run endpoint.
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/alvc/alvc/internal/orch"
+)
+
+// TaskKind names one maintenance task type. Smaller is higher
+// priority: protection before placement, placement before cosmetics.
+type TaskKind int
+
+// Task kinds in priority order.
+const (
+	KindReProtect TaskKind = iota
+	KindRefresh
+	KindRehome
+	KindDefrag
+	numKinds
+)
+
+// String returns the task kind name.
+func (k TaskKind) String() string {
+	switch k {
+	case KindReProtect:
+		return "re-protect"
+	case KindRefresh:
+		return "refresh"
+	case KindRehome:
+		return "re-home"
+	case KindDefrag:
+		return "lambda-defrag"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Options tunes an Engine.
+type Options struct {
+	// Workers bounds how many tasks execute concurrently (default 4).
+	Workers int
+	// RehomeMargin is the hysteresis: a fresh placement must beat the
+	// current one by at least this many O/E/O conversions before a
+	// re-home migrates anything (default 1; values below 1 are clamped).
+	RehomeMargin int
+	// BusyRetries is how many times a task that finds its deployment
+	// busy is requeued before it is dropped as skipped (default 20).
+	BusyRetries int
+	// ResultLog is how many recent task results Status retains
+	// (default 32).
+	ResultLog int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.RehomeMargin < 1 {
+		o.RehomeMargin = 1
+	}
+	if o.BusyRetries <= 0 {
+		o.BusyRetries = 20
+	}
+	if o.ResultLog <= 0 {
+		o.ResultLog = 32
+	}
+	return o
+}
+
+// KindStats counts one task kind's lifecycle outcomes.
+type KindStats struct {
+	// Enqueued counts accepted enqueues (dedup hits excluded).
+	Enqueued int `json:"enqueued"`
+	// Deduped counts enqueues coalesced into an already-queued task.
+	Deduped int `json:"deduped"`
+	// Completed counts tasks that ran to completion (including no-ops).
+	Completed int `json:"completed"`
+	// Requeued counts busy-skip requeues.
+	Requeued int `json:"requeued"`
+	// Skipped counts tasks dropped after exhausting busy retries.
+	Skipped int `json:"skipped"`
+	// Cancelled counts tasks whose deployment was deleted or failed.
+	Cancelled int `json:"cancelled"`
+	// Failed counts tasks that errored.
+	Failed int `json:"failed"`
+}
+
+// TaskResult is one executed task's outcome, kept in the status ring.
+type TaskResult struct {
+	Deployment orch.DeploymentID `json:"deployment"`
+	Kind       string            `json:"kind"`
+	// Outcome is one of: protected, already-protected, unprotected,
+	// rehomed, no-improvement, retuned, no-op, cancelled, skipped,
+	// failed.
+	Outcome string    `json:"outcome"`
+	Detail  string    `json:"detail,omitempty"`
+	Error   string    `json:"error,omitempty"`
+	When    time.Time `json:"when"`
+}
+
+// Status is the engine's observable state.
+type Status struct {
+	Paused     bool                 `json:"paused"`
+	QueueDepth int                  `json:"queue_depth"`
+	Running    int                  `json:"running"`
+	Kinds      map[string]KindStats `json:"kinds"`
+	// LastResults lists the most recent task outcomes, oldest first.
+	LastResults []TaskResult `json:"last_results"`
+}
+
+type taskKey struct {
+	dep  orch.DeploymentID
+	kind TaskKind
+}
+
+type task struct {
+	key      taskKey
+	attempts int
+}
+
+// Engine is the background optimization engine over one orchestrator.
+// It implements orch.EventSink; attach it with
+// Orchestrator.SetEventSink (the alvc facade's WithOptimizer does
+// this). Safe for concurrent use.
+type Engine struct {
+	o    *orch.Orchestrator
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queued  map[taskKey]bool
+	order   [numKinds][]task
+	paused  bool
+	running int
+	stats   [numKinds]KindStats
+	results []TaskResult
+
+	loopMu sync.Mutex
+	stopCh chan struct{}
+	loopWG sync.WaitGroup
+}
+
+// New builds an engine over the orchestrator. The caller wires it as
+// the orchestrator's event sink and, for daemon use, calls Start.
+func New(o *orch.Orchestrator, opts Options) (*Engine, error) {
+	if o == nil {
+		return nil, fmt.Errorf("optimizer: nil orchestrator")
+	}
+	e := &Engine{
+		o:      o,
+		opts:   opts.withDefaults(),
+		queued: make(map[taskKey]bool),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e, nil
+}
+
+// OrchEvent implements orch.EventSink: it translates lifecycle events
+// into queued maintenance work. It only enqueues — execution happens
+// in Drain or the Start loop — so it is safe to call from inside
+// orchestrator operations.
+func (e *Engine) OrchEvent(ev orch.Event) {
+	switch ev.Kind {
+	case orch.EventRepairCompleted:
+		// Any successful repair may have consumed or dropped the
+		// standby; the re-protect task is a cheap no-op when not.
+		e.Enqueue(ev.Deployment, KindReProtect)
+		switch ev.Action {
+		case orch.ActionReplaced, orch.ActionPatched, orch.ActionRebuilt:
+			// Instances moved under duress: placement may have drifted.
+			e.Enqueue(ev.Deployment, KindRehome)
+		}
+	case orch.EventPlacementChanged:
+		// MoveNF / re-home dropped the standby while re-provisioning.
+		e.Enqueue(ev.Deployment, KindReProtect)
+	case orch.EventNodeRecovered, orch.EventLinkRecovered:
+		// Capacity came back: refresh standbys planned around the
+		// outage and pull drifted chains home.
+		for _, dep := range e.o.Deployments() {
+			if dep.State != orch.StateActive {
+				continue
+			}
+			if dep.Standby == nil || !dep.Standby.Disjoint {
+				e.Enqueue(dep.ID, KindRefresh)
+			}
+			if dep.Repairs > 0 {
+				e.Enqueue(dep.ID, KindRehome)
+			}
+		}
+	case orch.EventDeploymentDeleted:
+		e.Cancel(ev.Deployment)
+	}
+}
+
+// Enqueue queues one task, coalescing with an identical queued task (a
+// deployment hit by a burst of events is optimized once). Returns
+// whether the task was newly queued.
+func (e *Engine) Enqueue(dep orch.DeploymentID, kind TaskKind) bool {
+	return e.enqueue(task{key: taskKey{dep: dep, kind: kind}})
+}
+
+func (e *Engine) enqueue(t task) bool {
+	if t.key.kind < 0 || t.key.kind >= numKinds {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.queued[t.key] {
+		e.stats[t.key.kind].Deduped++
+		return false
+	}
+	e.queued[t.key] = true
+	e.order[t.key.kind] = append(e.order[t.key.kind], t)
+	if t.attempts == 0 {
+		e.stats[t.key.kind].Enqueued++
+	}
+	e.cond.Broadcast()
+	return true
+}
+
+// Cancel drops every queued task for the deployment (it was deleted;
+// the work is moot). Tasks already executing observe the deletion
+// themselves through the orchestrator's state errors.
+func (e *Engine) Cancel(dep orch.DeploymentID) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for kind := TaskKind(0); kind < numKinds; kind++ {
+		kept := e.order[kind][:0]
+		for _, t := range e.order[kind] {
+			if t.key.dep == dep {
+				delete(e.queued, t.key)
+				e.stats[kind].Cancelled++
+				n++
+				continue
+			}
+			kept = append(kept, t)
+		}
+		e.order[kind] = kept
+	}
+	return n
+}
+
+// Pause stops the background loop from dispatching further tasks;
+// queued work accumulates (deduplicated). Drain is an explicit
+// operator action and ignores the pause.
+func (e *Engine) Pause() {
+	e.mu.Lock()
+	e.paused = true
+	e.mu.Unlock()
+}
+
+// Resume reverses Pause.
+func (e *Engine) Resume() {
+	e.mu.Lock()
+	e.paused = false
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// Paused reports whether background dispatching is paused.
+func (e *Engine) Paused() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.paused
+}
+
+// QueueDepth returns the number of queued (not yet executing) tasks.
+func (e *Engine) QueueDepth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queued)
+}
+
+// pop removes and returns the highest-priority queued task.
+func (e *Engine) pop() (task, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.popLocked()
+}
+
+func (e *Engine) popLocked() (task, bool) {
+	for kind := TaskKind(0); kind < numKinds; kind++ {
+		if len(e.order[kind]) == 0 {
+			continue
+		}
+		t := e.order[kind][0]
+		e.order[kind] = e.order[kind][1:]
+		delete(e.queued, t.key)
+		return t, true
+	}
+	return task{}, false
+}
+
+// popBatch removes every queued task, highest priority first.
+func (e *Engine) popBatch() []task {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []task
+	for {
+		t, ok := e.popLocked()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// Tick is the idle-tick event source: it sweeps the fleet and queues
+// the opportunistic work — refresh for unprotected or non-disjoint
+// standbys, re-home for every active chain (the hysteresis margin
+// makes well-placed chains a cheap no-op), λ-defrag for chains holding
+// a non-lowest wavelength. The Start loop fires it on an interval;
+// tests and benches call it directly.
+func (e *Engine) Tick() {
+	for _, dep := range e.o.Deployments() {
+		if dep.State != orch.StateActive {
+			continue
+		}
+		if dep.Standby == nil || !dep.Standby.Disjoint {
+			e.Enqueue(dep.ID, KindRefresh)
+		}
+		e.Enqueue(dep.ID, KindRehome)
+		if dep.Lambda > 0 {
+			e.Enqueue(dep.ID, KindDefrag)
+		}
+	}
+}
+
+// Drain executes queued tasks over the worker pool until the queue is
+// empty, and returns the results in completion order. Busy
+// deployments are requeued (with a short pause between rounds) up to
+// the configured retry budget. Drain ignores Pause — it is the
+// explicit "run the optimizer now" operation behind
+// POST /v1/optimizer:run — and may run concurrently with the
+// background loop; both feed from the same queue.
+func (e *Engine) Drain() []TaskResult {
+	var out []TaskResult
+	for {
+		batch := e.popBatch()
+		if len(batch) == 0 {
+			return out
+		}
+		results := make([]TaskResult, len(batch))
+		requeue := make([]bool, len(batch))
+		e.runPool(len(batch), func(i int) {
+			results[i], requeue[i] = e.runTask(batch[i])
+		})
+		busyOnly := true
+		for i := range batch {
+			if requeue[i] {
+				e.enqueue(task{key: batch[i].key, attempts: batch[i].attempts + 1})
+				continue
+			}
+			busyOnly = false
+			out = append(out, results[i])
+		}
+		if busyOnly {
+			// Everything still queued is waiting on in-flight exclusive
+			// operations; give them a moment before the next round.
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// runPool runs fn(i) for i in [0,n) over the engine's bounded worker
+// pool and waits for completion.
+func (e *Engine) runPool(n int, fn func(int)) {
+	workers := e.opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// runTask executes one task and classifies its outcome. requeue=true
+// means the deployment was busy and the task should go back on the
+// queue (unless its retry budget is spent).
+func (e *Engine) runTask(t task) (res TaskResult, requeue bool) {
+	e.mu.Lock()
+	e.running++
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.running--
+		if !requeue {
+			switch res.Outcome {
+			case "cancelled":
+				e.stats[t.key.kind].Cancelled++
+			case "skipped":
+				e.stats[t.key.kind].Skipped++
+			case "failed":
+				e.stats[t.key.kind].Failed++
+			default:
+				e.stats[t.key.kind].Completed++
+			}
+			e.results = append(e.results, res)
+			if over := len(e.results) - e.opts.ResultLog; over > 0 {
+				e.results = append([]TaskResult(nil), e.results[over:]...)
+			}
+		} else {
+			e.stats[t.key.kind].Requeued++
+		}
+		e.mu.Unlock()
+	}()
+
+	res = TaskResult{Deployment: t.key.dep, Kind: t.key.kind.String(), When: time.Now()}
+	var err error
+	switch t.key.kind {
+	case KindReProtect, KindRefresh:
+		standby, replanned, rErr := e.o.ReProtect(t.key.dep)
+		err = rErr
+		switch {
+		case rErr != nil:
+		case !replanned:
+			res.Outcome = "already-protected"
+		case standby == nil:
+			res.Outcome = "unprotected"
+			res.Detail = "standby planning disabled or no alternate route"
+		case standby.Disjoint:
+			res.Outcome = "protected"
+			res.Detail = "disjoint standby planned"
+		default:
+			res.Outcome = "protected"
+			res.Detail = "non-disjoint standby planned (best the topology allows)"
+		}
+	case KindRehome:
+		moved, rErr := e.o.Rehome(t.key.dep, e.opts.RehomeMargin)
+		err = rErr
+		if rErr == nil {
+			if moved {
+				res.Outcome = "rehomed"
+			} else {
+				res.Outcome = "no-improvement"
+			}
+		}
+	case KindDefrag:
+		from, to, retuned, rErr := e.o.DefragLambda(t.key.dep)
+		err = rErr
+		if rErr == nil {
+			if retuned {
+				res.Outcome = "retuned"
+				res.Detail = fmt.Sprintf("lambda %d -> %d", from, to)
+			} else {
+				res.Outcome = "no-op"
+			}
+		}
+	default:
+		err = fmt.Errorf("optimizer: unknown task kind %d", int(t.key.kind))
+	}
+
+	switch {
+	case err == nil:
+	case errors.Is(err, orch.ErrBusy):
+		if t.attempts < e.opts.BusyRetries {
+			return res, true
+		}
+		res.Outcome = "skipped"
+		res.Error = err.Error()
+	case errors.Is(err, orch.ErrUnknownDeployment), errors.Is(err, orch.ErrNotActive):
+		res.Outcome = "cancelled"
+		res.Error = err.Error()
+	default:
+		res.Outcome = "failed"
+		res.Error = err.Error()
+	}
+	return res, false
+}
+
+// Start launches the background dispatcher: queued tasks execute as
+// they arrive (bounded by Options.Workers), and when tickEvery is
+// positive an idle ticker fires Tick on that interval. Stop shuts both
+// down. Calling Start twice without Stop is an error.
+func (e *Engine) Start(tickEvery time.Duration) error {
+	e.loopMu.Lock()
+	defer e.loopMu.Unlock()
+	if e.stopCh != nil {
+		return fmt.Errorf("optimizer: already started")
+	}
+	stop := make(chan struct{})
+	e.stopCh = stop
+	e.loopWG.Add(1)
+	go func() {
+		defer e.loopWG.Done()
+		for {
+			e.mu.Lock()
+			for (e.paused || len(e.queued) == 0) && !stopped(stop) {
+				e.cond.Wait()
+			}
+			e.mu.Unlock()
+			if stopped(stop) {
+				return
+			}
+			e.Drain()
+		}
+	}()
+	if tickEvery > 0 {
+		e.loopWG.Add(1)
+		go func() {
+			defer e.loopWG.Done()
+			ticker := time.NewTicker(tickEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					e.Tick()
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+func stopped(stop chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stop halts the background dispatcher and ticker started by Start and
+// waits for in-flight tasks to finish. Queued tasks stay queued.
+func (e *Engine) Stop() {
+	e.loopMu.Lock()
+	stop := e.stopCh
+	e.stopCh = nil
+	e.loopMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	// Broadcast under e.mu: the dispatcher checks its wait predicate
+	// while holding the lock, so an unlocked broadcast could land in
+	// the window between that check and cond.Wait registering — a lost
+	// wake-up that would hang loopWG.Wait forever.
+	e.mu.Lock()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.loopWG.Wait()
+}
+
+// Status snapshots the engine's observable state.
+func (e *Engine) Status() Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Status{
+		Paused:      e.paused,
+		QueueDepth:  len(e.queued),
+		Running:     e.running,
+		Kinds:       make(map[string]KindStats, numKinds),
+		LastResults: append([]TaskResult(nil), e.results...),
+	}
+	for kind := TaskKind(0); kind < numKinds; kind++ {
+		st.Kinds[kind.String()] = e.stats[kind]
+	}
+	return st
+}

@@ -1,0 +1,99 @@
+package orch
+
+import "github.com/alvc/alvc/internal/topology"
+
+// EventKind classifies one orchestrator lifecycle event.
+type EventKind int
+
+// Event kinds the orchestrator emits. They are the wake-up sources of
+// the background optimization engine (internal/optimizer): repairs may
+// leave chains unprotected or drifted, recoveries restore capacity
+// that drifted chains and degraded standbys should reclaim, deletes
+// cancel pending maintenance.
+const (
+	// EventRepairCompleted: one deployment's failure reconciliation
+	// succeeded; Deployment and Action are set. The chain may have a
+	// consumed or missing standby (swap/re-path) or a drifted placement
+	// (replace/patch/rebuild).
+	EventRepairCompleted EventKind = iota + 1
+	// EventPlacementChanged: a VNF migration (MoveNF, re-home)
+	// re-provisioned the chain's connectivity; the standby was dropped
+	// and must be replanned around the new primary.
+	EventPlacementChanged
+	// EventNodeRecovered: a node came back; Node is set.
+	EventNodeRecovered
+	// EventLinkRecovered: a link came back; Link is set.
+	EventLinkRecovered
+	// EventDeploymentDeleted: the deployment was torn down; pending
+	// maintenance for it is moot.
+	EventDeploymentDeleted
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EventRepairCompleted:
+		return "repair-completed"
+	case EventPlacementChanged:
+		return "placement-changed"
+	case EventNodeRecovered:
+		return "node-recovered"
+	case EventLinkRecovered:
+		return "link-recovered"
+	case EventDeploymentDeleted:
+		return "deployment-deleted"
+	default:
+		return "event(?)"
+	}
+}
+
+// Event is one orchestrator lifecycle notification. Fields beyond Kind
+// are set per kind (see the kind constants).
+type Event struct {
+	Kind       EventKind
+	Deployment DeploymentID
+	Action     RepairAction
+	Node       topology.NodeID
+	Link       topology.LinkID
+}
+
+// EventSink receives orchestrator events. Calls are synchronous and
+// arrive with no orchestrator locks held, so a sink may call back into
+// the orchestrator's read API; implementations must therefore return
+// quickly (enqueue, don't execute).
+type EventSink interface {
+	OrchEvent(Event)
+}
+
+// SetEventSink attaches (or, with nil, detaches) the event sink.
+//
+// Attaching a sink also switches standby replanning to deferred mode:
+// repair re-runs of the pipeline stop planning standbys inline —
+// Yen's search leaves the recovery hot path entirely — and instead
+// rely on the sink (the background optimizer) re-protecting the chain
+// from the emitted repair-completed event. Provision-time standby
+// planning is unaffected.
+func (o *Orchestrator) SetEventSink(s EventSink) {
+	o.mu.Lock()
+	o.sink = s
+	o.mu.Unlock()
+}
+
+func (o *Orchestrator) eventSink() EventSink {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.sink
+}
+
+// asyncOptimize reports whether a background optimizer is attached,
+// i.e. whether repairs defer standby replanning instead of running
+// Yen's inline.
+func (o *Orchestrator) asyncOptimize() bool { return o.eventSink() != nil }
+
+// emit delivers the event to the attached sink, if any. Callers must
+// not hold o.mu or topoMu (the sink may read orchestrator state).
+func (o *Orchestrator) emit(ev Event) {
+	if s := o.eventSink(); s != nil {
+		s.OrchEvent(ev)
+	}
+}

@@ -1,0 +1,386 @@
+package orch
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/alvc/alvc/internal/placement"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// recordingSink captures emitted events for assertions.
+type recordingSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (s *recordingSink) OrchEvent(ev Event) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+func (s *recordingSink) kinds() []EventKind {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]EventKind, len(s.events))
+	for i, ev := range s.events {
+		out[i] = ev.Kind
+	}
+	return out
+}
+
+func (s *recordingSink) count(kind EventKind) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ev := range s.events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestReProtectAlreadyProtectedIsNoOp: a chain whose standby is alive
+// and disjoint must not be replanned.
+func TestReProtectAlreadyProtectedIsNoOp(t *testing.T) {
+	o, _ := triOrch(t, Config{})
+	dep, err := o.Provision(triSpec(t, "chain-1"))
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	before := o.Controller().YenRuns()
+	sb, replanned, err := o.ReProtect(dep.ID)
+	if err != nil {
+		t.Fatalf("ReProtect: %v", err)
+	}
+	if replanned {
+		t.Fatal("protected chain was replanned")
+	}
+	if sb == nil || !sb.Disjoint {
+		t.Fatalf("standby snapshot = %+v, want disjoint", sb)
+	}
+	if got := o.Controller().YenRuns(); got != before {
+		t.Fatalf("no-op re-protect ran %d Yen searches", got-before)
+	}
+}
+
+// TestAsyncRestandbyDropsAndReProtectReplans: with a sink attached, a
+// standby-only failure drops the standby with zero Yen runs and emits
+// repair-completed; the background ReProtect then replans it over the
+// surviving spare route.
+func TestAsyncRestandbyDropsAndReProtectReplans(t *testing.T) {
+	o, ids := triOrch(t, Config{})
+	sink := &recordingSink{}
+	o.SetEventSink(sink)
+	dep, err := o.Provision(triSpec(t, "chain-1"))
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	if dep.Standby == nil || !pathContains(dep.Standby.Path, ids.opss[1]) {
+		t.Fatalf("standby %+v, want route 1", dep.Standby)
+	}
+
+	yenBefore := o.Controller().YenRuns()
+	reports, err := o.HandleNodeFailure(ids.opss[1]) // standby transit only
+	if err != nil {
+		t.Fatalf("HandleNodeFailure: %v", err)
+	}
+	if len(reports) != 1 || reports[0].Action != ActionRestandby || reports[0].Err != nil {
+		t.Fatalf("reports = %+v, want one clean restandby", reports)
+	}
+	if got := o.Controller().YenRuns(); got != yenBefore {
+		t.Fatalf("async restandby ran %d Yen searches inline", got-yenBefore)
+	}
+	if cur := o.Deployment(dep.ID); cur.Standby != nil {
+		t.Fatalf("standby not dropped: %+v", cur.Standby)
+	}
+	if sink.count(EventRepairCompleted) != 1 {
+		t.Fatalf("events = %v, want one repair-completed", sink.kinds())
+	}
+
+	sb, replanned, err := o.ReProtect(dep.ID)
+	if err != nil {
+		t.Fatalf("ReProtect: %v", err)
+	}
+	if !replanned || sb == nil {
+		t.Fatalf("ReProtect = (%+v, %v), want replanned standby", sb, replanned)
+	}
+	if !pathContains(sb.Path, ids.opss[2]) || !sb.Disjoint {
+		t.Fatalf("replanned standby %+v, want disjoint via route 2", sb)
+	}
+}
+
+// TestAsyncRepathDefersStandby: with a sink attached a cold re-path
+// must not replan the standby inline (zero Yen runs); the chain is
+// repaired but unprotected until ReProtect runs.
+func TestAsyncRepathDefersStandby(t *testing.T) {
+	o, ids := triOrch(t, Config{})
+	o.SetEventSink(&recordingSink{})
+	dep, err := o.Provision(triSpec(t, "chain-1"))
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	// Kill primary AND standby transit ToRs in one batch (the OPSs are
+	// AL members and would classify as a slice patch): no swap
+	// possible, the repair must be a cold re-path via the spare route.
+	yenBefore := o.Controller().YenRuns()
+	reports, err := o.HandleFailures([]topology.NodeID{ids.tors[0][0], ids.tors[0][1]}, nil)
+	if err != nil {
+		t.Fatalf("HandleFailures: %v", err)
+	}
+	if len(reports) != 1 || reports[0].Action != ActionRepathed {
+		t.Fatalf("reports = %+v, want one repathed", reports)
+	}
+	if got := o.Controller().YenRuns(); got != yenBefore {
+		t.Fatalf("async repath ran %d Yen searches inline", got-yenBefore)
+	}
+	cur := o.Deployment(dep.ID)
+	if cur.Standby != nil {
+		t.Fatalf("deferred standby still planned: %+v", cur.Standby)
+	}
+	if !pathContains(cur.Path, ids.opss[2]) {
+		t.Fatalf("repaired path %v does not use the spare route", cur.Path)
+	}
+}
+
+// TestRehomeMovesBackAndHysteresis: placement drift (an NF forced
+// off its optical host) is undone by Rehome when the conversion win
+// meets the margin, and left alone (no oscillation) when within it.
+func TestRehomeMovesBackAndHysteresis(t *testing.T) {
+	o, ids := triOrch(t, Config{Policy: placement.OpticalFirst{}})
+	dep, err := o.Provision(triSpec(t, "chain-1"))
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	if dep.Placement.Domains[0] != topology.DomainOptical {
+		t.Fatalf("NF not optical at provision time: %+v", dep.Placement)
+	}
+	opticalHost := dep.Placement.Hosts[0]
+
+	// Drift: the operator (or a past repair) moved the NF onto a server.
+	if err := o.MoveNF(dep.ID, 0, ids.pm1); err != nil {
+		t.Fatalf("MoveNF: %v", err)
+	}
+	drifted := o.Deployment(dep.ID)
+	if drifted.Placement.Domains[0] != topology.DomainElectronic || drifted.Conversions != 1 {
+		t.Fatalf("drifted placement = %+v conversions=%d", drifted.Placement, drifted.Conversions)
+	}
+
+	// Within the margin: a 1-conversion win < margin 2 must not move.
+	moved, err := o.Rehome(dep.ID, 2)
+	if err != nil {
+		t.Fatalf("Rehome(margin 2): %v", err)
+	}
+	if moved {
+		t.Fatal("re-home moved within the hysteresis margin")
+	}
+
+	// Meeting the margin: the NF returns to the optical domain.
+	moved, err = o.Rehome(dep.ID, 1)
+	if err != nil {
+		t.Fatalf("Rehome(margin 1): %v", err)
+	}
+	if !moved {
+		t.Fatal("re-home did not undo the drift")
+	}
+	homed := o.Deployment(dep.ID)
+	if homed.Placement.Hosts[0] != opticalHost || homed.Conversions != 0 {
+		t.Fatalf("re-homed placement = %+v conversions=%d, want host %d / 0",
+			homed.Placement, homed.Conversions, opticalHost)
+	}
+
+	// Stability: an immediate second pass finds nothing to improve.
+	moved, err = o.Rehome(dep.ID, 1)
+	if err != nil {
+		t.Fatalf("Rehome (second): %v", err)
+	}
+	if moved {
+		t.Fatal("re-home oscillated on an already-optimal placement")
+	}
+}
+
+// TestDefragLambdaRetunesDown: a flow stranded on a high wavelength
+// moves to the lowest free channel make-before-break; a flow already
+// on the lowest is a no-op.
+func TestDefragLambdaRetunesDown(t *testing.T) {
+	o, ids := triOrch(t, Config{Wavelengths: 4})
+	// Occupy λ0 on the primary route's optical links so the chain is
+	// born on λ1, then free it — classic fragmentation.
+	blockers := []topology.LinkID{ids.torOpsLinks[0][0], ids.torOpsLinks[1][0]}
+	if _, err := o.WDM().AssignPath("blocker", blockers); err != nil {
+		t.Fatalf("AssignPath blocker: %v", err)
+	}
+	dep, err := o.Provision(triSpec(t, "chain-1"))
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	if dep.Lambda != 1 {
+		t.Fatalf("lambda = %d, want 1 (λ0 occupied)", dep.Lambda)
+	}
+	if err := o.WDM().Release("blocker"); err != nil {
+		t.Fatalf("Release blocker: %v", err)
+	}
+
+	from, to, retuned, err := o.DefragLambda(dep.ID)
+	if err != nil {
+		t.Fatalf("DefragLambda: %v", err)
+	}
+	if !retuned || from != 1 || to != 0 {
+		t.Fatalf("DefragLambda = (%d, %d, %v), want retune 1 -> 0", from, to, retuned)
+	}
+	if cur := o.Deployment(dep.ID); cur.Lambda != 0 {
+		t.Fatalf("deployment lambda = %d, want 0", cur.Lambda)
+	}
+	if o.WDM().InGrace(dep.FlowKey()) {
+		t.Fatal("grace window left open after defrag commit")
+	}
+
+	// Already on the floor: nothing to do.
+	from, to, retuned, err = o.DefragLambda(dep.ID)
+	if err != nil || retuned || from != 0 || to != 0 {
+		t.Fatalf("second DefragLambda = (%d, %d, %v, %v), want no-op", from, to, retuned, err)
+	}
+}
+
+// TestSRLGClassification: a failure of a link that merely shares a
+// risk group with the standby must reach the chain (reverse-index SRLG
+// expansion) and classify as restandby; and a primary failure must NOT
+// swap onto a standby whose links share a group with the dead set.
+func TestSRLGClassification(t *testing.T) {
+	t.Run("restandby on shared-risk neighbor", func(t *testing.T) {
+		topo, ids := triTopo(t)
+		// Standby's src-side boundary link shares tray 5 with the spare
+		// route's src-side boundary link.
+		if err := topo.SetLinkSRLG(ids.torOpsLinks[0][1], 5); err != nil {
+			t.Fatalf("SetLinkSRLG: %v", err)
+		}
+		if err := topo.SetLinkSRLG(ids.torOpsLinks[0][2], 5); err != nil {
+			t.Fatalf("SetLinkSRLG: %v", err)
+		}
+		o, err := New(Config{Topo: topo, Policy: placement.AllElectronic{}})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		dep, err := o.Provision(triSpec(t, "chain-1"))
+		if err != nil {
+			t.Fatalf("Provision: %v", err)
+		}
+		if dep.Standby == nil || !pathContains(dep.Standby.Path, ids.opss[1]) {
+			t.Fatalf("standby %+v, want route 1", dep.Standby)
+		}
+		// The spare link is NOT in the chain's footprint; only the SRLG
+		// expansion can route this failure to the chain.
+		reports, err := o.HandleLinkFailure(ids.torOpsLinks[0][2])
+		if err != nil {
+			t.Fatalf("HandleLinkFailure: %v", err)
+		}
+		if len(reports) != 1 || reports[0].ID != dep.ID || reports[0].Action != ActionRestandby {
+			t.Fatalf("reports = %+v, want restandby for chain %d", reports, dep.ID)
+		}
+	})
+
+	t.Run("no swap onto shared-risk standby", func(t *testing.T) {
+		topo, ids := triTopo(t)
+		// The standby route's dst-side boundary link shares tray 6 with
+		// the spare route's dst-side boundary link.
+		if err := topo.SetLinkSRLG(ids.torOpsLinks[1][1], 6); err != nil {
+			t.Fatalf("SetLinkSRLG: %v", err)
+		}
+		if err := topo.SetLinkSRLG(ids.torOpsLinks[1][2], 6); err != nil {
+			t.Fatalf("SetLinkSRLG: %v", err)
+		}
+		o, err := New(Config{Topo: topo, Policy: placement.AllElectronic{}})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		dep, err := o.Provision(triSpec(t, "chain-1"))
+		if err != nil {
+			t.Fatalf("Provision: %v", err)
+		}
+		if dep.Standby == nil {
+			t.Fatal("no standby planned")
+		}
+		// Primary transit dies together with the standby's tray-mate:
+		// the standby is alive but not survivable — must re-path, not
+		// swap.
+		reports, err := o.HandleFailures(
+			[]topology.NodeID{ids.tors[0][0]},
+			[]topology.LinkID{ids.torOpsLinks[1][2]})
+		if err != nil {
+			t.Fatalf("HandleFailures: %v", err)
+		}
+		var action RepairAction
+		for _, rep := range reports {
+			if rep.ID == dep.ID {
+				action = rep.Action
+			}
+		}
+		if action != ActionRepathed {
+			t.Fatalf("action = %q, want repathed (no swap onto shared-risk standby)", action)
+		}
+	})
+}
+
+// TestEventEmission: each lifecycle verb emits its event with no
+// orchestrator locks held.
+func TestEventEmission(t *testing.T) {
+	o, ids := triOrch(t, Config{})
+	sink := &recordingSink{}
+	o.SetEventSink(sink)
+	dep, err := o.Provision(triSpec(t, "chain-1"))
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	if _, err := o.HandleNodeFailure(ids.opss[0]); err != nil {
+		t.Fatalf("HandleNodeFailure: %v", err)
+	}
+	if sink.count(EventRepairCompleted) != 1 {
+		t.Fatalf("events after failure: %v", sink.kinds())
+	}
+	if err := o.RecoverNode(ids.opss[0]); err != nil {
+		t.Fatalf("RecoverNode: %v", err)
+	}
+	if sink.count(EventNodeRecovered) != 1 {
+		t.Fatalf("events after recovery: %v", sink.kinds())
+	}
+	if err := o.MoveNF(dep.ID, 0, ids.pm2); err != nil {
+		t.Fatalf("MoveNF: %v", err)
+	}
+	if sink.count(EventPlacementChanged) != 1 {
+		t.Fatalf("events after move: %v", sink.kinds())
+	}
+	if err := o.Delete(dep.ID); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if sink.count(EventDeploymentDeleted) != 1 {
+		t.Fatalf("events after delete: %v", sink.kinds())
+	}
+}
+
+// TestDefragNoSpareChannelIsQuietNoOp: with every other wavelength
+// occupied on the flow's links, defrag cannot make-before-break and
+// must leave the assignment untouched.
+func TestDefragNoSpareChannelIsQuietNoOp(t *testing.T) {
+	o, ids := triOrch(t, Config{Wavelengths: 2})
+	blockers := []topology.LinkID{ids.torOpsLinks[0][0], ids.torOpsLinks[1][0]}
+	if _, err := o.WDM().AssignPath("blocker", blockers); err != nil {
+		t.Fatalf("AssignPath blocker: %v", err)
+	}
+	dep, err := o.Provision(triSpec(t, "chain-1"))
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	if dep.Lambda != 1 {
+		t.Fatalf("lambda = %d, want 1", dep.Lambda)
+	}
+	// λ0 stays occupied: RetuneBegin has no second channel.
+	from, to, retuned, err := o.DefragLambda(dep.ID)
+	if err != nil || retuned {
+		t.Fatalf("DefragLambda = (%d, %d, %v, %v), want quiet no-op", from, to, retuned, err)
+	}
+	if cur := o.Deployment(dep.ID); cur.Lambda != 1 {
+		t.Fatalf("lambda changed to %d on a failed defrag", cur.Lambda)
+	}
+}

@@ -220,6 +220,11 @@ type Orchestrator struct {
 	// (non-positive: disabled).
 	standbyK int
 
+	// sink receives lifecycle events (events.go). Non-nil also means
+	// repairs defer standby replanning to the background optimizer.
+	// Guarded by mu.
+	sink EventSink
+
 	// vmIdx caches the live VMs offering each service (see liveVMs).
 	vmIdx vmIndex
 }
@@ -595,10 +600,12 @@ func (o *Orchestrator) Repair(id DeploymentID) error {
 	defer o.endExclusive(id)
 
 	o.topoMu.RLock()
-	defer o.topoMu.RUnlock()
-	if err := o.rebuild(dep); err != nil {
+	err = o.rebuild(dep)
+	o.topoMu.RUnlock()
+	if err != nil {
 		return fmt.Errorf("orch: repair %d: %w", id, err)
 	}
+	o.emit(Event{Kind: EventRepairCompleted, Deployment: id, Action: ActionRebuilt})
 	return nil
 }
 
@@ -614,7 +621,14 @@ func (o *Orchestrator) rebuild(dep *Deployment) error {
 		o.failLocked(dep)
 		return fmt.Errorf("teardown: %w", err)
 	}
-	b, err := o.buildChain(dep.Spec, dep.FlowKey())
+	b, err := o.newPipeline(dep.Spec, dep.FlowKey())
+	if err == nil {
+		// With a background optimizer attached, even a full rebuild
+		// leaves standby planning to the async re-protect task — no
+		// Yen's search on the recovery path.
+		b.deferStandby = o.asyncOptimize()
+		err = b.runFrom(stageCluster)
+	}
 	if err != nil {
 		o.failLocked(dep)
 		return fmt.Errorf("rebuild: %w", err)
@@ -650,9 +664,27 @@ func (o *Orchestrator) failLocked(dep *Deployment) {
 // instance back to its original host, so an error never leaves the
 // placement and the installed rules disagreeing.
 func (o *Orchestrator) MoveNF(id DeploymentID, idx int, to topology.NodeID) error {
+	rebuilt, err := o.moveNF(id, idx, to)
+	// Emit only after moveNF released its locks — the sink contract
+	// allows callbacks into the orchestrator's read API.
+	switch {
+	case rebuilt:
+		// The restore-impossible fallback rebuilt the chain in place;
+		// with the optimizer attached that rebuild deferred its standby,
+		// so the re-protection must be enqueued like any other repair.
+		o.emit(Event{Kind: EventRepairCompleted, Deployment: id, Action: ActionRebuilt})
+	case err == nil:
+		o.emit(Event{Kind: EventPlacementChanged, Deployment: id})
+	}
+	return err
+}
+
+// moveNF is MoveNF without the event emission; rebuilt reports that
+// the rebuild-in-place fallback ran and left the chain active.
+func (o *Orchestrator) moveNF(id DeploymentID, idx int, to topology.NodeID) (rebuilt bool, err error) {
 	dep, err := o.beginExclusive(id)
 	if err != nil {
-		return fmt.Errorf("orch: move: %w", err)
+		return false, fmt.Errorf("orch: move: %w", err)
 	}
 	defer o.endExclusive(id)
 	o.topoMu.RLock()
@@ -660,17 +692,17 @@ func (o *Orchestrator) MoveNF(id DeploymentID, idx int, to topology.NodeID) erro
 	o.mu.Lock()
 	if idx < 0 || idx >= len(dep.Instances) {
 		o.mu.Unlock()
-		return fmt.Errorf("orch: move: NF index %d out of range [0,%d)", idx, len(dep.Instances))
+		return false, fmt.Errorf("orch: move: NF index %d out of range [0,%d)", idx, len(dep.Instances))
 	}
 	inst := dep.Instances[idx]
 	o.mu.Unlock()
 
 	before := o.mgr.Instance(inst)
 	if before == nil {
-		return fmt.Errorf("orch: move: unknown instance %d", inst)
+		return false, fmt.Errorf("orch: move: unknown instance %d", inst)
 	}
 	if err := o.mgr.Migrate(inst, to); err != nil {
-		return fmt.Errorf("orch: move deployment %d NF %d: %w", id, idx, err)
+		return false, fmt.Errorf("orch: move deployment %d NF %d: %w", id, idx, err)
 	}
 	migrated := o.mgr.Instance(inst)
 
@@ -690,12 +722,12 @@ func (o *Orchestrator) MoveNF(id DeploymentID, idx int, to topology.NodeID) erro
 			// reconcile by rebuilding the chain in place (the failure
 			// path transitions it to Failed).
 			if rErr := o.rebuild(dep); rErr != nil {
-				return fmt.Errorf("orch: move deployment %d: %v (restore: %v; %w)", id, err, mErr, rErr)
+				return false, fmt.Errorf("orch: move deployment %d: %v (restore: %v; %w)", id, err, mErr, rErr)
 			}
-			return fmt.Errorf("orch: move deployment %d: %v (restore failed: %v; chain rebuilt in place)", id, err, mErr)
+			return true, fmt.Errorf("orch: move deployment %d: %v (restore failed: %v; chain rebuilt in place)", id, err, mErr)
 		}
 		o.restoreWavelength(dep)
-		return fmt.Errorf("orch: move deployment %d: %w", id, err)
+		return false, fmt.Errorf("orch: move deployment %d: %w", id, err)
 	}
 
 	o.mu.Lock()
@@ -704,7 +736,7 @@ func (o *Orchestrator) MoveNF(id DeploymentID, idx int, to topology.NodeID) erro
 	o.indexLocked(dep)
 	o.mu.Unlock()
 	p.commitWDM()
-	return nil
+	return false, nil
 }
 
 // restoreWavelength re-reserves a wavelength on the deployment's
@@ -816,7 +848,9 @@ func (o *Orchestrator) Delete(id DeploymentID) error {
 	dep.State = StateDeleted
 	delete(o.flowKeys, dep.FlowKey())
 	o.mu.Unlock()
-	if err := o.teardown(dep); err != nil {
+	err = o.teardown(dep)
+	o.emit(Event{Kind: EventDeploymentDeleted, Deployment: id})
+	if err != nil {
 		return fmt.Errorf("orch: delete deployment %d: %w", id, err)
 	}
 	return nil
@@ -870,27 +904,36 @@ func (o *Orchestrator) activeLocked(id DeploymentID) (*Deployment, error) {
 }
 
 // RecoverNode marks a failed node as live again. Existing deployments
-// are not rebalanced; new deployments may use the node immediately.
+// are not rebalanced inline; the emitted recovery event lets an
+// attached background optimizer refresh degraded standbys and re-home
+// drifted placements, and new deployments may use the node
+// immediately.
 func (o *Orchestrator) RecoverNode(node topology.NodeID) error {
 	o.topoMu.Lock()
-	defer o.topoMu.Unlock()
 	if err := o.topo.SetNodeDown(node, false); err != nil {
+		o.topoMu.Unlock()
 		return fmt.Errorf("orch: recover node: %w", err)
 	}
 	o.InvalidateVMCache()
+	o.topoMu.Unlock()
+	o.emit(Event{Kind: EventNodeRecovered, Node: node})
 	return nil
 }
 
 // RecoverLink marks a failed link as live again. Existing deployments
-// are not rerouted back; new paths may use the link immediately.
+// are not rerouted back inline; the emitted recovery event lets an
+// attached background optimizer refresh standbys planned around the
+// outage, and new paths may use the link immediately.
 func (o *Orchestrator) RecoverLink(link topology.LinkID) error {
 	o.topoMu.Lock()
-	defer o.topoMu.Unlock()
 	if err := o.topo.SetLinkDown(link, false); err != nil {
+		o.topoMu.Unlock()
 		return fmt.Errorf("orch: recover link: %w", err)
 	}
 	// A recovered PM↔ToR link can bring stranded VMs back.
 	o.InvalidateVMCache()
+	o.topoMu.Unlock()
+	o.emit(Event{Kind: EventLinkRecovered, Link: link})
 	return nil
 }
 

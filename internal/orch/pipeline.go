@@ -102,6 +102,10 @@ type pipeline struct {
 	// connectivity stages must swap the previous generation of
 	// wavelength and rules instead of plainly installing.
 	reentry bool
+	// deferStandby forces the standby stage to skip planning even on a
+	// fresh (non-reentrant) pipeline — set by rebuild when a background
+	// optimizer owns re-protection, so no repair path runs Yen's inline.
+	deferStandby bool
 	// graced marks an in-flight two-λ wavelength move; the old channel
 	// is released by commitWDM after the caller commits the pipeline
 	// outcome, or restored by the undo chain on rollback.
@@ -316,7 +320,17 @@ func (p *pipeline) planStandby() error {
 // design — a chain without a standby is merely unprotected, so
 // planning failure never fails the build, and the stage registers no
 // undo (the record is pure data).
+//
+// With a background optimizer attached, repair re-runs (and rebuilds,
+// via deferStandby) skip planning entirely: the chain is reported
+// repaired-but-unprotected and the optimizer's re-protect task runs
+// Yen's off the recovery hot path. Provision-time planning is
+// unaffected — a fresh chain is still born protected.
 func (p *pipeline) runStandby() error {
+	if p.deferStandby || (p.reentry && p.o.asyncOptimize()) {
+		p.standby = nil
+		return nil
+	}
 	_ = p.planStandby()
 	return nil
 }

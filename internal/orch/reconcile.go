@@ -150,9 +150,13 @@ func (o *Orchestrator) HandleFailures(nodes []topology.NodeID, links []topology.
 	// this point must not see the stale live-VM cache. Link failures
 	// invalidate it too — a dead PM↔ToR link strands that PM's VMs.
 	o.InvalidateVMCache()
+	dead := resilience.NewFailureSet(nodes, links)
+	// Shared-risk groups of the dead links, collected while the
+	// topology is still quiescent: standbys crossing a same-group
+	// survivor are suspect and get replanned rather than swapped onto.
+	dead.CollectSRLGs(o.topo)
 	o.topoMu.Unlock()
 
-	dead := resilience.NewFailureSet(nodes, links)
 	affected := o.affectedBy(dead)
 	reports := make([]RepairReport, len(affected))
 	runPool(len(affected), 0, func(i int) {
@@ -177,6 +181,13 @@ func (o *Orchestrator) HandleFailures(nodes []topology.NodeID, links []topology.
 			// still Active with a dead resource in its footprint, and the
 			// caller must know the reconciliation is incomplete.
 			firstErr = fmt.Errorf("orch: repair %d: %w", rep.ID, rep.Err)
+		}
+	}
+	// Wake the background optimizer (no locks held here): every repair
+	// may have left a consumed standby or a drifted placement behind.
+	for _, rep := range reports {
+		if rep.Succeeded() {
+			o.emit(Event{Kind: EventRepairCompleted, Deployment: rep.ID, Action: rep.Action})
 		}
 	}
 	return reports, firstErr
@@ -207,6 +218,23 @@ func (o *Orchestrator) affectedBy(dead resilience.FailureSet) []DeploymentID {
 	for l := range dead.Links {
 		collect(o.linkIndex[l])
 	}
+	// Shared-risk expansion: chains whose footprint crosses a live link
+	// in the same risk group as a dead one must be visited too — their
+	// standbys may no longer be survivable. Scanning the indexed links
+	// (links inside some footprint) keeps this O(footprint), not
+	// O(topology); SRLG membership is immutable after build, so reading
+	// it here without topoMu is safe.
+	if len(dead.SRLGs) > 0 {
+		for l, set := range o.linkIndex {
+			if dead.Links[l] {
+				continue
+			}
+			link := o.topo.Link(l)
+			if link != nil && dead.HitsAnySRLG(link.SRLG) {
+				collect(set)
+			}
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -235,9 +263,14 @@ func (o *Orchestrator) repairAround(id DeploymentID, dead resilience.FailureSet)
 	sliceHit := dep.Slice != nil && dead.HitsAnyNode(dep.Slice.OPSs)
 	hostHit := dead.HitsAnyNode(dep.Placement.Hosts)
 	pathHit := dead.HitsAnyNode(dep.Path) || dead.HitsAnyLink(dep.primaryLinks)
+	// A standby sharing a risk group with a dead link is suspect even
+	// when its own resources survived: it is treated as hit (replanned)
+	// and never swapped onto — "disjoint" must mean survivable.
 	standbyHit := dep.Standby != nil &&
-		(dead.HitsAnyNode(dep.Standby.Path) || dead.HitsAnyLink(dep.Standby.Links))
-	standbyAlive := dep.Standby != nil && resilience.PathAlive(o.topo, dep.Standby.Path)
+		(dead.HitsAnyNode(dep.Standby.Path) || dead.HitsAnyLink(dep.Standby.Links) ||
+			dead.HitsAnySRLG(dep.Standby.SRLGs))
+	standbyAlive := dep.Standby != nil && !dead.HitsAnySRLG(dep.Standby.SRLGs) &&
+		resilience.PathAlive(o.topo, dep.Standby.Path)
 	o.mu.Unlock()
 
 	var action RepairAction
@@ -259,11 +292,22 @@ func (o *Orchestrator) repairAround(id DeploymentID, dead resilience.FailureSet)
 		}
 	case standbyHit:
 		// The primary is intact; only the anticipation was consumed.
-		// Replanning runs shortest paths, but off the hot recovery path
-		// of any chain actually carrying traffic over dead resources.
-		// A replan failure is NOT grounds for the rebuild fallback —
-		// the chain still works — but the report must say the chain is
-		// now unprotected instead of silently claiming re-protection.
+		// With a background optimizer attached the dead standby is just
+		// dropped — the repair-completed event enqueues the async
+		// re-protect, and zero Yen's runs happen on this path. Inline
+		// mode replans here: still off the hot recovery path of any
+		// chain actually carrying traffic over dead resources. A replan
+		// failure is NOT grounds for the rebuild fallback — the chain
+		// still works — but the report must say the chain is now
+		// unprotected instead of silently claiming re-protection.
+		if o.asyncOptimize() {
+			o.mu.Lock()
+			o.unindexLocked(dep)
+			dep.Standby = nil
+			o.indexLocked(dep)
+			o.mu.Unlock()
+			return RepairReport{ID: id, Action: ActionRestandby}
+		}
 		return RepairReport{ID: id, Action: ActionRestandby, Err: o.replanStandby(dep)}
 	default:
 		// The footprint changed since the index snapshot; the failure

@@ -165,6 +165,18 @@ func (r Result) OpticalCount() int {
 	return n
 }
 
+// Score rates a placement for re-homing comparisons: lower is better.
+// The paper's objective is O/E/O conversion count (§IV-D), so the
+// score is simply the conversions a flow pays through this placement;
+// host identity ties are irrelevant (moving between two electronic
+// servers buys nothing and is never worth a migration).
+func Score(r Result) int { return r.Conversions }
+
+// BetterBy returns how much cand improves on cur (positive = cand is
+// better). The background re-homer compares this against its
+// hysteresis margin so placements within the margin never oscillate.
+func BetterBy(cur, cand Result) int { return Score(cur) - Score(cand) }
+
 // Policy places a chain.
 type Policy interface {
 	Name() string

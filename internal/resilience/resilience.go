@@ -15,6 +15,7 @@ package resilience
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/alvc/alvc/internal/topology"
 )
@@ -26,6 +27,11 @@ import (
 type FailureSet struct {
 	Nodes map[topology.NodeID]bool
 	Links map[topology.LinkID]bool
+	// SRLGs is the union of shared-risk groups of the dead links
+	// (CollectSRLGs). A live link sharing a group with a dead one is
+	// suspect: standbys crossing it are not trusted for a swap and get
+	// replanned instead.
+	SRLGs map[int]bool
 }
 
 // NewFailureSet builds the union set of the given dead nodes and links.
@@ -33,6 +39,7 @@ func NewFailureSet(nodes []topology.NodeID, links []topology.LinkID) FailureSet 
 	f := FailureSet{
 		Nodes: make(map[topology.NodeID]bool, len(nodes)),
 		Links: make(map[topology.LinkID]bool, len(links)),
+		SRLGs: make(map[int]bool),
 	}
 	for _, n := range nodes {
 		f.Nodes[n] = true
@@ -41,6 +48,34 @@ func NewFailureSet(nodes []topology.NodeID, links []topology.LinkID) FailureSet 
 		f.Links[l] = true
 	}
 	return f
+}
+
+// CollectSRLGs folds the shared-risk groups of every dead link into the
+// set, so classification can treat same-tray survivors as suspect.
+func (f FailureSet) CollectSRLGs(topo *topology.Topology) {
+	for l := range f.Links {
+		link := topo.Link(l)
+		if link == nil {
+			continue
+		}
+		for _, g := range link.SRLG {
+			f.SRLGs[g] = true
+		}
+	}
+}
+
+// HitsAnySRLG reports whether any of the given groups is in the failure
+// set's shared-risk union.
+func (f FailureSet) HitsAnySRLG(groups []int) bool {
+	if len(f.SRLGs) == 0 {
+		return false
+	}
+	for _, g := range groups {
+		if f.SRLGs[g] {
+			return true
+		}
+	}
+	return false
 }
 
 // HitsAnyNode reports whether any of the given nodes is dead.
@@ -140,13 +175,22 @@ type Standby struct {
 	// Links are the physical link IDs along Path (virtual VM hops
 	// skipped), kept so link failures index straight to the standby.
 	Links []topology.LinkID
-	// Disjoint reports full transit-node and link disjointness from the
-	// primary at plan time. A non-disjoint standby still helps: its
-	// validity is re-checked against the live topology before any swap.
+	// Disjoint reports full transit-node, link, and shared-risk-group
+	// disjointness from the primary at plan time — "disjoint" means
+	// survivable, so sharing a cable tray with the primary disqualifies.
+	// A non-disjoint standby still helps: its validity is re-checked
+	// against the live topology before any swap.
 	Disjoint bool
 	// Confined reports whether every OPS on the standby belongs to the
 	// chain's own slice.
 	Confined bool
+	// SRLGs is the deduplicated union of the standby links' shared-risk
+	// groups, cached at plan time so failure classification can probe
+	// risk exposure without a topology walk.
+	SRLGs []int
+	// PlannedAt records when this standby was (re)planned — surfaced in
+	// the API so operators can see how fresh a chain's protection is.
+	PlannedAt time.Time
 }
 
 // Clone returns a deep copy.
@@ -157,7 +201,28 @@ func (s *Standby) Clone() *Standby {
 	cp := *s
 	cp.Path = append([]topology.NodeID(nil), s.Path...)
 	cp.Links = append([]topology.LinkID(nil), s.Links...)
+	cp.SRLGs = append([]int(nil), s.SRLGs...)
 	return &cp
+}
+
+// LinkSRLGs returns the deduplicated shared-risk groups of the given
+// links, in first-seen order.
+func LinkSRLGs(topo *topology.Topology, links []topology.LinkID) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, l := range links {
+		link := topo.Link(l)
+		if link == nil {
+			continue
+		}
+		for _, g := range link.SRLG {
+			if !seen[g] {
+				seen[g] = true
+				out = append(out, g)
+			}
+		}
+	}
+	return out
 }
 
 // PathFinder yields alternate routes between two nodes; it is the
@@ -209,6 +274,14 @@ func PlanStandby(f PathFinder, topo *topology.Topology, primary []topology.NodeI
 	for _, l := range primaryLinks {
 		linkSet[l] = true
 	}
+	// Shared-risk groups of the primary: an alternative crossing a link
+	// in the same group (same cable tray, same power feed) would die
+	// with the primary, so it scores as overlap even when the link
+	// itself is distinct.
+	primaryGroups := make(map[int]bool)
+	for _, g := range LinkSRLGs(topo, primaryLinks) {
+		primaryGroups[g] = true
+	}
 
 	overlap := func(seg []topology.NodeID) (int, error) {
 		score := 0
@@ -224,6 +297,17 @@ func PlanStandby(f PathFinder, topo *topology.Topology, primary []topology.NodeI
 		for _, l := range segLinks {
 			if linkSet[l] {
 				score++
+				continue
+			}
+			if len(primaryGroups) > 0 {
+				if link := topo.Link(l); link != nil {
+					for _, g := range link.SRLG {
+						if primaryGroups[g] {
+							score++
+							break
+						}
+					}
+				}
 			}
 		}
 		return score, nil
@@ -282,9 +366,11 @@ func PlanStandby(f PathFinder, topo *topology.Topology, primary []topology.NodeI
 		}
 	}
 	return &Standby{
-		Path:     full,
-		Links:    links,
-		Disjoint: totalOverlap == 0,
-		Confined: confined,
+		Path:      full,
+		Links:     links,
+		Disjoint:  totalOverlap == 0,
+		Confined:  confined,
+		SRLGs:     LinkSRLGs(topo, links),
+		PlannedAt: time.Now(),
 	}, nil
 }

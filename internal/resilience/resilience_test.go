@@ -201,3 +201,75 @@ func TestStandbyClone(t *testing.T) {
 		t.Fatal("clone aliases the original")
 	}
 }
+
+// TestPlanStandbySRLGCountsAsOverlap: a route-disjoint alternative
+// whose links share a risk group (same cable tray) with the primary
+// must score as overlap — "disjoint" means survivable — so the planner
+// prefers a truly independent route and marks tray-sharing ones
+// non-disjoint.
+func TestPlanStandbySRLGCountsAsOverlap(t *testing.T) {
+	topo, pm1, pm2, tors, links := twoRouteTopo(t)
+	// Route 0 (the primary) and route 1 share tray 7 on the PM1 side.
+	if err := topo.SetLinkSRLG(links[0][0], 7); err != nil {
+		t.Fatalf("SetLinkSRLG: %v", err)
+	}
+	if err := topo.SetLinkSRLG(links[1][0], 7); err != nil {
+		t.Fatalf("SetLinkSRLG: %v", err)
+	}
+	primary := []topology.NodeID{pm1, tors[0][0], tors[0][1], pm2}
+	alt := []topology.NodeID{pm1, tors[1][0], tors[1][1], pm2}
+	finder := stubFinder{alts: map[string][][]topology.NodeID{
+		fmt.Sprintf("%d-%d", pm1, pm2): {alt},
+	}}
+	sb, err := PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4)
+	if err != nil {
+		t.Fatalf("PlanStandby: %v", err)
+	}
+	if sb.Disjoint {
+		t.Fatal("tray-sharing standby marked disjoint")
+	}
+	found := false
+	for _, g := range sb.SRLGs {
+		if g == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("standby SRLGs = %v, want to contain 7", sb.SRLGs)
+	}
+
+	// Without the shared tray the same alternative is fully disjoint.
+	if err := topo.SetLinkSRLG(links[1][0]); err != nil {
+		t.Fatalf("clear SRLG: %v", err)
+	}
+	sb, err = PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4)
+	if err != nil {
+		t.Fatalf("PlanStandby: %v", err)
+	}
+	if !sb.Disjoint {
+		t.Fatal("independent standby not marked disjoint")
+	}
+}
+
+// TestFailureSetSRLG: CollectSRLGs folds the dead links' groups into
+// the set and HitsAnySRLG probes them.
+func TestFailureSetSRLG(t *testing.T) {
+	topo, _, _, _, links := twoRouteTopo(t)
+	if err := topo.SetLinkSRLG(links[0][0], 3, 4); err != nil {
+		t.Fatalf("SetLinkSRLG: %v", err)
+	}
+	f := NewFailureSet(nil, []topology.LinkID{links[0][0]})
+	if f.HitsAnySRLG([]int{3}) {
+		t.Fatal("SRLG hit before CollectSRLGs")
+	}
+	f.CollectSRLGs(topo)
+	if !f.HitsAnySRLG([]int{3}) || !f.HitsAnySRLG([]int{9, 4}) {
+		t.Fatal("missed collected groups")
+	}
+	if f.HitsAnySRLG([]int{5}) {
+		t.Fatal("phantom SRLG hit")
+	}
+	if f.HitsAnySRLG(nil) {
+		t.Fatal("empty group list hit")
+	}
+}

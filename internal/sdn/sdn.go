@@ -92,6 +92,11 @@ type Controller struct {
 	// shortest-path work at recovery time — is asserted against this
 	// counter.
 	pathComputations int
+	// yenRuns counts only the Yen's k-shortest searches
+	// (PathAlternatives), the expensive standby-planning primitive. The
+	// background-optimizer contract — repairs never plan standbys
+	// inline — is asserted against this counter's delta.
+	yenRuns int
 }
 
 // NewController returns a controller over the topology.
@@ -158,6 +163,9 @@ func (c *Controller) PathAlternatives(src, dst topology.NodeID, k int, restrictO
 	if k <= 0 {
 		return nil, fmt.Errorf("sdn: path alternatives: k must be positive, got %d", k)
 	}
+	c.mu.Lock()
+	c.yenRuns++
+	c.mu.Unlock()
 	c.countPathComputation()
 	g := c.topo.RoutingGraph(topology.GraphOptions{IncludeVMs: true, RestrictOPS: restrictOPS})
 	vps, _, err := g.KShortestPaths(graph.VertexID(src), graph.VertexID(dst), k)
@@ -411,6 +419,16 @@ func (c *Controller) PathComputations() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.pathComputations
+}
+
+// YenRuns returns the cumulative number of Yen's k-shortest searches
+// (PathAlternatives calls) — the standby-planning primitive. Repair
+// paths that promise "no inline standby replanning" are asserted
+// against the delta of this counter.
+func (c *Controller) YenRuns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.yenRuns
 }
 
 // CountConversionsOnPath counts the domain boundary crossings along a

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"github.com/alvc/alvc"
+)
+
+// TestOptimizerEndpointsRequireEngine: every optimizer endpoint maps
+// to 404 when the architecture was built without WithOptimizer.
+func TestOptimizerEndpointsRequireEngine(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, req := range []struct{ method, path string }{
+		{"GET", "/v1/optimizer/status"},
+		{"POST", "/v1/optimizer:run"},
+		{"POST", "/v1/optimizer/pause"},
+		{"POST", "/v1/optimizer/resume"},
+	} {
+		status, body := do(t, req.method, ts.URL+req.path, nil)
+		if status != http.StatusNotFound {
+			t.Fatalf("%s %s = %d (%s), want 404", req.method, req.path, status, body)
+		}
+	}
+}
+
+// TestOptimizerStatusAndPauseResume: the status endpoint reports queue
+// state and the pause/resume endpoints flip it.
+func TestOptimizerStatusAndPauseResume(t *testing.T) {
+	ts, _ := newTestServerWith(t, wideConfig(24), alvc.WithOptimizer(alvc.OptimizerOptions{}))
+
+	status, body := do(t, "GET", ts.URL+"/v1/optimizer/status", nil)
+	if status != http.StatusOK {
+		t.Fatalf("status: %d (%s)", status, body)
+	}
+	var st alvc.OptimizerStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("unmarshal status: %v", err)
+	}
+	if st.Paused || st.QueueDepth != 0 {
+		t.Fatalf("fresh engine status = %+v", st)
+	}
+	if _, ok := st.Kinds["re-protect"]; !ok {
+		t.Fatalf("status kinds = %v, want re-protect entry", st.Kinds)
+	}
+
+	if status, body = do(t, "POST", ts.URL+"/v1/optimizer/pause", nil); status != http.StatusOK {
+		t.Fatalf("pause: %d (%s)", status, body)
+	}
+	_, body = do(t, "GET", ts.URL+"/v1/optimizer/status", nil)
+	if err := json.Unmarshal(body, &st); err != nil || !st.Paused {
+		t.Fatalf("status after pause = %+v (%v)", st, err)
+	}
+	if status, body = do(t, "POST", ts.URL+"/v1/optimizer/resume", nil); status != http.StatusOK {
+		t.Fatalf("resume: %d (%s)", status, body)
+	}
+	_, body = do(t, "GET", ts.URL+"/v1/optimizer/status", nil)
+	if err := json.Unmarshal(body, &st); err != nil || st.Paused {
+		t.Fatalf("status after resume = %+v (%v)", st, err)
+	}
+}
+
+// TestOptimizerRunReprotectsOverHTTP is the control-plane form of the
+// acceptance flow: provision (standby health visible in the chain
+// JSON), kill the standby's transit (repair drops it, the chain shows
+// unprotected), POST /v1/optimizer:run (re-protects), recover + run
+// again (disjoint once more).
+func TestOptimizerRunReprotectsOverHTTP(t *testing.T) {
+	// Fully dual-homed PMs: without a second ToR per PM no standby can
+	// ever be transit-disjoint, and this test asserts disjointness.
+	cfg := wideConfig(24)
+	cfg.DualHomeFrac = 1.0
+	ts, arch := newTestServerWith(t, cfg, alvc.WithOptimizer(alvc.OptimizerOptions{}))
+	dep := provisionChain(t, ts.URL, "opt", "t-opt")
+
+	// Standby health is part of the chain resource.
+	status, body := do(t, "GET", fmt.Sprintf("%s/v1/chains/%d", ts.URL, dep.ID), nil)
+	if status != http.StatusOK {
+		t.Fatalf("get chain: %d (%s)", status, body)
+	}
+	var dj DeploymentJSON
+	if err := json.Unmarshal(body, &dj); err != nil {
+		t.Fatalf("unmarshal chain: %v", err)
+	}
+	if dj.Standby == nil {
+		t.Fatalf("chain JSON has no standby block: %s", body)
+	}
+	if !dj.Standby.Disjoint || dj.Standby.LastReplanned.IsZero() {
+		t.Fatalf("standby health = %+v, want disjoint with a plan timestamp", dj.Standby)
+	}
+
+	// Kill a standby-only transit node: the repair drops the standby
+	// (async mode) and the chain reports unprotected.
+	full := arch.Deployment(alvc.DeploymentID(dep.ID))
+	var victim alvc.NodeID
+	onPrimary := make(map[alvc.NodeID]bool)
+	for _, n := range full.Path {
+		onPrimary[n] = true
+	}
+	hosts := make(map[alvc.NodeID]bool)
+	for _, h := range full.Placement.Hosts {
+		hosts[h] = true
+	}
+	for _, n := range full.Standby.Path {
+		if !onPrimary[n] && !hosts[n] && !full.Slice.Contains(n) {
+			victim = n
+			break
+		}
+	}
+	if victim == 0 {
+		t.Fatalf("no standby-only transit node (primary %v standby %v)", full.Path, full.Standby.Path)
+	}
+	if status, body = do(t, "POST", fmt.Sprintf("%s/v1/failures/%d", ts.URL, victim), nil); status != http.StatusOK {
+		t.Fatalf("fail node: %d (%s)", status, body)
+	}
+	_, body = do(t, "GET", fmt.Sprintf("%s/v1/chains/%d", ts.URL, dep.ID), nil)
+	dj = DeploymentJSON{}
+	if err := json.Unmarshal(body, &dj); err != nil {
+		t.Fatalf("unmarshal chain: %v", err)
+	}
+	if dj.Standby != nil {
+		t.Fatalf("standby still reported after async restandby: %+v", dj.Standby)
+	}
+
+	// Drain the queue over HTTP: the chain is re-protected.
+	status, body = do(t, "POST", ts.URL+"/v1/optimizer:run", nil)
+	if status != http.StatusOK {
+		t.Fatalf("run: %d (%s)", status, body)
+	}
+	var run OptimizerRunResponse
+	if err := json.Unmarshal(body, &run); err != nil {
+		t.Fatalf("unmarshal run: %v", err)
+	}
+	if run.Drained == 0 {
+		t.Fatalf("run drained no tasks: %s", body)
+	}
+	_, body = do(t, "GET", fmt.Sprintf("%s/v1/chains/%d", ts.URL, dep.ID), nil)
+	dj = DeploymentJSON{}
+	if err := json.Unmarshal(body, &dj); err != nil {
+		t.Fatalf("unmarshal chain: %v", err)
+	}
+	if dj.Standby == nil {
+		t.Fatalf("chain not re-protected after optimizer run: %s", body)
+	}
+
+	// Recover the node, drain the refresh: disjoint protection returns
+	// (the wide topology always offers a disjoint alternative).
+	if status, body = do(t, "DELETE", fmt.Sprintf("%s/v1/failures/%d", ts.URL, victim), nil); status != http.StatusOK {
+		t.Fatalf("recover node: %d (%s)", status, body)
+	}
+	if status, body = do(t, "POST", ts.URL+"/v1/optimizer:run", nil); status != http.StatusOK {
+		t.Fatalf("run after recovery: %d (%s)", status, body)
+	}
+	_, body = do(t, "GET", fmt.Sprintf("%s/v1/chains/%d", ts.URL, dep.ID), nil)
+	dj = DeploymentJSON{}
+	if err := json.Unmarshal(body, &dj); err != nil {
+		t.Fatalf("unmarshal chain: %v", err)
+	}
+	if dj.Standby == nil || !dj.Standby.Disjoint {
+		t.Fatalf("standby after recovery run = %+v, want disjoint", dj.Standby)
+	}
+}

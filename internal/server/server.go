@@ -81,6 +81,10 @@ func New(arch *alvc.Architecture, opts ...Option) (*Server, error) {
 	mux.HandleFunc("GET /v1/links/{link}/impact", s.handleLinkImpact)
 	mux.HandleFunc("GET /v1/topology", s.handleTopology)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/optimizer/status", s.handleOptimizerStatus)
+	mux.HandleFunc("POST /v1/optimizer:run", s.handleOptimizerRun)
+	mux.HandleFunc("POST /v1/optimizer/pause", s.handleOptimizerPause)
+	mux.HandleFunc("POST /v1/optimizer/resume", s.handleOptimizerResume)
 
 	s.handler = withLogging(s.logger, withRecovery(s.logger, mux))
 	return s, nil
@@ -482,6 +486,59 @@ func toImpactJSON(entries []alvc.ImpactEntry) []ImpactEntryJSON {
 		out = append(out, ImpactEntryJSON{ID: int(e.ID), Roles: e.Roles})
 	}
 	return out
+}
+
+// optimizer resolves the architecture's background optimizer, writing
+// a 404 when none is attached (the server was started without it).
+func (s *Server) optimizer(w http.ResponseWriter) *alvc.Optimizer {
+	eng := s.arch.Optimizer()
+	if eng == nil {
+		writeError(w, http.StatusNotFound, "optimizer not enabled")
+		return nil
+	}
+	return eng
+}
+
+func (s *Server) handleOptimizerStatus(w http.ResponseWriter, r *http.Request) {
+	eng := s.optimizer(w)
+	if eng == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, eng.Status())
+}
+
+func (s *Server) handleOptimizerRun(w http.ResponseWriter, r *http.Request) {
+	eng := s.optimizer(w)
+	if eng == nil {
+		return
+	}
+	results := eng.Drain()
+	if results == nil {
+		results = []alvc.OptimizerTaskResult{}
+	}
+	writeJSON(w, http.StatusOK, OptimizerRunResponse{
+		Drained: len(results),
+		Results: results,
+		Status:  eng.Status(),
+	})
+}
+
+func (s *Server) handleOptimizerPause(w http.ResponseWriter, r *http.Request) {
+	eng := s.optimizer(w)
+	if eng == nil {
+		return
+	}
+	eng.Pause()
+	writeJSON(w, http.StatusOK, map[string]bool{"paused": true})
+}
+
+func (s *Server) handleOptimizerResume(w http.ResponseWriter, r *http.Request) {
+	eng := s.optimizer(w)
+	if eng == nil {
+		return
+	}
+	eng.Resume()
+	writeJSON(w, http.StatusOK, map[string]bool{"paused": false})
 }
 
 func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {

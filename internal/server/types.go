@@ -1,6 +1,9 @@
 package server
 
 import (
+	"time"
+
+	"github.com/alvc/alvc"
 	"github.com/alvc/alvc/internal/chain"
 	"github.com/alvc/alvc/internal/orch"
 	"github.com/alvc/alvc/internal/topology"
@@ -31,9 +34,25 @@ type DeploymentJSON struct {
 	EnergyJoules  float64           `json:"energy_joules"`
 	// StandbyPath is the precomputed alternate route (absent when no
 	// standby is currently planned); StandbyDisjoint reports full
-	// transit-node/link disjointness from the primary.
+	// transit-node/link disjointness from the primary. Kept for
+	// backward compatibility; Standby carries the full health record.
 	StandbyPath     []topology.NodeID `json:"standby_path,omitempty"`
 	StandbyDisjoint bool              `json:"standby_disjoint,omitempty"`
+	// Standby is the chain's protection health: operators watch
+	// disjoint and lastReplanned to see which chains the background
+	// optimizer still owes work. Absent when no standby is planned —
+	// i.e. the chain is currently unprotected.
+	Standby *StandbyJSON `json:"standby,omitempty"`
+}
+
+// StandbyJSON is the wire form of a chain's standby-path health.
+type StandbyJSON struct {
+	Path []topology.NodeID `json:"path"`
+	// Disjoint reports survivable disjointness from the primary
+	// (transit nodes, links, and shared-risk groups all distinct).
+	Disjoint bool `json:"disjoint"`
+	// LastReplanned is when this standby was (re)planned.
+	LastReplanned time.Time `json:"lastReplanned"`
 }
 
 func toDeploymentJSON(d *orch.Deployment) DeploymentJSON {
@@ -61,6 +80,11 @@ func toDeploymentJSON(d *orch.Deployment) DeploymentJSON {
 	if d.Standby != nil {
 		out.StandbyPath = d.Standby.Path
 		out.StandbyDisjoint = d.Standby.Disjoint
+		out.Standby = &StandbyJSON{
+			Path:          d.Standby.Path,
+			Disjoint:      d.Standby.Disjoint,
+			LastReplanned: d.Standby.PlannedAt,
+		}
 	}
 	for _, dom := range d.Placement.Domains {
 		out.Domains = append(out.Domains, dom.String())
@@ -182,6 +206,15 @@ type MetricsResponse struct {
 	TotalConversions  int                        `json:"total_conversions"`
 	TotalEnergyJoules float64                    `json:"total_energy_joules"`
 	Utilization       map[string]UtilizationJSON `json:"utilization"`
+}
+
+// OptimizerRunResponse is the body of POST /v1/optimizer:run — a
+// synchronous drain of the background maintenance queue: the tasks
+// executed by this call and the engine state afterwards.
+type OptimizerRunResponse struct {
+	Drained int                        `json:"drained"`
+	Results []alvc.OptimizerTaskResult `json:"results"`
+	Status  alvc.OptimizerStatus       `json:"status"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

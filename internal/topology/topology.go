@@ -266,6 +266,21 @@ func (t *Topology) SetLinkDown(id LinkID, down bool) error {
 	return nil
 }
 
+// SetLinkSRLG assigns the link's shared-risk group IDs (replacing any
+// previous assignment). Groups model co-located physical risk — links
+// in one cable tray or on one power feed fail together — and are
+// consumed by standby planning (shared group counts as overlap) and
+// failure classification (same-group links become suspect). Call at
+// topology-build time; the assignment is read lock-free afterwards.
+func (t *Topology) SetLinkSRLG(id LinkID, groups ...int) error {
+	l := t.links[id]
+	if l == nil {
+		return fmt.Errorf("topology: SetLinkSRLG: unknown link %d", id)
+	}
+	l.SRLG = append([]int(nil), groups...)
+	return nil
+}
+
 // LinkBetween returns a live link connecting a and b, or nil.
 func (t *Topology) LinkBetween(a, b NodeID) *Link {
 	for _, l := range t.LinksOf(a) {

@@ -201,4 +201,12 @@ type Link struct {
 	// Down marks a failed link; down links are skipped by connectivity
 	// queries and routing.
 	Down bool
+
+	// SRLG lists the shared-risk link groups this link belongs to (same
+	// cable tray, same conduit, same rack power feed). Links sharing a
+	// group tend to fail together, so standby planning counts a shared
+	// group as overlap and failure classification treats same-group
+	// links as suspect. Empty for links with no modeled shared risk.
+	// Set at topology-build time (SetLinkSRLG); immutable afterwards.
+	SRLG []int
 }
