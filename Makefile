@@ -42,6 +42,14 @@ bench-resilience:
 bench-optimizer:
 	$(GO) run ./cmd/alvc-bench -optimizer -chains 16 -json
 
+# Routing fast-path smoke: a warm ComputePath over the epoch-cached
+# frozen snapshot must be >= 2x faster and >= 5x lighter in allocations
+# than the cold per-query graph rebuild, with zero rebuilds on an
+# unchanged topology. Writes BENCH_path.json.
+.PHONY: bench-path
+bench-path:
+	$(GO) run ./cmd/alvc-bench -path -json
+
 fmt:
 	gofmt -w .
 
@@ -55,4 +63,4 @@ vet:
 	$(GO) vet ./...
 
 # Exactly what .github/workflows/ci.yml runs.
-ci: build fmt-check vet race bench bench-repair bench-resilience bench-optimizer
+ci: build fmt-check vet race bench bench-repair bench-resilience bench-optimizer bench-path

@@ -113,6 +113,15 @@ type (
 	OptimizerStatus = optimizer.Status
 	// OptimizerTaskResult is one executed maintenance task's outcome.
 	OptimizerTaskResult = optimizer.TaskResult
+	// OrchEvent is one orchestrator lifecycle notification (repair
+	// completed, node/link recovered, placement changed, delete).
+	OrchEvent = orch.Event
+	// EventSink receives orchestrator lifecycle events.
+	EventSink = orch.EventSink
+	// EventMux fans orchestrator events out to independent sinks; the
+	// facade installs one automatically with WithOptimizer (see
+	// Architecture.SubscribeEvents).
+	EventMux = orch.EventMux
 )
 
 // Re-exported AL builders (paper §III-C and its baselines).
@@ -230,6 +239,7 @@ type Architecture struct {
 	alloc        *cluster.Allocator
 	orch         *orch.Orchestrator
 	opt          *optimizer.Engine
+	events       *orch.EventMux
 	batchWorkers int
 }
 
@@ -282,10 +292,31 @@ func FromTopology(topo *topology.Topology, opts ...Option) (*Architecture, error
 		if err != nil {
 			return nil, fmt.Errorf("alvc: %w", err)
 		}
-		o.SetEventSink(eng)
+		// The engine subscribes through a multiplexer rather than
+		// claiming the orchestrator's single sink slot, so metrics
+		// exporters and other observers can subscribe independently
+		// (SubscribeEvents).
+		mux := orch.NewEventMux()
+		mux.Subscribe(eng)
+		o.SetEventSink(mux)
 		arch.opt = eng
+		arch.events = mux
 	}
 	return arch, nil
+}
+
+// SubscribeEvents registers an additional orchestrator-event subscriber
+// (a metrics exporter, an audit log) alongside the background
+// optimizer, returning its cancel function. Subscribers run
+// synchronously per event and must return quickly (enqueue, don't
+// execute). ok is false when the architecture was built without
+// WithOptimizer: attaching any sink switches repairs to deferred
+// standby replanning, which requires the engine to be draining events.
+func (a *Architecture) SubscribeEvents(s orch.EventSink) (cancel func(), ok bool) {
+	if a.events == nil {
+		return nil, false
+	}
+	return a.events.Subscribe(s), true
 }
 
 // Topology returns the underlying network.

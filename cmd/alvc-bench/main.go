@@ -16,6 +16,7 @@
 //	alvc-bench -load http://localhost:8080 -n 200 -c 16
 //	alvc-bench -load http://localhost:8080 -n 200 -c 4 -load-batch 25 -json
 //	alvc-bench -repair -chains 50 -json
+//	alvc-bench -path -json          # routing fast-path micro-bench
 package main
 
 import (
@@ -65,7 +66,30 @@ func run() int {
 	repairChains := flag.Int("chains", 50, "repair/resilience mode: fleet size to measure")
 	resilienceMode := flag.Bool("resilience", false, "resilience-bench mode: compare standby-swap vs cold-repath recovery and rack-event batching")
 	optimizerMode := flag.Bool("optimizer", false, "optimizer-bench mode: inline vs async re-protection at 12/25/50 chains and lambda-defrag before/after")
+	pathMode := flag.Bool("path", false, "path-bench mode: routing fast path ns/op + allocs/op, cold graph rebuild vs epoch-cached snapshot")
 	flag.Parse()
+
+	if *pathMode {
+		report, err := runPathBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %v\n", err)
+			return 1
+		}
+		printPathReport(report)
+		if *emitJSON {
+			path := filepath.Join(*outDir, "BENCH_path.json")
+			if err := writeJSONFile(path, report); err != nil {
+				fmt.Fprintf(os.Stderr, "alvc-bench: write %s: %v\n", path, err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if v := pathViolations(report); v > 0 {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %d path fast-path contract violations\n", v)
+			return 2
+		}
+		return 0
+	}
 
 	if *optimizerMode {
 		report, err := runOptimizerBench(*repairChains)

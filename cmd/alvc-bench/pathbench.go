@@ -1,0 +1,210 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/alvc/alvc/internal/graph"
+	"github.com/alvc/alvc/internal/sdn"
+	"github.com/alvc/alvc/internal/topology"
+	"github.com/alvc/alvc/internal/workload"
+)
+
+// pathBenchReport is the machine-readable result of the routing
+// fast-path micro-bench (BENCH_path.json): ns/op and allocs/op for
+// shortest-path and Yen's k-shortest queries at fat-tree sizes,
+// cold (rebuild the routing graph per query — the pre-snapshot
+// behavior) vs warm (epoch-cached frozen snapshot). The fast-path
+// contract: warm queries run >= 2x faster with >= 5x fewer
+// allocations and zero graph rebuilds on an unchanged topology.
+type pathBenchReport struct {
+	Name  string       `json:"name"`
+	Sizes []pathSample `json:"sizes"`
+}
+
+// pathSample is one topology size's measurement.
+type pathSample struct {
+	Racks int `json:"racks"`
+	OPSs  int `json:"opss"`
+	Nodes int `json:"nodes"`
+	Links int `json:"links"`
+
+	ColdShortestNsOp     float64 `json:"cold_shortest_ns_op"`
+	WarmShortestNsOp     float64 `json:"warm_shortest_ns_op"`
+	ColdShortestAllocsOp int64   `json:"cold_shortest_allocs_op"`
+	WarmShortestAllocsOp int64   `json:"warm_shortest_allocs_op"`
+
+	ColdYenNsOp     float64 `json:"cold_yen_ns_op"`
+	WarmYenNsOp     float64 `json:"warm_yen_ns_op"`
+	ColdYenAllocsOp int64   `json:"cold_yen_allocs_op"`
+	WarmYenAllocsOp int64   `json:"warm_yen_allocs_op"`
+
+	// ShortestSpeedup / ShortestAllocRatio are cold/warm ratios for the
+	// ComputePath primitive (the acceptance numbers).
+	ShortestSpeedup    float64 `json:"shortest_speedup"`
+	ShortestAllocRatio float64 `json:"shortest_alloc_ratio"`
+	YenSpeedup         float64 `json:"yen_speedup"`
+
+	// WarmGraphBuilds counts routing-graph rebuilds observed during the
+	// warm measurement loops — must be 0 on an unchanged topology.
+	WarmGraphBuilds uint64 `json:"warm_graph_builds"`
+
+	Violations []string `json:"violations"`
+}
+
+func pathTopology(racks int) topology.GenConfig {
+	cfg := topology.DefaultGenConfig()
+	cfg.Racks = racks
+	cfg.PMsPerRack = 4
+	cfg.VMsPerPM = 4
+	cfg.OPSCount = racks * 3
+	cfg.ToRUplinks = racks * 2
+	cfg.OPSChords = 2
+	cfg.Services = workload.ServiceNames(workload.DefaultCatalog())
+	return cfg
+}
+
+// runPathBench measures the routing fast path at two fat-tree sizes.
+func runPathBench() (*pathBenchReport, error) {
+	report := &pathBenchReport{Name: "path"}
+	for _, racks := range []int{8, 16} {
+		sample, err := pathBenchAt(racks)
+		if err != nil {
+			return nil, fmt.Errorf("path bench at %d racks: %w", racks, err)
+		}
+		report.Sizes = append(report.Sizes, *sample)
+	}
+	return report, nil
+}
+
+func pathBenchAt(racks int) (*pathSample, error) {
+	cfg := pathTopology(racks)
+	topo, err := topology.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := sdn.NewController(topo)
+	if err != nil {
+		return nil, err
+	}
+	tors := topo.NodeIDs(topology.KindToR)
+	if len(tors) < 2 {
+		return nil, fmt.Errorf("topology too small: %d ToRs", len(tors))
+	}
+	src, dst := tors[0], tors[len(tors)-1]
+	opts := topology.GraphOptions{IncludeVMs: true}
+
+	// Cold: rebuild the routing graph per query — exactly what every
+	// ComputePath did before the snapshot cache.
+	cold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := topo.RoutingGraph(opts)
+			if _, _, err := g.ShortestPath(graph.VertexID(src), graph.VertexID(dst)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Warm: the controller's fast path over the epoch-cached snapshot.
+	if _, err := ctrl.ComputePath(src, dst, nil); err != nil { // prime the cache
+		return nil, err
+	}
+	buildsBefore := topo.GraphBuilds()
+	warm := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctrl.ComputePath(src, dst, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	warmBuilds := topo.GraphBuilds() - buildsBefore
+
+	coldYen := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := topo.RoutingGraph(opts)
+			if _, _, err := g.KShortestPaths(graph.VertexID(src), graph.VertexID(dst), 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	warmYen := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctrl.PathAlternatives(src, dst, 4, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	s := &pathSample{
+		Racks: racks,
+		OPSs:  cfg.OPSCount,
+		Nodes: topo.NodeCount(),
+		Links: topo.LinkCount(),
+
+		ColdShortestNsOp:     float64(cold.NsPerOp()),
+		WarmShortestNsOp:     float64(warm.NsPerOp()),
+		ColdShortestAllocsOp: cold.AllocsPerOp(),
+		WarmShortestAllocsOp: warm.AllocsPerOp(),
+
+		ColdYenNsOp:     float64(coldYen.NsPerOp()),
+		WarmYenNsOp:     float64(warmYen.NsPerOp()),
+		ColdYenAllocsOp: coldYen.AllocsPerOp(),
+		WarmYenAllocsOp: warmYen.AllocsPerOp(),
+
+		WarmGraphBuilds: warmBuilds,
+	}
+	if s.WarmShortestNsOp > 0 {
+		s.ShortestSpeedup = s.ColdShortestNsOp / s.WarmShortestNsOp
+	}
+	if s.WarmShortestAllocsOp > 0 {
+		s.ShortestAllocRatio = float64(s.ColdShortestAllocsOp) / float64(s.WarmShortestAllocsOp)
+	} else {
+		s.ShortestAllocRatio = float64(s.ColdShortestAllocsOp)
+	}
+	if s.WarmYenNsOp > 0 {
+		s.YenSpeedup = s.ColdYenNsOp / s.WarmYenNsOp
+	}
+
+	if s.ShortestSpeedup < 2 {
+		s.Violations = append(s.Violations, fmt.Sprintf(
+			"warm ComputePath only %.1fx faster than cold rebuild (contract: >= 2x)", s.ShortestSpeedup))
+	}
+	if s.ShortestAllocRatio < 5 {
+		s.Violations = append(s.Violations, fmt.Sprintf(
+			"warm ComputePath allocs only %.1fx lower than cold rebuild (contract: >= 5x)", s.ShortestAllocRatio))
+	}
+	if s.WarmGraphBuilds != 0 {
+		s.Violations = append(s.Violations, fmt.Sprintf(
+			"%d routing-graph rebuilds during warm loop (contract: 0 on unchanged topology)", s.WarmGraphBuilds))
+	}
+	return s, nil
+}
+
+func printPathReport(r *pathBenchReport) {
+	fmt.Println("path: routing fast path, cold rebuild vs epoch-cached snapshot")
+	for _, s := range r.Sizes {
+		fmt.Printf("  %2d racks (%d nodes, %d links):\n", s.Racks, s.Nodes, s.Links)
+		fmt.Printf("    shortest  cold %10.0f ns/op %6d allocs/op | warm %10.0f ns/op %6d allocs/op  (%.1fx faster, %.1fx fewer allocs)\n",
+			s.ColdShortestNsOp, s.ColdShortestAllocsOp, s.WarmShortestNsOp, s.WarmShortestAllocsOp,
+			s.ShortestSpeedup, s.ShortestAllocRatio)
+		fmt.Printf("    yen k=4   cold %10.0f ns/op %6d allocs/op | warm %10.0f ns/op %6d allocs/op  (%.1fx faster)\n",
+			s.ColdYenNsOp, s.ColdYenAllocsOp, s.WarmYenNsOp, s.WarmYenAllocsOp, s.YenSpeedup)
+		fmt.Printf("    warm graph rebuilds: %d\n", s.WarmGraphBuilds)
+		for _, v := range s.Violations {
+			fmt.Printf("    [VIOLATION] %s\n", v)
+		}
+	}
+}
+
+// pathViolations returns the number of fast-path contract violations.
+func pathViolations(r *pathBenchReport) int {
+	n := 0
+	for _, s := range r.Sizes {
+		n += len(s.Violations)
+	}
+	return n
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +54,7 @@ func run() int {
 	optTick := flag.Duration("optimizer-tick", 30*time.Second, "idle-tick interval for the optimizer's opportunistic work (0 = event-driven only)")
 	rehomeMargin := flag.Int("rehome-margin", 1, "hysteresis: conversions a fresh placement must save before re-homing migrates")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on a side listener (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "alvc-server: ", log.LstdFlags|log.Lmicroseconds)
@@ -106,6 +108,30 @@ func run() int {
 		Addr:              *addr,
 		Handler:           ctrl.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Profiling stays off the service port: a dedicated mux on a side
+	// listener, so operators can scrape CPU/heap/contention profiles
+	// (go tool pprof http://<addr>/debug/pprof/profile) without
+	// exposing them to API clients.
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pprofMux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
+		logger.Printf("pprof listening on %s", *pprofAddr)
 	}
 
 	errCh := make(chan error, 1)

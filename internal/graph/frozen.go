@@ -1,0 +1,506 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Frozen is an immutable compressed-sparse-row (CSR) view of a Graph,
+// built once and queried many times. Vertices are mapped onto dense
+// int32 indices in ascending VertexID order; each vertex's out-edges
+// live in one contiguous, sorted-once region of the targets/weights
+// arrays. Searches run over slice-based distance/predecessor state with
+// an index-keyed binary heap and pooled scratch buffers, so a warm
+// query allocates only its result.
+//
+// Frozen searches reproduce the map-based Graph searches exactly: the
+// same (lower vertex ID first) tie-breaking, the same relaxation order,
+// the same epsilon. The snapshot cache in internal/topology relies on
+// this equivalence to serve restricted (in-slice) searches from an
+// unrestricted snapshot via vertex filters.
+type Frozen struct {
+	directed bool
+	ids      []VertexID         // index -> VertexID, ascending
+	index    map[VertexID]int32 // VertexID -> index
+	offsets  []int32            // per-vertex edge region, len(ids)+1
+	targets  []int32            // edge head indices, sorted by (id, weight)
+	weights  []float64
+	edges    int
+}
+
+// Frozen returns an immutable CSR snapshot of the graph. Subsequent
+// mutations of g do not affect the returned value.
+func (g *Graph) Frozen() *Frozen {
+	ids := g.Vertices()
+	index := make(map[VertexID]int32, len(ids))
+	for i, id := range ids {
+		index[id] = int32(i)
+	}
+	total := 0
+	for _, id := range ids {
+		total += len(g.adj[id])
+	}
+	f := &Frozen{
+		directed: g.directed,
+		ids:      ids,
+		index:    index,
+		offsets:  make([]int32, len(ids)+1),
+		targets:  make([]int32, 0, total),
+		weights:  make([]float64, 0, total),
+		edges:    g.edges,
+	}
+	var scratch []halfEdge
+	for i, id := range ids {
+		scratch = append(scratch[:0], g.adj[id]...)
+		// Sorted once here instead of on every Dijkstra pop; index order
+		// equals VertexID order, so (to, weight) and (index, weight)
+		// sorts agree.
+		sort.Slice(scratch, func(a, b int) bool {
+			if scratch[a].to != scratch[b].to {
+				return scratch[a].to < scratch[b].to
+			}
+			return scratch[a].weight < scratch[b].weight
+		})
+		for _, he := range scratch {
+			f.targets = append(f.targets, index[he.to])
+			f.weights = append(f.weights, he.weight)
+		}
+		f.offsets[i+1] = int32(len(f.targets))
+	}
+	return f
+}
+
+// Directed reports whether the source graph was directed.
+func (f *Frozen) Directed() bool { return f.directed }
+
+// VertexCount returns the number of vertices.
+func (f *Frozen) VertexCount() int { return len(f.ids) }
+
+// EdgeCount returns the number of edges of the source graph.
+func (f *Frozen) EdgeCount() int { return f.edges }
+
+// HasVertex reports whether v is in the snapshot.
+func (f *Frozen) HasVertex(v VertexID) bool {
+	_, ok := f.index[v]
+	return ok
+}
+
+// Vertices returns all vertices in ascending order. The caller must not
+// modify the returned slice.
+func (f *Frozen) Vertices() []VertexID { return f.ids }
+
+// EdgeWeight returns the minimum weight among parallel u->v edges, and
+// whether any such edge exists.
+func (f *Frozen) EdgeWeight(u, v VertexID) (float64, bool) {
+	ui, ok := f.index[u]
+	if !ok {
+		return 0, false
+	}
+	vi, ok := f.index[v]
+	if !ok {
+		return 0, false
+	}
+	// The region is sorted by (target, weight): the first hit is the
+	// minimum-weight parallel edge.
+	for e := f.offsets[ui]; e < f.offsets[ui+1]; e++ {
+		if f.targets[e] == vi {
+			return f.weights[e], true
+		}
+		if f.targets[e] > vi {
+			break
+		}
+	}
+	return 0, false
+}
+
+// Filter restricts a search to a subset of vertices: a vertex is
+// traversable iff the predicate returns true (a nil Filter admits
+// every vertex). The source and destination must pass the filter for a
+// path to exist.
+type Filter func(VertexID) bool
+
+// frozenItem is one entry of the index-keyed search heap.
+type frozenItem struct {
+	dist float64
+	idx  int32
+}
+
+// frozenScratch is the reusable per-search state. All slices are sized
+// to the vertex count on first use and reset in O(n) per search, which
+// replaces the per-search map allocations of the map-based Dijkstra.
+type frozenScratch struct {
+	dist []float64
+	prev []int32
+	done []bool
+	heap []frozenItem
+
+	// Yen's spur state: banned vertices (root-path prefix) and banned
+	// directed arcs (previously used deviations), reset per spur.
+	banVertex []bool
+	banEdge   map[int64]bool
+}
+
+var frozenScratchPool = sync.Pool{
+	New: func() interface{} { return &frozenScratch{} },
+}
+
+func (f *Frozen) getScratch() *frozenScratch {
+	s := frozenScratchPool.Get().(*frozenScratch)
+	n := len(f.ids)
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.prev = make([]int32, n)
+		s.done = make([]bool, n)
+		s.banVertex = make([]bool, n)
+	}
+	s.dist = s.dist[:n]
+	s.prev = s.prev[:n]
+	s.done = s.done[:n]
+	s.banVertex = s.banVertex[:n]
+	s.heap = s.heap[:0]
+	return s
+}
+
+func putScratch(s *frozenScratch) { frozenScratchPool.Put(s) }
+
+// resetSearch prepares dist/prev/done for one Dijkstra run.
+func (s *frozenScratch) resetSearch() {
+	for i := range s.dist {
+		s.dist[i] = math.Inf(1)
+		s.prev[i] = -1
+		s.done[i] = false
+	}
+	s.heap = s.heap[:0]
+}
+
+// heapPush / heapPop implement a binary min-heap ordered by
+// (dist, index): among equal distances the lower vertex index — hence
+// the lower VertexID — pops first, matching the map-based pq.
+func (s *frozenScratch) heapPush(it frozenItem) {
+	s.heap = append(s.heap, it)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !frozenLess(s.heap[i], s.heap[p]) {
+			break
+		}
+		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
+		i = p
+	}
+}
+
+func (s *frozenScratch) heapPop() frozenItem {
+	top := s.heap[0]
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && frozenLess(s.heap[l], s.heap[small]) {
+			small = l
+		}
+		if r < n && frozenLess(s.heap[r], s.heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s.heap[i], s.heap[small] = s.heap[small], s.heap[i]
+		i = small
+	}
+	return top
+}
+
+func frozenLess(a, b frozenItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.idx < b.idx
+}
+
+// dijkstra runs a single-source search from src, stopping early once
+// dst is settled (pass dst = -1 for a full sweep). filter masks
+// vertices; the scratch ban sets mask Yen's spur removals. Results land
+// in s.dist / s.prev.
+func (f *Frozen) dijkstra(src, dst int32, filter Filter, useBans bool, s *frozenScratch) {
+	s.resetSearch()
+	s.dist[src] = 0
+	s.heapPush(frozenItem{dist: 0, idx: src})
+	for len(s.heap) > 0 {
+		it := s.heapPop()
+		u := it.idx
+		if s.done[u] {
+			continue
+		}
+		s.done[u] = true
+		if u == dst {
+			return
+		}
+		for e := f.offsets[u]; e < f.offsets[u+1]; e++ {
+			v := f.targets[e]
+			if filter != nil && !filter(f.ids[v]) {
+				continue
+			}
+			if useBans {
+				if s.banVertex[v] {
+					continue
+				}
+				if len(s.banEdge) > 0 && s.banEdge[packArc(u, v)] {
+					continue
+				}
+			}
+			nd := it.dist + f.weights[e]
+			if nd < s.dist[v]-1e-12 {
+				s.dist[v] = nd
+				s.prev[v] = u
+				s.heapPush(frozenItem{dist: nd, idx: v})
+			}
+		}
+	}
+}
+
+func packArc(u, v int32) int64 { return int64(u)<<32 | int64(uint32(v)) }
+
+// extractPath rebuilds the dst path from scratch state into a fresh
+// slice (the only allocation of a warm search).
+func (f *Frozen) extractPath(src, dst int32, s *frozenScratch) []VertexID {
+	n := 1
+	for at := dst; at != src; at = s.prev[at] {
+		n++
+	}
+	path := make([]VertexID, n)
+	at := dst
+	for i := n - 1; i >= 0; i-- {
+		path[i] = f.ids[at]
+		at = s.prev[at]
+	}
+	return path
+}
+
+// ShortestPath returns the minimum-weight path from src to dst and its
+// total weight, with ties broken toward lower vertex IDs. It is
+// output-identical to Graph.ShortestPath.
+func (f *Frozen) ShortestPath(src, dst VertexID) ([]VertexID, float64, error) {
+	return f.ShortestPathFiltered(src, dst, nil)
+}
+
+// ShortestPathFiltered is ShortestPath restricted to vertices admitted
+// by filter. It is output-identical to rebuilding the subgraph induced
+// by the filter and searching it.
+func (f *Frozen) ShortestPathFiltered(src, dst VertexID, filter Filter) ([]VertexID, float64, error) {
+	si, ok := f.index[src]
+	if !ok {
+		return nil, 0, fmt.Errorf("graph: shortest path: unknown source %d", src)
+	}
+	di, ok := f.index[dst]
+	if !ok {
+		return nil, 0, fmt.Errorf("graph: shortest path: unknown destination %d", dst)
+	}
+	if filter != nil && (!filter(src) || !filter(dst)) {
+		return nil, 0, fmt.Errorf("%w from %d to %d", ErrNoPath, src, dst)
+	}
+	s := f.getScratch()
+	defer putScratch(s)
+	f.dijkstra(si, di, filter, false, s)
+	if math.IsInf(s.dist[di], 1) {
+		return nil, 0, fmt.Errorf("%w from %d to %d", ErrNoPath, src, dst)
+	}
+	return f.extractPath(si, di, s), s.dist[di], nil
+}
+
+// Distances returns the shortest-path weight from src to every
+// reachable vertex admitted by filter (nil = all).
+func (f *Frozen) Distances(src VertexID, filter Filter) (map[VertexID]float64, error) {
+	si, ok := f.index[src]
+	if !ok {
+		return nil, fmt.Errorf("graph: distances: unknown source %d", src)
+	}
+	if filter != nil && !filter(src) {
+		return map[VertexID]float64{}, nil
+	}
+	s := f.getScratch()
+	defer putScratch(s)
+	f.dijkstra(si, -1, filter, false, s)
+	out := make(map[VertexID]float64)
+	for i, d := range s.dist {
+		if !math.IsInf(d, 1) {
+			out[f.ids[i]] = d
+		}
+	}
+	return out, nil
+}
+
+// BFSOrder returns vertices reachable from src in breadth-first order
+// with sorted tie-breaking, honoring the filter (nil = all). It is
+// output-identical to Graph.BFSOrder on the filtered subgraph.
+func (f *Frozen) BFSOrder(src VertexID, filter Filter) []VertexID {
+	si, ok := f.index[src]
+	if !ok {
+		return nil
+	}
+	if filter != nil && !filter(src) {
+		return nil
+	}
+	seen := make([]bool, len(f.ids))
+	seen[si] = true
+	order := []VertexID{src}
+	frontier := []int32{si}
+	for len(frontier) > 0 {
+		var next []int32
+		for _, u := range frontier {
+			// The CSR region is sorted by target, so neighbors come out
+			// in ascending-ID order; consecutive duplicates (parallel
+			// edges) collapse via the seen check.
+			for e := f.offsets[u]; e < f.offsets[u+1]; e++ {
+				v := f.targets[e]
+				if seen[v] {
+					continue
+				}
+				if filter != nil && !filter(f.ids[v]) {
+					continue
+				}
+				seen[v] = true
+				order = append(order, f.ids[v])
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return order
+}
+
+// KShortestPaths returns up to k loopless paths from src to dst in
+// nondecreasing weight order (Yen's algorithm). It is output-identical
+// to Graph.KShortestPaths but masks spur removals with ban sets instead
+// of cloning and mutating a work graph per spur.
+func (f *Frozen) KShortestPaths(src, dst VertexID, k int) ([][]VertexID, []float64, error) {
+	return f.KShortestPathsFiltered(src, dst, k, nil)
+}
+
+// KShortestPathsFiltered is KShortestPaths restricted to vertices
+// admitted by filter.
+func (f *Frozen) KShortestPathsFiltered(src, dst VertexID, k int, filter Filter) ([][]VertexID, []float64, error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("graph: k-shortest paths: k must be positive, got %d", k)
+	}
+	first, w, err := f.ShortestPathFiltered(src, dst, filter)
+	if err != nil {
+		return nil, nil, err
+	}
+	di := f.index[dst]
+	paths := [][]VertexID{first}
+	weights := []float64{w}
+	type cand struct {
+		path   []VertexID
+		weight float64
+	}
+	var candidates []cand
+	s := f.getScratch()
+	defer putScratch(s)
+	if s.banEdge == nil {
+		s.banEdge = make(map[int64]bool)
+	}
+	for len(paths) < k {
+		last := paths[len(paths)-1]
+		for i := 0; i < len(last)-1; i++ {
+			spur := last[i]
+			rootPath := last[:i+1]
+			// Reset spur bans, then mask the deviating arcs of every
+			// accepted path sharing this root and the root's interior
+			// vertices — the Frozen stand-in for Clone+removeEdge+
+			// removeVertex.
+			for key := range s.banEdge {
+				delete(s.banEdge, key)
+			}
+			for _, p := range paths {
+				if len(p) > i && equalPath(p[:i+1], rootPath) {
+					f.banArc(s, p[i], p[i+1])
+				}
+			}
+			for _, v := range rootPath[:len(rootPath)-1] {
+				s.banVertex[f.index[v]] = true
+			}
+			si := f.index[spur]
+			f.dijkstra(si, di, filter, true, s)
+			ok := !math.IsInf(s.dist[di], 1)
+			var spurPath []VertexID
+			if ok {
+				spurPath = f.extractPath(si, di, s)
+			}
+			for _, v := range rootPath[:len(rootPath)-1] {
+				s.banVertex[f.index[v]] = false
+			}
+			if !ok {
+				continue
+			}
+			total := append(append([]VertexID{}, rootPath[:len(rootPath)-1]...), spurPath...)
+			tw := f.frozenPathWeight(total)
+			if math.IsInf(tw, 1) {
+				continue
+			}
+			dup := false
+			for _, c := range candidates {
+				if equalPath(c.path, total) {
+					dup = true
+					break
+				}
+			}
+			for _, p := range paths {
+				if equalPath(p, total) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				candidates = append(candidates, cand{path: total, weight: tw})
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			if candidates[i].weight != candidates[j].weight {
+				return candidates[i].weight < candidates[j].weight
+			}
+			return lessPath(candidates[i].path, candidates[j].path)
+		})
+		best := candidates[0]
+		candidates = candidates[1:]
+		paths = append(paths, best.path)
+		weights = append(weights, best.weight)
+	}
+	return paths, weights, nil
+}
+
+// banArc masks every parallel u->v arc (and v->u for undirected
+// graphs), mirroring Graph.removeEdge.
+func (f *Frozen) banArc(s *frozenScratch, u, v VertexID) {
+	ui, ok := f.index[u]
+	if !ok {
+		return
+	}
+	vi, ok := f.index[v]
+	if !ok {
+		return
+	}
+	s.banEdge[packArc(ui, vi)] = true
+	if !f.directed {
+		s.banEdge[packArc(vi, ui)] = true
+	}
+}
+
+func (f *Frozen) frozenPathWeight(path []VertexID) float64 {
+	total := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		w, ok := f.EdgeWeight(path[i], path[i+1])
+		if !ok {
+			return math.Inf(1)
+		}
+		total += w
+	}
+	return total
+}

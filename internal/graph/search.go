@@ -19,8 +19,18 @@ type pqItem struct {
 
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Len() int { return len(q) }
+
+// Less orders by distance with ties broken toward lower vertex IDs, so
+// pop order — and therefore which of two equal-weight paths wins the
+// strict dist-update race — is fully deterministic. The Frozen CSR heap
+// uses the identical rule; the golden equivalence tests rely on it.
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].v < q[j].v
+}
 func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
 func (q *pq) Pop() interface{} {

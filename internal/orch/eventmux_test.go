@@ -1,0 +1,102 @@
+package orch
+
+import (
+	"sync"
+	"testing"
+)
+
+type muxRecorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (r *muxRecorder) OrchEvent(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+func (r *muxRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+func TestEventMuxFanOutAndCancel(t *testing.T) {
+	m := NewEventMux()
+	a, b := &muxRecorder{}, &muxRecorder{}
+	cancelA := m.Subscribe(a)
+	cancelB := m.Subscribe(b)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+
+	m.OrchEvent(Event{Kind: EventNodeRecovered, Node: 7})
+	if a.count() != 1 || b.count() != 1 {
+		t.Fatalf("fan-out missed a sink: a=%d b=%d", a.count(), b.count())
+	}
+	if a.events[0].Node != 7 {
+		t.Fatalf("event payload lost: %+v", a.events[0])
+	}
+
+	cancelA()
+	cancelA() // double-cancel is a no-op
+	m.OrchEvent(Event{Kind: EventLinkRecovered, Link: 3})
+	if a.count() != 1 {
+		t.Fatalf("cancelled sink still receiving: %d events", a.count())
+	}
+	if b.count() != 2 {
+		t.Fatalf("remaining sink missed event: %d events", b.count())
+	}
+
+	cancelB()
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after cancels, want 0", m.Len())
+	}
+	m.OrchEvent(Event{Kind: EventDeploymentDeleted}) // no sinks: no panic
+
+	if c := m.Subscribe(nil); c == nil {
+		t.Fatal("nil sink must still return a callable cancel")
+	} else {
+		c()
+	}
+}
+
+// TestEventMuxAsOrchestratorSink wires a mux between the orchestrator
+// and two independent subscribers (a metrics exporter and an optimizer
+// stand-in) and asserts both see live lifecycle events.
+func TestEventMuxAsOrchestratorSink(t *testing.T) {
+	o := newOrch(t)
+	m := NewEventMux()
+	metrics, opt := &muxRecorder{}, &muxRecorder{}
+	m.Subscribe(metrics)
+	m.Subscribe(opt)
+	o.SetEventSink(m)
+
+	dep, err := o.Provision(webSpec(t, "mux-chain"))
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	mid := dep.Path[len(dep.Path)/2]
+	if _, err := o.HandleNodeFailure(mid); err != nil {
+		t.Fatalf("HandleNodeFailure: %v", err)
+	}
+	if err := o.RecoverNode(mid); err != nil {
+		t.Fatalf("RecoverNode: %v", err)
+	}
+	if metrics.count() == 0 || opt.count() == 0 {
+		t.Fatalf("subscribers missed orchestrator events: metrics=%d opt=%d", metrics.count(), opt.count())
+	}
+	if metrics.count() != opt.count() {
+		t.Fatalf("fan-out divergence: metrics=%d opt=%d", metrics.count(), opt.count())
+	}
+	recovered := false
+	for _, ev := range metrics.events {
+		if ev.Kind == EventNodeRecovered && ev.Node == mid {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatalf("metrics subscriber missed node-recovered for %d: %+v", mid, metrics.events)
+	}
+}

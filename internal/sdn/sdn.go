@@ -12,7 +12,6 @@ import (
 	"sort"
 	"sync"
 
-	"github.com/alvc/alvc/internal/graph"
 	"github.com/alvc/alvc/internal/topology"
 )
 
@@ -110,45 +109,54 @@ func NewController(topo *topology.Topology) (*Controller, error) {
 	}, nil
 }
 
+// snapshot returns the epoch-cached routing view the controller
+// computes over. Rebuilds happen only when the topology mutated since
+// the last fetch; slice restrictions are applied at search time, so
+// every restriction set shares the same cache entry.
+func (c *Controller) snapshot() *topology.Snapshot {
+	return c.topo.RoutingSnapshot(topology.GraphOptions{IncludeVMs: true})
+}
+
 // ComputePath returns the lowest-latency path between two nodes. When
 // restrictOPS is non-nil only those OPSs may be traversed (routing
 // inside a slice). VMs are routed via their host PM.
 func (c *Controller) ComputePath(src, dst topology.NodeID, restrictOPS map[topology.NodeID]bool) ([]topology.NodeID, error) {
-	c.countPathComputation()
-	g := c.topo.RoutingGraph(topology.GraphOptions{IncludeVMs: true, RestrictOPS: restrictOPS})
-	vp, _, err := g.ShortestPath(graph.VertexID(src), graph.VertexID(dst))
+	c.countPathComputations(1)
+	path, _, err := c.snapshot().ShortestPath(src, dst, restrictOPS)
 	if err != nil {
 		return nil, fmt.Errorf("sdn: compute path %d->%d: %w", src, dst, err)
-	}
-	path := make([]topology.NodeID, len(vp))
-	for i, v := range vp {
-		path[i] = topology.NodeID(v)
 	}
 	return path, nil
 }
 
 // ComputePathVia returns a path from src to dst that visits every
 // waypoint in order (the chain's VNF hosts). Segments are shortest
-// paths; consecutive duplicates are merged.
+// paths over one snapshot fetched once per call; consecutive
+// duplicates are merged.
 func (c *Controller) ComputePathVia(src topology.NodeID, via []topology.NodeID, dst topology.NodeID, restrictOPS map[topology.NodeID]bool) ([]topology.NodeID, error) {
 	stops := make([]topology.NodeID, 0, len(via)+2)
 	stops = append(stops, src)
 	stops = append(stops, via...)
 	stops = append(stops, dst)
+	snap := c.snapshot()
 	var full []topology.NodeID
+	segments := 0
 	for i := 0; i+1 < len(stops); i++ {
 		if stops[i] == stops[i+1] {
 			continue
 		}
-		seg, err := c.ComputePath(stops[i], stops[i+1], restrictOPS)
+		segments++
+		seg, _, err := snap.ShortestPath(stops[i], stops[i+1], restrictOPS)
 		if err != nil {
-			return nil, fmt.Errorf("sdn: via segment %d: %w", i, err)
+			c.countPathComputations(segments)
+			return nil, fmt.Errorf("sdn: via segment %d: sdn: compute path %d->%d: %w", i, stops[i], stops[i+1], err)
 		}
 		if len(full) > 0 {
 			seg = seg[1:] // drop duplicated joint
 		}
 		full = append(full, seg...)
 	}
+	c.countPathComputations(segments)
 	if len(full) == 0 {
 		full = []topology.NodeID{src}
 	}
@@ -156,29 +164,20 @@ func (c *Controller) ComputePathVia(src topology.NodeID, via []topology.NodeID, 
 }
 
 // PathAlternatives returns up to k loopless paths between two nodes in
-// nondecreasing latency order (Yen's algorithm over the routing graph),
-// giving the controller fallback routes for fast failover without
-// recomputation.
+// nondecreasing latency order (Yen's algorithm over the routing
+// snapshot), giving the controller fallback routes for fast failover
+// without recomputation.
 func (c *Controller) PathAlternatives(src, dst topology.NodeID, k int, restrictOPS map[topology.NodeID]bool) ([][]topology.NodeID, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("sdn: path alternatives: k must be positive, got %d", k)
 	}
 	c.mu.Lock()
 	c.yenRuns++
+	c.pathComputations++
 	c.mu.Unlock()
-	c.countPathComputation()
-	g := c.topo.RoutingGraph(topology.GraphOptions{IncludeVMs: true, RestrictOPS: restrictOPS})
-	vps, _, err := g.KShortestPaths(graph.VertexID(src), graph.VertexID(dst), k)
+	out, _, err := c.snapshot().KShortestPaths(src, dst, k, restrictOPS)
 	if err != nil {
 		return nil, fmt.Errorf("sdn: path alternatives %d->%d: %w", src, dst, err)
-	}
-	out := make([][]topology.NodeID, len(vps))
-	for i, vp := range vps {
-		path := make([]topology.NodeID, len(vp))
-		for j, v := range vp {
-			path[j] = topology.NodeID(v)
-		}
-		out[i] = path
 	}
 	return out, nil
 }
@@ -405,9 +404,12 @@ func (c *Controller) Stats() (paths, rules int) {
 	return c.pathsProvisioned, c.rulesInstalled
 }
 
-func (c *Controller) countPathComputation() {
+func (c *Controller) countPathComputations(n int) {
+	if n == 0 {
+		return
+	}
 	c.mu.Lock()
-	c.pathComputations++
+	c.pathComputations += n
 	c.mu.Unlock()
 }
 

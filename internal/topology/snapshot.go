@@ -1,0 +1,133 @@
+package topology
+
+import (
+	"sync/atomic"
+
+	"github.com/alvc/alvc/internal/graph"
+)
+
+// Snapshot is an immutable, epoch-versioned routing view of the
+// topology: a frozen CSR graph plus the metadata needed to answer
+// restricted (in-slice) searches without rebuilding anything. Snapshots
+// are cached per (IncludeVMs, UseHops) key against the topology's
+// generation counter — RestrictOPS is applied as a search-time vertex
+// filter, so every restriction set shares the same cached graph.
+//
+// A Snapshot is safe for concurrent use and stays valid (as a view of
+// the generation it was built at) after the topology mutates; the next
+// RoutingSnapshot call simply rebuilds.
+type Snapshot struct {
+	gen    uint64
+	frozen *graph.Frozen
+	// ops marks the OPS vertices of the snapshot: the only kind a
+	// RestrictOPS filter may exclude.
+	ops map[graph.VertexID]bool
+}
+
+// Generation returns the topology generation the snapshot was built at.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// Graph returns the frozen CSR graph backing the snapshot.
+func (s *Snapshot) Graph() *graph.Frozen { return s.frozen }
+
+// Filter translates a RestrictOPS set into a search-time vertex filter
+// over the snapshot: non-OPS vertices always pass; OPS vertices pass
+// iff present in restrict. A nil restrict yields a nil (admit-all)
+// filter.
+func (s *Snapshot) Filter(restrict map[NodeID]bool) graph.Filter {
+	if restrict == nil {
+		return nil
+	}
+	return func(v graph.VertexID) bool {
+		return !s.ops[v] || restrict[NodeID(v)]
+	}
+}
+
+// ShortestPath returns the minimum-weight path between two nodes over
+// the snapshot, honoring a RestrictOPS set (nil = unrestricted). It is
+// output-identical to searching Topology.RoutingGraph built with the
+// same options and restriction.
+func (s *Snapshot) ShortestPath(src, dst NodeID, restrict map[NodeID]bool) ([]NodeID, float64, error) {
+	vp, w, err := s.frozen.ShortestPathFiltered(graph.VertexID(src), graph.VertexID(dst), s.Filter(restrict))
+	if err != nil {
+		return nil, 0, err
+	}
+	return toNodePath(vp), w, nil
+}
+
+// KShortestPaths returns up to k loopless paths between two nodes in
+// nondecreasing weight order over the snapshot, honoring a RestrictOPS
+// set (nil = unrestricted).
+func (s *Snapshot) KShortestPaths(src, dst NodeID, k int, restrict map[NodeID]bool) ([][]NodeID, []float64, error) {
+	vps, ws, err := s.frozen.KShortestPathsFiltered(graph.VertexID(src), graph.VertexID(dst), k, s.Filter(restrict))
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]NodeID, len(vps))
+	for i, vp := range vps {
+		out[i] = toNodePath(vp)
+	}
+	return out, ws, nil
+}
+
+func toNodePath(vp []graph.VertexID) []NodeID {
+	path := make([]NodeID, len(vp))
+	for i, v := range vp {
+		path[i] = NodeID(v)
+	}
+	return path
+}
+
+// snapKey is the cache key of one snapshot: every GraphOptions field
+// except RestrictOPS, which is a search-time filter rather than a
+// build-time dimension.
+type snapKey struct {
+	includeVMs bool
+	useHops    bool
+}
+
+// Generation returns the topology's mutation epoch. Every mutation —
+// node/link add, VM remove/migrate, node/link up/down, latency change,
+// SRLG edit — bumps it; cached snapshots are valid iff their generation
+// matches.
+func (t *Topology) Generation() uint64 { return atomic.LoadUint64(&t.gen) }
+
+// bumpGeneration invalidates all cached routing snapshots. Called by
+// every mutator; atomic so concurrent readers of Generation never race
+// even outside the orchestrator's topology lock.
+func (t *Topology) bumpGeneration() { atomic.AddUint64(&t.gen, 1) }
+
+// GraphBuilds returns how many times a routing graph has been built
+// from scratch (RoutingGraph calls, including snapshot rebuilds). The
+// fast-path contract — zero rebuilds on unchanged topology — is
+// asserted against this counter's delta.
+func (t *Topology) GraphBuilds() uint64 { return atomic.LoadUint64(&t.builds) }
+
+// RoutingSnapshot returns the cached routing snapshot for the options,
+// rebuilding only if the topology mutated since the last build with the
+// same (IncludeVMs, UseHops) key. opts.RestrictOPS is ignored here —
+// pass restriction sets to the snapshot's search methods instead, so
+// restricted searches share the unrestricted cache entry.
+func (t *Topology) RoutingSnapshot(opts GraphOptions) *Snapshot {
+	key := snapKey{includeVMs: opts.IncludeVMs, useHops: opts.UseHops}
+	gen := t.Generation()
+	t.snapMu.Lock()
+	defer t.snapMu.Unlock()
+	if t.snaps == nil {
+		t.snaps = make(map[snapKey]*Snapshot)
+	}
+	if s := t.snaps[key]; s != nil && s.gen == gen {
+		return s
+	}
+	full := opts
+	full.RestrictOPS = nil
+	g := t.RoutingGraph(full)
+	s := &Snapshot{gen: gen, frozen: g.Frozen(), ops: make(map[graph.VertexID]bool)}
+	for _, n := range t.Nodes(KindOPS) {
+		if !n.Down {
+			s.ops[graph.VertexID(n.ID)] = true
+		}
+	}
+	t.snaps[key] = s
+	return s
+}

@@ -1,0 +1,239 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/alvc/alvc/internal/graph"
+)
+
+// snapTestTopo builds a small two-rack topology with a 4-OPS core ring
+// so there are meaningful alternate paths and restrictable OPSs.
+func snapTestTopo(t *testing.T) (*Topology, []NodeID, []NodeID) {
+	t.Helper()
+	topo := New()
+	var tors, opss []NodeID
+	for r := 0; r < 2; r++ {
+		tors = append(tors, topo.AddToR(r))
+	}
+	for i := 0; i < 4; i++ {
+		opss = append(opss, topo.AddOPS(false, Resources{}))
+	}
+	for i := range opss {
+		if _, err := topo.AddLink(opss[i], opss[(i+1)%len(opss)], LinkOptical, 100, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tor := range tors {
+		for _, ops := range opss[:2] {
+			if _, err := topo.AddLink(tor, ops, LinkBoundary, 40, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := topo.AddLink(tors[0], opss[2], LinkBoundary, 40, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.AddLink(tors[1], opss[3], LinkBoundary, 40, 2); err != nil {
+		t.Fatal(err)
+	}
+	return topo, tors, opss
+}
+
+// TestSnapshotCacheHitAndInvalidation asserts the core cache contract:
+// repeated fetches on an unchanged topology build nothing; every
+// mutation class bumps the generation and the next fetch rebuilds.
+func TestSnapshotCacheHitAndInvalidation(t *testing.T) {
+	topo, tors, opss := snapTestTopo(t)
+	opts := GraphOptions{}
+
+	s1 := topo.RoutingSnapshot(opts)
+	builds := topo.GraphBuilds()
+	for i := 0; i < 10; i++ {
+		if s := topo.RoutingSnapshot(opts); s != s1 {
+			t.Fatal("unchanged topology must return the cached snapshot")
+		}
+	}
+	if got := topo.GraphBuilds(); got != builds {
+		t.Fatalf("warm fetches rebuilt the graph: %d -> %d builds", builds, got)
+	}
+
+	// Distinct option keys get distinct entries, also cached.
+	h1 := topo.RoutingSnapshot(GraphOptions{UseHops: true})
+	if h1 == s1 {
+		t.Fatal("hop-weighted snapshot must be a distinct cache entry")
+	}
+	if h2 := topo.RoutingSnapshot(GraphOptions{UseHops: true}); h2 != h1 {
+		t.Fatal("hop-weighted snapshot must be cached too")
+	}
+
+	mutate := []struct {
+		name string
+		fn   func() error
+	}{
+		{"SetLinkDown", func() error { return topo.SetLinkDown(1, true) }},
+		{"SetLinkUp", func() error { return topo.SetLinkDown(1, false) }},
+		{"SetNodeDown", func() error { return topo.SetNodeDown(opss[3], true) }},
+		{"SetNodeUp", func() error { return topo.SetNodeDown(opss[3], false) }},
+		{"SetLinkLatency", func() error { return topo.SetLinkLatency(2, 7.5) }},
+		{"SetLinkSRLG", func() error { return topo.SetLinkSRLG(2, 11) }},
+		{"AddToR", func() error { topo.AddToR(2); return nil }},
+	}
+	for _, m := range mutate {
+		gen := topo.Generation()
+		prev := topo.RoutingSnapshot(opts)
+		if err := m.fn(); err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if topo.Generation() == gen {
+			t.Fatalf("%s did not bump the generation", m.name)
+		}
+		if s := topo.RoutingSnapshot(opts); s == prev {
+			t.Fatalf("%s did not invalidate the snapshot cache", m.name)
+		}
+	}
+	_ = tors
+}
+
+// TestSnapshotReflectsLinkFailure is the ISSUE's invalidation check at
+// the search level: fail a link, and the very next shortest path must
+// route around it; recover it, and the next path may use it again.
+func TestSnapshotReflectsLinkFailure(t *testing.T) {
+	topo, tors, _ := snapTestTopo(t)
+	src, dst := tors[0], tors[1]
+
+	before, _, err := topo.RoutingSnapshot(GraphOptions{}).ShortestPath(src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail the first link of the current best path.
+	l := topo.LinkBetween(before[0], before[1])
+	if l == nil {
+		t.Fatalf("no link between %d and %d", before[0], before[1])
+	}
+	if err := topo.SetLinkDown(l.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := topo.RoutingSnapshot(GraphOptions{}).ShortestPath(src, dst, nil)
+	if err != nil {
+		t.Fatalf("no path after single link failure: %v", err)
+	}
+	for i := 0; i+1 < len(after); i++ {
+		if (after[i] == l.From && after[i+1] == l.To) || (after[i] == l.To && after[i+1] == l.From) {
+			t.Fatalf("path %v still crosses failed link %d", after, l.ID)
+		}
+	}
+	if err := topo.SetLinkDown(l.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	recovered, _, err := topo.RoutingSnapshot(GraphOptions{}).ShortestPath(src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != len(before) {
+		t.Fatalf("recovered path %v; want something as short as %v", recovered, before)
+	}
+}
+
+// TestSnapshotFilteredEqualsColdRebuild is the property-style test:
+// for random RestrictOPS sets, a cached snapshot searched through a
+// vertex filter must produce exactly what a cold rebuild restricted at
+// build time produces — paths, weights and reachability alike.
+func TestSnapshotFilteredEqualsColdRebuild(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Seed = 7
+	topo, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opss := topo.NodeIDs(KindOPS)
+	tors := topo.NodeIDs(KindToR)
+	rng := rand.New(rand.NewSource(42))
+	snap := topo.RoutingSnapshot(GraphOptions{IncludeVMs: true})
+	builds := topo.GraphBuilds()
+	for trial := 0; trial < 60; trial++ {
+		restrict := make(map[NodeID]bool)
+		for _, ops := range opss {
+			if rng.Float64() < 0.6 {
+				restrict[ops] = true
+			}
+		}
+		src := tors[rng.Intn(len(tors))]
+		dst := tors[rng.Intn(len(tors))]
+
+		cold := topo.RoutingGraph(GraphOptions{IncludeVMs: true, RestrictOPS: restrict})
+		wantVP, wantW, wantErr := cold.ShortestPath(graph.VertexID(src), graph.VertexID(dst))
+		gotPath, gotW, gotErr := snap.ShortestPath(src, dst, restrict)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d %d->%d: error mismatch cold=%v cached=%v", trial, src, dst, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if wantW != gotW || len(wantVP) != len(gotPath) {
+			t.Fatalf("trial %d %d->%d: cold %v (%g) vs cached %v (%g)", trial, src, dst, wantVP, wantW, gotPath, gotW)
+		}
+		for i := range wantVP {
+			if NodeID(wantVP[i]) != gotPath[i] {
+				t.Fatalf("trial %d %d->%d: cold %v vs cached %v", trial, src, dst, wantVP, gotPath)
+			}
+		}
+	}
+	// The cold comparators above rebuilt per trial; the cached side
+	// must not have rebuilt at all beyond them.
+	wantBuilds := builds + 60
+	if got := topo.GraphBuilds(); got != wantBuilds {
+		t.Fatalf("cached side triggered rebuilds: %d builds, want %d", got, wantBuilds)
+	}
+
+	// Same property for Yen's k-shortest.
+	for trial := 0; trial < 10; trial++ {
+		restrict := make(map[NodeID]bool)
+		for _, ops := range opss {
+			if rng.Float64() < 0.7 {
+				restrict[ops] = true
+			}
+		}
+		src := tors[rng.Intn(len(tors))]
+		dst := tors[rng.Intn(len(tors))]
+		if src == dst {
+			continue
+		}
+		cold := topo.RoutingGraph(GraphOptions{IncludeVMs: true, RestrictOPS: restrict})
+		wantPaths, wantWs, wantErr := cold.KShortestPaths(graph.VertexID(src), graph.VertexID(dst), 4)
+		gotPaths, gotWs, gotErr := snap.KShortestPaths(src, dst, 4, restrict)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("yen trial %d: error mismatch cold=%v cached=%v", trial, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if len(wantPaths) != len(gotPaths) {
+			t.Fatalf("yen trial %d: %d vs %d paths", trial, len(wantPaths), len(gotPaths))
+		}
+		for i := range wantPaths {
+			if wantWs[i] != gotWs[i] || len(wantPaths[i]) != len(gotPaths[i]) {
+				t.Fatalf("yen trial %d path %d: cold %v (%g) vs cached %v (%g)",
+					trial, i, wantPaths[i], wantWs[i], gotPaths[i], gotWs[i])
+			}
+			for j := range wantPaths[i] {
+				if NodeID(wantPaths[i][j]) != gotPaths[i][j] {
+					t.Fatalf("yen trial %d path %d: cold %v vs cached %v", trial, i, wantPaths[i], gotPaths[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotRestrictedEndpointNoPath pins the behavior change for a
+// restricted-out endpoint: the old build-time restriction dropped the
+// vertex ("unknown source"); the filter reports no path. Either way the
+// search fails — assert the new contract explicitly.
+func TestSnapshotRestrictedEndpointNoPath(t *testing.T) {
+	topo, _, opss := snapTestTopo(t)
+	snap := topo.RoutingSnapshot(GraphOptions{})
+	restrict := map[NodeID]bool{opss[0]: true}
+	if _, _, err := snap.ShortestPath(opss[3], opss[0], restrict); err == nil {
+		t.Fatal("restricted-out source must not find a path")
+	}
+}

@@ -3,6 +3,8 @@ package topology
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/alvc/alvc/internal/graph"
 )
@@ -16,6 +18,18 @@ type Topology struct {
 	adj      map[NodeID][]LinkID
 	nextNode NodeID
 	nextLink LinkID
+
+	// gen is the mutation epoch (see Generation); builds counts
+	// from-scratch routing-graph constructions (see GraphBuilds). Both
+	// are accessed atomically so snapshot-cache reads never race with
+	// mutators even outside the orchestrator's topology lock.
+	gen    uint64
+	builds uint64
+
+	// snapMu guards the epoch-keyed routing-snapshot cache. Snapshots
+	// themselves are immutable once published.
+	snapMu sync.Mutex
+	snaps  map[snapKey]*Snapshot
 }
 
 // New returns an empty topology.
@@ -34,6 +48,7 @@ func (t *Topology) addNode(n Node) NodeID {
 		n.Name = fmt.Sprintf("%s-%d", n.Kind, n.ID)
 	}
 	t.nodes[n.ID] = &n
+	t.bumpGeneration()
 	return n.ID
 }
 
@@ -112,6 +127,7 @@ func (t *Topology) AddLink(from, to NodeID, kind LinkKind, bandwidthGbps, latenc
 	t.links[l.ID] = l
 	t.adj[from] = append(t.adj[from], l.ID)
 	t.adj[to] = append(t.adj[to], l.ID)
+	t.bumpGeneration()
 	return l.ID, nil
 }
 
@@ -123,6 +139,7 @@ func (t *Topology) RemoveVM(vm NodeID) error {
 		return fmt.Errorf("topology: RemoveVM: node %d is not a VM", vm)
 	}
 	delete(t.nodes, vm)
+	t.bumpGeneration()
 	return nil
 }
 
@@ -139,6 +156,7 @@ func (t *Topology) MigrateVM(vm, toPM NodeID) error {
 	}
 	n.Host = toPM
 	n.Rack = host.Rack
+	t.bumpGeneration()
 	return nil
 }
 
@@ -253,6 +271,7 @@ func (t *Topology) SetNodeDown(id NodeID, down bool) error {
 		return fmt.Errorf("topology: SetNodeDown: unknown node %d", id)
 	}
 	n.Down = down
+	t.bumpGeneration()
 	return nil
 }
 
@@ -263,6 +282,22 @@ func (t *Topology) SetLinkDown(id LinkID, down bool) error {
 		return fmt.Errorf("topology: SetLinkDown: unknown link %d", id)
 	}
 	l.Down = down
+	t.bumpGeneration()
+	return nil
+}
+
+// SetLinkLatency updates a link's latency (e.g. re-calibrated
+// measurements), invalidating cached routing snapshots.
+func (t *Topology) SetLinkLatency(id LinkID, latencyMicros float64) error {
+	l := t.links[id]
+	if l == nil {
+		return fmt.Errorf("topology: SetLinkLatency: unknown link %d", id)
+	}
+	if latencyMicros < 0 {
+		return fmt.Errorf("topology: SetLinkLatency: negative latency %f on link %d", latencyMicros, id)
+	}
+	l.LatencyMicros = latencyMicros
+	t.bumpGeneration()
 	return nil
 }
 
@@ -278,6 +313,7 @@ func (t *Topology) SetLinkSRLG(id LinkID, groups ...int) error {
 		return fmt.Errorf("topology: SetLinkSRLG: unknown link %d", id)
 	}
 	l.SRLG = append([]int(nil), groups...)
+	t.bumpGeneration()
 	return nil
 }
 
@@ -393,6 +429,7 @@ type GraphOptions struct {
 // computation. Edge weight is link latency in microseconds, or 1 per
 // hop when UseHops is set. Down nodes and links are excluded.
 func (t *Topology) RoutingGraph(opts GraphOptions) *graph.Graph {
+	atomic.AddUint64(&t.builds, 1)
 	g := graph.New(false)
 	include := func(n *Node) bool {
 		if n.Down {
