@@ -50,6 +50,16 @@ bench-optimizer:
 bench-path:
 	$(GO) run ./cmd/alvc-bench -path -json
 
+# Sharding smoke: provision + batch-repair the same 600-tenant fleet at
+# 1/4/16 shards. Contract: 4 shards deliver >= 2x the single-shard
+# provision and repair throughput (per-shard OPS pools shrink every
+# search, so this holds even on one CPU), zero routing-graph rebuilds
+# during provisioning, zero failed repairs. Writes BENCH_scale.json;
+# exits non-zero on any violation.
+.PHONY: bench-scale
+bench-scale:
+	$(GO) run ./cmd/alvc-bench -scale -chains 600 -json
+
 fmt:
 	gofmt -w .
 
@@ -63,4 +73,4 @@ vet:
 	$(GO) vet ./...
 
 # Exactly what .github/workflows/ci.yml runs.
-ci: build fmt-check vet race bench bench-repair bench-resilience bench-optimizer bench-path
+ci: build fmt-check vet race bench bench-repair bench-resilience bench-optimizer bench-path bench-scale

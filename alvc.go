@@ -122,6 +122,23 @@ type (
 	// facade installs one automatically with WithOptimizer (see
 	// Architecture.SubscribeEvents).
 	EventMux = orch.EventMux
+	// ShardMode selects what the shard router hashes (tenant or flow
+	// key) to pick a chain's owning shard.
+	ShardMode = orch.ShardMode
+	// ShardStat is one orchestrator shard's slice of the fleet
+	// (deployments by state, repairs, OPS pool size, controller load).
+	ShardStat = orch.ShardStat
+)
+
+// Shard routing modes for WithShardMode.
+const (
+	// ShardByTenant routes every chain of a tenant to the same shard
+	// (the default): tenant isolation maps onto state isolation.
+	ShardByTenant = orch.ShardByTenant
+	// ShardByChain routes on the full tenant/name flow key, spreading
+	// even one giant tenant across all shards (rack-pod-style
+	// decomposition).
+	ShardByChain = orch.ShardByChain
 )
 
 // Re-exported AL builders (paper §III-C and its baselines).
@@ -169,6 +186,8 @@ type settings struct {
 	batchWorkers int
 	standbyK     int
 	optimizer    *optimizer.Options
+	shards       int
+	shardMode    orch.ShardMode
 }
 
 // WithBuilder selects the AL construction algorithm (default: the
@@ -218,6 +237,23 @@ func WithStandbyK(k int) Option {
 	return func(s *settings) { s.standbyK = k }
 }
 
+// WithShards splits the orchestrator into n shards, each owning its
+// own deployment map, reverse indexes, flow-key space, SDN flow tables
+// and a disjoint partition of the OPS pool, behind a router that
+// hashes the tenant (default, see WithShardMode) to pick a chain's
+// shard. The topology, its routing snapshots, host capacity and
+// wavelength occupancy stay shared. n <= 1 keeps the single-shard
+// behavior. The topology must have at least n OPSs.
+func WithShards(n int) Option {
+	return func(s *settings) { s.shards = n }
+}
+
+// WithShardMode selects the shard-routing hash input: ShardByTenant
+// (default) or ShardByChain. Only meaningful together with WithShards.
+func WithShardMode(mode ShardMode) Option {
+	return func(s *settings) { s.shardMode = mode }
+}
+
 // WithOptimizer attaches the background optimization engine: repairs
 // stop replanning standbys inline (Yen's search leaves the recovery
 // hot path; the engine re-protects chains asynchronously), recoveries
@@ -235,7 +271,12 @@ func WithOptimizer(opts OptimizerOptions) Option {
 // Cloud/NFV manager), optionally with the background optimization
 // engine attached.
 type Architecture struct {
-	topo         *topology.Topology
+	topo *topology.Topology
+	// sh is the sharded orchestration layer every verb routes through;
+	// with one shard (the default) it is a thin pass-through. orch and
+	// alloc alias shard 0 for single-shard compatibility surfaces
+	// (Orchestrator(), BuildServiceClusters).
+	sh           *orch.Sharded
 	alloc        *cluster.Allocator
 	orch         *orch.Orchestrator
 	opt          *optimizer.Engine
@@ -266,39 +307,37 @@ func FromTopology(topo *topology.Topology, opts ...Option) (*Architecture, error
 	for _, opt := range opts {
 		opt(&s)
 	}
-	builder := s.builder
-	if builder == nil {
-		builder = cluster.PaperBuilder{}
-	}
-	alloc, err := cluster.NewAllocator(topo, builder)
-	if err != nil {
-		return nil, fmt.Errorf("alvc: %w", err)
-	}
-	o, err := orch.New(orch.Config{
+	sh, err := orch.NewSharded(orch.Config{
 		Topo:        topo,
-		Allocator:   alloc,
+		Builder:     s.builder,
 		Policy:      s.policy,
 		Mode:        s.mode,
 		CostModel:   s.costModel,
 		Wavelengths: s.wavelengths,
 		StandbyK:    s.standbyK,
-	})
+	}, s.shards, s.shardMode)
 	if err != nil {
 		return nil, fmt.Errorf("alvc: %w", err)
 	}
-	arch := &Architecture{topo: topo, alloc: alloc, orch: o, batchWorkers: s.batchWorkers}
+	arch := &Architecture{
+		topo:         topo,
+		sh:           sh,
+		alloc:        sh.Shard(0).Allocator(),
+		orch:         sh.Shard(0),
+		batchWorkers: s.batchWorkers,
+	}
 	if s.optimizer != nil {
-		eng, err := optimizer.New(o, *s.optimizer)
+		eng, err := optimizer.New(sh, *s.optimizer)
 		if err != nil {
 			return nil, fmt.Errorf("alvc: %w", err)
 		}
 		// The engine subscribes through a multiplexer rather than
 		// claiming the orchestrator's single sink slot, so metrics
 		// exporters and other observers can subscribe independently
-		// (SubscribeEvents).
+		// (SubscribeEvents). Every shard emits into the same mux.
 		mux := orch.NewEventMux()
 		mux.Subscribe(eng)
-		o.SetEventSink(mux)
+		sh.SetEventSink(mux)
 		arch.opt = eng
 		arch.events = mux
 	}
@@ -323,13 +362,26 @@ func (a *Architecture) SubscribeEvents(s orch.EventSink) (cancel func(), ok bool
 func (a *Architecture) Topology() *Topology { return a.topo }
 
 // Orchestrator returns the underlying NFC orchestrator for advanced
-// inspection (flow tables, VNF lifecycle events, slices).
+// inspection (flow tables, VNF lifecycle events, slices). Under
+// WithShards this is shard 0; use Sharded for the routed fleet view.
 func (a *Architecture) Orchestrator() *orch.Orchestrator { return a.orch }
+
+// Sharded returns the sharded orchestration layer (one shard unless
+// WithShards raised the count): routed per-deployment verbs, fleet
+// merges and per-shard statistics.
+func (a *Architecture) Sharded() *orch.Sharded { return a.sh }
+
+// ShardCount returns the number of orchestrator shards (1 without
+// WithShards).
+func (a *Architecture) ShardCount() int { return a.sh.Shards() }
+
+// ShardStats returns one statistics entry per shard, in shard order.
+func (a *Architecture) ShardStats() []ShardStat { return a.sh.ShardStats() }
 
 // BuildServiceClusters constructs one virtual cluster per service
 // (paper §III, Fig. 1/3) — the pure clustering use of AL-VC, without
 // chains. The clusters claim OPSs from the same pool chain deployments
-// use.
+// use (shard 0's partition when WithShards splits the pool).
 func (a *Architecture) BuildServiceClusters() ([]*VC, error) {
 	vcs, err := a.alloc.BuildAllByService()
 	if err != nil {
@@ -344,13 +396,20 @@ func (a *Architecture) ReleaseCluster(id cluster.VCID) error {
 }
 
 // Clusters returns all current virtual clusters (service clusters and
-// chain-backing clusters alike).
-func (a *Architecture) Clusters() []*VC { return a.alloc.VCs() }
+// chain-backing clusters alike) across every shard's allocator. VC IDs
+// are per-allocator, so entries from different shards may share an ID.
+func (a *Architecture) Clusters() []*VC {
+	var out []*VC
+	for i := 0; i < a.sh.Shards(); i++ {
+		out = append(out, a.sh.Shard(i).Allocator().VCs()...)
+	}
+	return out
+}
 
 // Deploy provisions a chain end to end (paper §IV): virtual cluster,
 // optical slice, VNF placement and instantiation, SDN path.
 func (a *Architecture) Deploy(spec Spec) (*Deployment, error) {
-	return a.orch.Provision(spec)
+	return a.sh.Provision(spec)
 }
 
 // DeployBatch provisions independent chain specs concurrently over a
@@ -359,7 +418,7 @@ func (a *Architecture) Deploy(spec Spec) (*Deployment, error) {
 // failures are rolled back and reported per item; they do not abort
 // the batch.
 func (a *Architecture) DeployBatch(specs []Spec) []BatchResult {
-	return a.orch.ProvisionBatch(specs, a.batchWorkers)
+	return a.sh.ProvisionBatch(specs, a.batchWorkers)
 }
 
 // BatchWorkers returns the configured batch worker-pool size (0 means
@@ -368,7 +427,7 @@ func (a *Architecture) BatchWorkers() int { return a.batchWorkers }
 
 // TopologyJSON serializes the topology consistently with respect to
 // concurrent failure injection and repair.
-func (a *Architecture) TopologyJSON() ([]byte, error) { return a.orch.TopologyJSON() }
+func (a *Architecture) TopologyJSON() ([]byte, error) { return a.sh.TopologyJSON() }
 
 // DeployRequest deploys a workload-generated chain request.
 func (a *Architecture) DeployRequest(req ChainRequest) (*Deployment, error) {
@@ -380,19 +439,19 @@ func (a *Architecture) DeployRequest(req ChainRequest) (*Deployment, error) {
 }
 
 // Delete tears a deployment down and releases its resources.
-func (a *Architecture) Delete(id DeploymentID) error { return a.orch.Delete(id) }
+func (a *Architecture) Delete(id DeploymentID) error { return a.sh.Delete(id) }
 
 // Upgrade rolls every VNF of the chain to the next version.
-func (a *Architecture) Upgrade(id DeploymentID) error { return a.orch.Upgrade(id) }
+func (a *Architecture) Upgrade(id DeploymentID) error { return a.sh.Upgrade(id) }
 
 // Modify changes a deployment's bandwidth reservation.
 func (a *Architecture) Modify(id DeploymentID, bandwidthGbps float64) error {
-	return a.orch.Modify(id, bandwidthGbps)
+	return a.sh.Modify(id, bandwidthGbps)
 }
 
 // ScaleNF scales one NF of the chain to the given replica count.
 func (a *Architecture) ScaleNF(id DeploymentID, nfIndex, replicas int) error {
-	return a.orch.ScaleNF(id, nfIndex, replicas)
+	return a.sh.ScaleNF(id, nfIndex, replicas)
 }
 
 // FailNode injects a node failure (OPS, ToR or PM) and reconciles
@@ -402,7 +461,7 @@ func (a *Architecture) ScaleNF(id DeploymentID, nfIndex, replicas int) error {
 // impossible transition to the Failed state and are also reported
 // through the error.
 func (a *Architecture) FailNode(id NodeID) ([]RepairReport, error) {
-	return a.orch.HandleNodeFailure(id)
+	return a.sh.HandleNodeFailure(id)
 }
 
 // RepairedIDs filters a FailNode report list down to the chains whose
@@ -414,7 +473,7 @@ func RepairedIDs(reports []RepairReport) []DeploymentID {
 // RecoverNode marks a failed node as live again. Existing deployments
 // are not rebalanced; new deployments may use it immediately.
 func (a *Architecture) RecoverNode(id NodeID) error {
-	return a.orch.RecoverNode(id)
+	return a.sh.RecoverNode(id)
 }
 
 // FailLink injects a link failure and reconciles every chain whose
@@ -422,37 +481,37 @@ func (a *Architecture) RecoverNode(id NodeID) error {
 // standby when one survives (zero shortest-path runs), re-paths cold
 // otherwise; a dead standby link merely replans the standby.
 func (a *Architecture) FailLink(id LinkID) ([]RepairReport, error) {
-	return a.orch.HandleLinkFailure(id)
+	return a.sh.HandleLinkFailure(id)
 }
 
 // RecoverLink marks a failed link as live again. Existing deployments
 // are not rerouted back; new paths may use it immediately.
 func (a *Architecture) RecoverLink(id LinkID) error {
-	return a.orch.RecoverLink(id)
+	return a.sh.RecoverLink(id)
 }
 
 // FailBatch injects a set of node and link failures as one event — a
 // rack-scale incident — and reconciles each affected chain exactly
 // once against the union of dead resources.
 func (a *Architecture) FailBatch(nodes []NodeID, links []LinkID) ([]RepairReport, error) {
-	return a.orch.HandleFailures(nodes, links)
+	return a.sh.HandleFailures(nodes, links)
 }
 
 // NodeImpact returns the blast radius of a node: every active chain
 // that would be affected if it died, with the roles the node plays
 // (slice / host / path / standby), from the reverse index.
 func (a *Architecture) NodeImpact(id NodeID) []ImpactEntry {
-	return a.orch.NodeImpact(id)
+	return a.sh.NodeImpact(id)
 }
 
 // LinkImpact returns the blast radius of a link (roles: path /
 // standby).
 func (a *Architecture) LinkImpact(id LinkID) []ImpactEntry {
-	return a.orch.LinkImpact(id)
+	return a.sh.LinkImpact(id)
 }
 
 // Repair rebuilds one deployment around the current topology state.
-func (a *Architecture) Repair(id DeploymentID) error { return a.orch.Repair(id) }
+func (a *Architecture) Repair(id DeploymentID) error { return a.sh.Repair(id) }
 
 // Optimizer returns the background optimization engine, or nil when
 // the architecture was built without WithOptimizer.
@@ -478,16 +537,16 @@ func (a *Architecture) Optimize() []OptimizerTaskResult {
 }
 
 // Deployments lists all deployments.
-func (a *Architecture) Deployments() []*Deployment { return a.orch.Deployments() }
+func (a *Architecture) Deployments() []*Deployment { return a.sh.Deployments() }
 
 // Deployment returns one deployment, or nil.
-func (a *Architecture) Deployment(id DeploymentID) *Deployment { return a.orch.Deployment(id) }
+func (a *Architecture) Deployment(id DeploymentID) *Deployment { return a.sh.Deployment(id) }
 
 // MeasureDeployment replays n representative flows of the deployment
 // through the flow simulator and returns the measured aggregate
 // (hops, O/E/O conversions, energy, latency).
 func (a *Architecture) MeasureDeployment(id DeploymentID, n int) (FlowResult, error) {
-	dep := a.orch.Deployment(id)
+	dep := a.sh.Deployment(id)
 	if dep == nil {
 		return FlowResult{}, fmt.Errorf("alvc: measure: unknown deployment %d", id)
 	}
@@ -521,7 +580,7 @@ func (a *Architecture) MeasureDeployment(id DeploymentID, n int) (FlowResult, er
 	}
 	// Credit the flow-table counters like a switch would (OpenFlow
 	// statistics): each replayed flow hits every rule on its path once.
-	a.orch.Controller().RecordHits(dep.FlowKey(), int64(n))
+	a.sh.ControllerOf(dep.ID).RecordHits(dep.FlowKey(), int64(n))
 	return res, nil
 }
 
@@ -530,7 +589,7 @@ func (a *Architecture) MeasureDeployment(id DeploymentID, n int) (FlowResult, er
 // required" operation (§I), and the online form of Fig. 8's
 // move-into-the-optical-domain optimization.
 func (a *Architecture) MoveNF(id DeploymentID, nfIndex int, to NodeID) error {
-	return a.orch.MoveNF(id, nfIndex, to)
+	return a.sh.MoveNF(id, nfIndex, to)
 }
 
 // Summary condenses the architecture's state.
@@ -555,10 +614,10 @@ func (a *Architecture) Summarize() Summary {
 		OPSs:               stats.OPSs,
 		OptoelectronicOPSs: stats.OptoelectronicOPSs,
 		Services:           stats.Services,
-		Clusters:           len(a.alloc.VCs()),
-		InstalledRules:     a.orch.Controller().RuleCount(),
+		Clusters:           len(a.Clusters()),
+		InstalledRules:     a.sh.RuleCount(),
 	}
-	for _, dep := range a.orch.Deployments() {
+	for _, dep := range a.sh.Deployments() {
 		if dep.State == orch.StateActive {
 			s.ActiveDeployments++
 			s.TotalConversions += dep.Conversions

@@ -67,7 +67,30 @@ func run() int {
 	resilienceMode := flag.Bool("resilience", false, "resilience-bench mode: compare standby-swap vs cold-repath recovery and rack-event batching")
 	optimizerMode := flag.Bool("optimizer", false, "optimizer-bench mode: inline vs async re-protection at 12/25/50 chains and lambda-defrag before/after")
 	pathMode := flag.Bool("path", false, "path-bench mode: routing fast path ns/op + allocs/op, cold graph rebuild vs epoch-cached snapshot")
+	scaleMode := flag.Bool("scale", false, "scale-bench mode: provision+repair a tenant fleet (-chains) across shard counts 1/4/16")
 	flag.Parse()
+
+	if *scaleMode {
+		report, err := runScaleBench(*repairChains)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %v\n", err)
+			return 1
+		}
+		printScaleReport(report)
+		if *emitJSON {
+			path := filepath.Join(*outDir, "BENCH_scale.json")
+			if err := writeJSONFile(path, report); err != nil {
+				fmt.Fprintf(os.Stderr, "alvc-bench: write %s: %v\n", path, err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if v := scaleViolations(report); v > 0 {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %d scale contract violations\n", v)
+			return 2
+		}
+		return 0
+	}
 
 	if *pathMode {
 		report, err := runPathBench()

@@ -48,6 +48,8 @@ func run() int {
 	dualHome := flag.Float64("dual-home", 0.25, "fraction of PMs wired to a second ToR (1.0 lets every chain plan a disjoint standby)")
 	seed := flag.Int64("seed", 1, "topology generator seed")
 	wavelengths := flag.Int("wavelengths", 0, "WDM wavelengths per optical link (0 disables)")
+	shards := flag.Int("shards", 1, "orchestrator shards (tenant-hashed; each shard owns a disjoint OPS pool)")
+	shardMode := flag.String("shard-mode", "tenant", "shard routing key: tenant or chain")
 	workers := flag.Int("batch-workers", 0, "max workers per batch provision (0 = one per CPU)")
 	perRun := flag.Bool("per-run-accounting", false, "use colocation-aware per-run O/E/O accounting")
 	optimize := flag.Bool("optimizer", true, "run the background optimization engine (async re-protection, standby refresh, re-homing, lambda defrag)")
@@ -71,6 +73,18 @@ func run() int {
 	var opts []alvc.Option
 	if *wavelengths > 0 {
 		opts = append(opts, alvc.WithWavelengths(*wavelengths))
+	}
+	if *shards > 1 {
+		opts = append(opts, alvc.WithShards(*shards))
+	}
+	switch *shardMode {
+	case "tenant":
+		// default routing key; nothing to set
+	case "chain":
+		opts = append(opts, alvc.WithShardMode(alvc.ShardByChain))
+	default:
+		logger.Printf("unknown -shard-mode %q (want tenant or chain)", *shardMode)
+		return 1
 	}
 	if *workers > 0 {
 		opts = append(opts, alvc.WithBatchWorkers(*workers))
@@ -137,8 +151,8 @@ func run() int {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	sum := arch.Summarize()
-	fmt.Printf("alvc-server listening on %s (%d PMs, %d VMs, %d OPSs, %d services)\n",
-		*addr, sum.PMs, sum.VMs, sum.OPSs, sum.Services)
+	fmt.Printf("alvc-server listening on %s (%d PMs, %d VMs, %d OPSs, %d services, %d shards)\n",
+		*addr, sum.PMs, sum.VMs, sum.OPSs, sum.Services, arch.ShardCount())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

@@ -45,11 +45,23 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
-// UnmarshalJSON parses and validates a spec.
+// DefaultTenant is the tenant assigned to wire-format specs that omit
+// the optional "tenant" field. Constructed specs (Linear) still require
+// an explicit tenant; only the JSON surface treats it as optional.
+const DefaultTenant = "default"
+
+// UnmarshalJSON parses and validates a spec. The tenant field is
+// optional on the wire: an absent or empty tenant resolves to
+// DefaultTenant before validation, so single-tenant API clients don't
+// need to invent one (flow keys and shard routing still see a concrete
+// tenant).
 func (s *Spec) UnmarshalJSON(data []byte) error {
 	var in jsonSpec
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("chain: parse spec: %w", err)
+	}
+	if in.Tenant == "" {
+		in.Tenant = DefaultTenant
 	}
 	out := Spec{
 		Name:          in.Name,

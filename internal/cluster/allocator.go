@@ -31,23 +31,82 @@ type Allocator struct {
 	vcs      map[VCID]*VC
 	opsOwner map[topology.NodeID]VCID
 	nextID   VCID
+	// pool, when non-nil, restricts this allocator to a subset of the
+	// topology's OPSs: availableLocked only offers pool members, so AL
+	// construction (the vertex-cover search under mu) works on a smaller
+	// candidate set and two allocators with disjoint pools never contend
+	// on membership. Orchestrator shards use this to partition the OPS
+	// space. nil means the whole topology.
+	pool map[topology.NodeID]bool
+	// poolIDs is the candidate OPS list availableLocked iterates: the
+	// pool members, or every OPS of the topology when unrestricted. The
+	// OPS population is fixed after topology generation, so caching it
+	// here keeps per-allocation cost proportional to the pool, not the
+	// fabric.
+	poolIDs []topology.NodeID
 }
 
 // NewAllocator returns an allocator building ALs with the given
 // builder over the given topology.
 func NewAllocator(topo *topology.Topology, builder Builder) (*Allocator, error) {
+	return NewRestrictedAllocator(topo, builder, nil)
+}
+
+// NewRestrictedAllocator returns an allocator that only claims OPSs
+// from the given pool. A nil pool means every OPS in the topology; an
+// empty (non-nil) pool is rejected since no AL could ever be built.
+func NewRestrictedAllocator(topo *topology.Topology, builder Builder, pool []topology.NodeID) (*Allocator, error) {
 	if topo == nil {
 		return nil, fmt.Errorf("cluster: allocator: nil topology")
 	}
 	if builder == nil {
 		return nil, fmt.Errorf("cluster: allocator: nil builder")
 	}
-	return &Allocator{
+	a := &Allocator{
 		topo:     topo,
 		builder:  builder,
 		vcs:      make(map[VCID]*VC),
 		opsOwner: make(map[topology.NodeID]VCID),
-	}, nil
+	}
+	if pool != nil {
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("cluster: allocator: empty OPS pool")
+		}
+		a.pool = make(map[topology.NodeID]bool, len(pool))
+		for _, ops := range pool {
+			n := a.topo.Node(ops)
+			if n == nil || n.Kind != topology.KindOPS {
+				return nil, fmt.Errorf("cluster: allocator: pool node %d is not an OPS", ops)
+			}
+			if !a.pool[ops] {
+				a.pool[ops] = true
+				a.poolIDs = append(a.poolIDs, ops)
+			}
+		}
+		sort.Slice(a.poolIDs, func(i, j int) bool { return a.poolIDs[i] < a.poolIDs[j] })
+	} else {
+		for _, n := range topo.Nodes(topology.KindOPS) {
+			a.poolIDs = append(a.poolIDs, n.ID)
+		}
+	}
+	return a, nil
+}
+
+// PoolSize returns the number of OPSs this allocator may claim (the
+// whole topology when unrestricted).
+func (a *Allocator) PoolSize() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.poolIDs)
+}
+
+// Pool returns the restriction set this allocator was built with, or
+// nil when it may claim any OPS. The returned map is the allocator's
+// own (it is immutable after construction) — callers must treat it as
+// read-only. Orchestrator shards pass it to path planners so standby
+// routes stay inside the shard's partition.
+func (a *Allocator) Pool() map[topology.NodeID]bool {
+	return a.pool
 }
 
 // AvailableOPS returns the set of OPSs not owned by any AL.
@@ -58,10 +117,10 @@ func (a *Allocator) AvailableOPS() map[topology.NodeID]bool {
 }
 
 func (a *Allocator) availableLocked() map[topology.NodeID]bool {
-	avail := make(map[topology.NodeID]bool)
-	for _, n := range a.topo.Nodes(topology.KindOPS) {
-		if _, owned := a.opsOwner[n.ID]; !owned {
-			avail[n.ID] = true
+	avail := make(map[topology.NodeID]bool, len(a.poolIDs)-len(a.opsOwner))
+	for _, id := range a.poolIDs {
+		if _, owned := a.opsOwner[id]; !owned {
+			avail[id] = true
 		}
 	}
 	return avail

@@ -139,9 +139,18 @@ func (p PaperBuilder) Build(topo *topology.Topology, vms []topology.NodeID, allo
 	if err != nil {
 		return AL{}, err
 	}
-	// Outgoing connections of a ToR: its OPS uplinks.
+	// Outgoing connections of a ToR: its OPS uplinks. Memoized — the
+	// cover loop re-evaluates weights every iteration, and counting a
+	// ToR's uplinks walks its whole adjacency (one link per core OPS in
+	// wide fabrics).
+	torOutMemo := make(map[graph.VertexID]float64)
 	torOut := func(r graph.VertexID) float64 {
-		return float64(len(topo.OPSsOfToR(topology.NodeID(r))))
+		if w, ok := torOutMemo[r]; ok {
+			return w
+		}
+		w := float64(len(topo.OPSsOfToR(topology.NodeID(r))))
+		torOutMemo[r] = w
+		return w
 	}
 	var torsV []graph.VertexID
 	if p.StaticWeight {
@@ -159,14 +168,20 @@ func (p PaperBuilder) Build(topo *topology.Topology, vms []topology.NodeID, allo
 	if err != nil {
 		return AL{}, err
 	}
-	// Outgoing connections of an OPS: its optical-mesh degree.
+	// Outgoing connections of an OPS: its optical-mesh degree. Memoized
+	// for the same reason as torOut.
+	opsOutMemo := make(map[graph.VertexID]float64)
 	opsOut := func(r graph.VertexID) float64 {
+		if w, ok := opsOutMemo[r]; ok {
+			return w
+		}
 		deg := 0
 		for _, l := range topo.LinksOf(topology.NodeID(r)) {
 			if l.Kind == topology.LinkOptical {
 				deg++
 			}
 		}
+		opsOutMemo[r] = float64(deg)
 		return float64(deg)
 	}
 	var opsV []graph.VertexID

@@ -136,10 +136,19 @@ type frozenScratch struct {
 	done []bool
 	heap []frozenItem
 
+	// allow is the densified Filter for the current search: admitted
+	// vertices by dense index, valid when hasAllow. A search evaluates
+	// the filter once per vertex instead of once per relaxed edge, and
+	// Yen's spur searches — many Dijkstras sharing one filter — reuse it.
+	allow    []bool
+	hasAllow bool
+
 	// Yen's spur state: banned vertices (root-path prefix) and banned
-	// directed arcs (previously used deviations), reset per spur.
+	// directed arcs (previously used deviations), reset per spur. The
+	// arc bans are a handful of entries probed on every relaxed edge, so
+	// a linear scan over packed arcs beats a map hash.
 	banVertex []bool
-	banEdge   map[int64]bool
+	banArcs   []int64
 }
 
 var frozenScratchPool = sync.Pool{
@@ -154,13 +163,30 @@ func (f *Frozen) getScratch() *frozenScratch {
 		s.prev = make([]int32, n)
 		s.done = make([]bool, n)
 		s.banVertex = make([]bool, n)
+		s.allow = make([]bool, n)
 	}
 	s.dist = s.dist[:n]
 	s.prev = s.prev[:n]
 	s.done = s.done[:n]
 	s.banVertex = s.banVertex[:n]
+	s.allow = s.allow[:n]
+	s.hasAllow = false
 	s.heap = s.heap[:0]
 	return s
+}
+
+// densifyFilter evaluates filter once per vertex into s.allow, so the
+// relaxation loop tests a slice index instead of calling a closure per
+// edge. A nil filter leaves hasAllow false (admit all).
+func (f *Frozen) densifyFilter(filter Filter, s *frozenScratch) {
+	if filter == nil {
+		s.hasAllow = false
+		return
+	}
+	for i, id := range f.ids {
+		s.allow[i] = filter(id)
+	}
+	s.hasAllow = true
 }
 
 func putScratch(s *frozenScratch) { frozenScratchPool.Put(s) }
@@ -223,13 +249,14 @@ func frozenLess(a, b frozenItem) bool {
 }
 
 // dijkstra runs a single-source search from src, stopping early once
-// dst is settled (pass dst = -1 for a full sweep). filter masks
-// vertices; the scratch ban sets mask Yen's spur removals. Results land
-// in s.dist / s.prev.
-func (f *Frozen) dijkstra(src, dst int32, filter Filter, useBans bool, s *frozenScratch) {
+// dst is settled (pass dst = -1 for a full sweep). The scratch's
+// densified allow mask filters vertices; the ban sets mask Yen's spur
+// removals. Results land in s.dist / s.prev.
+func (f *Frozen) dijkstra(src, dst int32, useBans bool, s *frozenScratch) {
 	s.resetSearch()
 	s.dist[src] = 0
 	s.heapPush(frozenItem{dist: 0, idx: src})
+	hasAllow := s.hasAllow
 	for len(s.heap) > 0 {
 		it := s.heapPop()
 		u := it.idx
@@ -242,14 +269,14 @@ func (f *Frozen) dijkstra(src, dst int32, filter Filter, useBans bool, s *frozen
 		}
 		for e := f.offsets[u]; e < f.offsets[u+1]; e++ {
 			v := f.targets[e]
-			if filter != nil && !filter(f.ids[v]) {
+			if hasAllow && !s.allow[v] {
 				continue
 			}
 			if useBans {
 				if s.banVertex[v] {
 					continue
 				}
-				if len(s.banEdge) > 0 && s.banEdge[packArc(u, v)] {
+				if bannedArc(s.banArcs, packArc(u, v)) {
 					continue
 				}
 			}
@@ -261,6 +288,18 @@ func (f *Frozen) dijkstra(src, dst int32, filter Filter, useBans bool, s *frozen
 			}
 		}
 	}
+}
+
+// bannedArc reports whether the packed arc is in the spur's ban list —
+// a linear scan, since Yen bans at most a handful of deviating arcs per
+// spur and the probe runs on every relaxed edge.
+func bannedArc(bans []int64, arc int64) bool {
+	for _, b := range bans {
+		if b == arc {
+			return true
+		}
+	}
+	return false
 }
 
 func packArc(u, v int32) int64 { return int64(u)<<32 | int64(uint32(v)) }
@@ -305,7 +344,8 @@ func (f *Frozen) ShortestPathFiltered(src, dst VertexID, filter Filter) ([]Verte
 	}
 	s := f.getScratch()
 	defer putScratch(s)
-	f.dijkstra(si, di, filter, false, s)
+	f.densifyFilter(filter, s)
+	f.dijkstra(si, di, false, s)
 	if math.IsInf(s.dist[di], 1) {
 		return nil, 0, fmt.Errorf("%w from %d to %d", ErrNoPath, src, dst)
 	}
@@ -324,7 +364,8 @@ func (f *Frozen) Distances(src VertexID, filter Filter) (map[VertexID]float64, e
 	}
 	s := f.getScratch()
 	defer putScratch(s)
-	f.dijkstra(si, -1, filter, false, s)
+	f.densifyFilter(filter, s)
+	f.dijkstra(si, -1, false, s)
 	out := make(map[VertexID]float64)
 	for i, d := range s.dist {
 		if !math.IsInf(d, 1) {
@@ -401,9 +442,7 @@ func (f *Frozen) KShortestPathsFiltered(src, dst VertexID, k int, filter Filter)
 	var candidates []cand
 	s := f.getScratch()
 	defer putScratch(s)
-	if s.banEdge == nil {
-		s.banEdge = make(map[int64]bool)
-	}
+	f.densifyFilter(filter, s)
 	for len(paths) < k {
 		last := paths[len(paths)-1]
 		for i := 0; i < len(last)-1; i++ {
@@ -413,9 +452,7 @@ func (f *Frozen) KShortestPathsFiltered(src, dst VertexID, k int, filter Filter)
 			// accepted path sharing this root and the root's interior
 			// vertices — the Frozen stand-in for Clone+removeEdge+
 			// removeVertex.
-			for key := range s.banEdge {
-				delete(s.banEdge, key)
-			}
+			s.banArcs = s.banArcs[:0]
 			for _, p := range paths {
 				if len(p) > i && equalPath(p[:i+1], rootPath) {
 					f.banArc(s, p[i], p[i+1])
@@ -425,7 +462,7 @@ func (f *Frozen) KShortestPathsFiltered(src, dst VertexID, k int, filter Filter)
 				s.banVertex[f.index[v]] = true
 			}
 			si := f.index[spur]
-			f.dijkstra(si, di, filter, true, s)
+			f.dijkstra(si, di, true, s)
 			ok := !math.IsInf(s.dist[di], 1)
 			var spurPath []VertexID
 			if ok {
@@ -487,9 +524,9 @@ func (f *Frozen) banArc(s *frozenScratch, u, v VertexID) {
 	if !ok {
 		return
 	}
-	s.banEdge[packArc(ui, vi)] = true
+	s.banArcs = append(s.banArcs, packArc(ui, vi))
 	if !f.directed {
-		s.banEdge[packArc(vi, ui)] = true
+		s.banArcs = append(s.banArcs, packArc(vi, ui))
 	}
 }
 

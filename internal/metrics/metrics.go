@@ -10,12 +10,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
-// Counter is a concurrency-safe monotonic counter.
+// Counter is a concurrency-safe monotonic counter. Lock-free: counters
+// sit on hot paths (per-shard provisioning loops, repair fan-outs) where
+// a mutex per increment would serialize exactly the work being counted.
 type Counter struct {
-	mu sync.Mutex
-	n  int64
+	n atomic.Int64
 }
 
 // Add increments the counter by delta (which must be non-negative).
@@ -23,9 +25,7 @@ func (c *Counter) Add(delta int64) {
 	if delta < 0 {
 		return
 	}
-	c.mu.Lock()
-	c.n += delta
-	c.mu.Unlock()
+	c.n.Add(delta)
 }
 
 // Inc increments the counter by one.
@@ -33,9 +33,7 @@ func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
+	return c.n.Load()
 }
 
 // Summary accumulates float64 samples and reports order statistics.

@@ -36,7 +36,28 @@ import (
 	"time"
 
 	"github.com/alvc/alvc/internal/orch"
+	"github.com/alvc/alvc/internal/resilience"
 )
+
+// Target is the orchestration surface the engine optimizes against:
+// the fleet sweep plus the three maintenance verbs. Both a standalone
+// *orch.Orchestrator and the sharded *orch.Sharded facade satisfy it,
+// so one engine serves either.
+type Target interface {
+	Deployments() []*orch.Deployment
+	ReProtect(id orch.DeploymentID) (*resilience.Standby, bool, error)
+	Rehome(id orch.DeploymentID, margin int) (bool, error)
+	DefragLambda(id orch.DeploymentID) (from, to int, retuned bool, err error)
+}
+
+// shardedTarget is the optional routing surface a sharded target
+// exposes. When the target implements it with more than one shard, the
+// engine keeps one work queue per shard so enqueues from different
+// shards' repair fan-outs never contend on a single queue lock.
+type shardedTarget interface {
+	Shards() int
+	ShardOf(id orch.DeploymentID) int
+}
 
 // TaskKind names one maintenance task type. Smaller is higher
 // priority: protection before placement, placement before cosmetics.
@@ -132,10 +153,13 @@ type TaskResult struct {
 
 // Status is the engine's observable state.
 type Status struct {
-	Paused     bool                 `json:"paused"`
-	QueueDepth int                  `json:"queue_depth"`
-	Running    int                  `json:"running"`
-	Kinds      map[string]KindStats `json:"kinds"`
+	Paused     bool `json:"paused"`
+	QueueDepth int  `json:"queue_depth"`
+	// ShardDepths is the queued task count per shard queue, in shard
+	// order (one element on an unsharded target).
+	ShardDepths []int                `json:"shard_depths,omitempty"`
+	Running     int                  `json:"running"`
+	Kinds       map[string]KindStats `json:"kinds"`
 	// LastResults lists the most recent task outcomes, oldest first.
 	LastResults []TaskResult `json:"last_results"`
 }
@@ -150,18 +174,30 @@ type task struct {
 	attempts int
 }
 
-// Engine is the background optimization engine over one orchestrator.
-// It implements orch.EventSink; attach it with
-// Orchestrator.SetEventSink (the alvc facade's WithOptimizer does
+// shardQueue is one shard's deduplicating priority queue. Each queue
+// has its own lock so concurrent repair fan-outs on different shards
+// enqueue without contending; the engine-wide mutex only covers stats,
+// the depth counter and the dispatcher's condition variable.
+type shardQueue struct {
+	mu     sync.Mutex
+	queued map[taskKey]bool
+	order  [numKinds][]task
+}
+
+// Engine is the background optimization engine over one orchestration
+// target (a standalone orchestrator or the sharded facade, with one
+// queue per shard in the latter case). It implements orch.EventSink;
+// attach it with SetEventSink (the alvc facade's WithOptimizer does
 // this). Safe for concurrent use.
 type Engine struct {
-	o    *orch.Orchestrator
-	opts Options
+	o       Target
+	opts    Options
+	shardOf func(orch.DeploymentID) int
+	queues  []*shardQueue
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queued  map[taskKey]bool
-	order   [numKinds][]task
+	depth   int // queued tasks across all shard queues
 	paused  bool
 	running int
 	stats   [numKinds]KindStats
@@ -172,19 +208,34 @@ type Engine struct {
 	loopWG sync.WaitGroup
 }
 
-// New builds an engine over the orchestrator. The caller wires it as
-// the orchestrator's event sink and, for daemon use, calls Start.
-func New(o *orch.Orchestrator, opts Options) (*Engine, error) {
+// New builds an engine over the target. The caller wires it as the
+// orchestrator's event sink and, for daemon use, calls Start.
+func New(o Target, opts Options) (*Engine, error) {
 	if o == nil {
 		return nil, fmt.Errorf("optimizer: nil orchestrator")
 	}
+	shards := 1
+	shardOf := func(orch.DeploymentID) int { return 0 }
+	if st, ok := o.(shardedTarget); ok && st.Shards() > 1 {
+		shards = st.Shards()
+		shardOf = st.ShardOf
+	}
 	e := &Engine{
-		o:      o,
-		opts:   opts.withDefaults(),
-		queued: make(map[taskKey]bool),
+		o:       o,
+		opts:    opts.withDefaults(),
+		shardOf: shardOf,
+		queues:  make([]*shardQueue, shards),
+	}
+	for i := range e.queues {
+		e.queues[i] = &shardQueue{queued: make(map[taskKey]bool)}
 	}
 	e.cond = sync.NewCond(&e.mu)
 	return e, nil
+}
+
+// queueFor returns the shard queue owning the deployment's tasks.
+func (e *Engine) queueFor(dep orch.DeploymentID) *shardQueue {
+	return e.queues[e.shardOf(dep)]
 }
 
 // OrchEvent implements orch.EventSink: it translates lifecycle events
@@ -235,14 +286,25 @@ func (e *Engine) enqueue(t task) bool {
 	if t.key.kind < 0 || t.key.kind >= numKinds {
 		return false
 	}
+	q := e.queueFor(t.key.dep)
+	q.mu.Lock()
+	dup := q.queued[t.key]
+	if !dup {
+		q.queued[t.key] = true
+		q.order[t.key.kind] = append(q.order[t.key.kind], t)
+	}
+	q.mu.Unlock()
+	// Stats, the global depth and the dispatcher wake-up live under the
+	// engine lock, taken after the queue lock is released — the two are
+	// never nested in this direction, so no ordering cycle with the
+	// dispatcher (which nests e.mu → q.mu via queue drains).
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.queued[t.key] {
+	if dup {
 		e.stats[t.key.kind].Deduped++
 		return false
 	}
-	e.queued[t.key] = true
-	e.order[t.key.kind] = append(e.order[t.key.kind], t)
+	e.depth++
 	if t.attempts == 0 {
 		e.stats[t.key.kind].Enqueued++
 	}
@@ -254,21 +316,31 @@ func (e *Engine) enqueue(t task) bool {
 // the work is moot). Tasks already executing observe the deletion
 // themselves through the orchestrator's state errors.
 func (e *Engine) Cancel(dep orch.DeploymentID) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	q := e.queueFor(dep)
+	var dropped [numKinds]int
 	n := 0
+	q.mu.Lock()
 	for kind := TaskKind(0); kind < numKinds; kind++ {
-		kept := e.order[kind][:0]
-		for _, t := range e.order[kind] {
+		kept := q.order[kind][:0]
+		for _, t := range q.order[kind] {
 			if t.key.dep == dep {
-				delete(e.queued, t.key)
-				e.stats[kind].Cancelled++
+				delete(q.queued, t.key)
+				dropped[kind]++
 				n++
 				continue
 			}
 			kept = append(kept, t)
 		}
-		e.order[kind] = kept
+		q.order[kind] = kept
+	}
+	q.mu.Unlock()
+	if n > 0 {
+		e.mu.Lock()
+		e.depth -= n
+		for kind := TaskKind(0); kind < numKinds; kind++ {
+			e.stats[kind].Cancelled += dropped[kind]
+		}
+		e.mu.Unlock()
 	}
 	return n
 }
@@ -297,45 +369,47 @@ func (e *Engine) Paused() bool {
 	return e.paused
 }
 
-// QueueDepth returns the number of queued (not yet executing) tasks.
+// QueueDepth returns the number of queued (not yet executing) tasks
+// across all shard queues.
 func (e *Engine) QueueDepth() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.queued)
+	return e.depth
 }
 
-// pop removes and returns the highest-priority queued task.
-func (e *Engine) pop() (task, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.popLocked()
-}
-
-func (e *Engine) popLocked() (task, bool) {
-	for kind := TaskKind(0); kind < numKinds; kind++ {
-		if len(e.order[kind]) == 0 {
-			continue
-		}
-		t := e.order[kind][0]
-		e.order[kind] = e.order[kind][1:]
-		delete(e.queued, t.key)
-		return t, true
+// ShardQueueDepths returns the queued task count per shard queue, in
+// shard order (a single-element slice on an unsharded target).
+func (e *Engine) ShardQueueDepths() []int {
+	out := make([]int, len(e.queues))
+	for i, q := range e.queues {
+		q.mu.Lock()
+		out[i] = len(q.queued)
+		q.mu.Unlock()
 	}
-	return task{}, false
+	return out
 }
 
-// popBatch removes every queued task, highest priority first.
+// popBatch removes every queued task, highest priority first (kind
+// order dominates; within a kind, shard order then FIFO).
 func (e *Engine) popBatch() []task {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	var out []task
-	for {
-		t, ok := e.popLocked()
-		if !ok {
-			return out
+	for kind := TaskKind(0); kind < numKinds; kind++ {
+		for _, q := range e.queues {
+			q.mu.Lock()
+			for _, t := range q.order[kind] {
+				delete(q.queued, t.key)
+				out = append(out, t)
+			}
+			q.order[kind] = nil
+			q.mu.Unlock()
 		}
-		out = append(out, t)
 	}
+	if len(out) > 0 {
+		e.mu.Lock()
+		e.depth -= len(out)
+		e.mu.Unlock()
+	}
+	return out
 }
 
 // Tick is the idle-tick event source: it sweeps the fleet and queues
@@ -537,7 +611,7 @@ func (e *Engine) Start(tickEvery time.Duration) error {
 		defer e.loopWG.Done()
 		for {
 			e.mu.Lock()
-			for (e.paused || len(e.queued) == 0) && !stopped(stop) {
+			for (e.paused || e.depth == 0) && !stopped(stop) {
 				e.cond.Wait()
 			}
 			e.mu.Unlock()
@@ -598,11 +672,13 @@ func (e *Engine) Stop() {
 
 // Status snapshots the engine's observable state.
 func (e *Engine) Status() Status {
+	shardDepths := e.ShardQueueDepths()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := Status{
 		Paused:      e.paused,
-		QueueDepth:  len(e.queued),
+		QueueDepth:  e.depth,
+		ShardDepths: shardDepths,
 		Running:     e.running,
 		Kinds:       make(map[string]KindStats, numKinds),
 		LastResults: append([]TaskResult(nil), e.results...),

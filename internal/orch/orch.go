@@ -171,33 +171,120 @@ type Config struct {
 // the topology has one, small enough to keep provisioning cheap.
 const DefaultStandbyK = 4
 
-// Orchestrator coordinates the cluster allocator, slice manager,
-// Cloud/NFV manager and SDN controller. Safe for concurrent use.
-type Orchestrator struct {
-	mu sync.Mutex
-
+// sharedCore is the state every orchestrator shard reads and writes
+// through the same instance: the physical topology and its mutation
+// lock, the capacity ledger (Cloud/NFV manager), the optical slice
+// manager (the optical-layer one-OPS-one-slice check must stay global),
+// the wavelength allocator (per-link λ occupancy is physical truth),
+// and the configuration knobs. Per-shard state — deployment maps,
+// reverse indexes, flow-key reservations, busy guards, the OPS-pool-
+// restricted cluster allocator and the SDN flow tables — lives on each
+// Orchestrator; a single-orchestrator deployment is simply one shard
+// owning the whole pool.
+type sharedCore struct {
 	// topoMu serializes topology mutations (node up/down transitions)
 	// against the provisioning pipeline, which reads liveness bits all
 	// over (VM filtering, path computation, VNF host checks). Readers —
 	// buildChain, MoveNF — hold RLock; SetNodeDown holds Lock. Kept
-	// separate from mu so long builds never block deployment lookups.
+	// separate from the per-shard mu so long builds never block
+	// deployment lookups, and shared across shards so one shard's
+	// failure handling is visible to every shard's pipeline.
 	topoMu sync.RWMutex
 
 	topo      *topology.Topology
-	alloc     *cluster.Allocator
 	slices    *optical.SliceManager
 	mgr       *nfv.Manager
-	ctrl      *sdn.Controller
 	wdm       *optical.WDM
 	policy    placement.Policy
 	mode      placement.Mode
 	costModel optical.CostModel
 
+	// standbyK is the Yen's search width for standby planning
+	// (non-positive: disabled).
+	standbyK int
+
+	// vmIdx caches the live VMs offering each service (see liveVMs).
+	// Shared: liveness transitions invalidate it for every shard at
+	// once.
+	vmIdx vmIndex
+}
+
+// newSharedCore builds the cross-shard substrate from a Config.
+func newSharedCore(cfg Config) (*sharedCore, error) {
+	policy := cfg.Policy
+	if policy == nil {
+		policy = placement.OpticalFirst{}
+	}
+	mode := cfg.Mode
+	if mode == 0 {
+		mode = placement.AccountPerVNF
+	}
+	model := optical.DefaultCostModel()
+	if cfg.CostModel != nil {
+		model = *cfg.CostModel
+	}
+	slices, err := optical.NewSliceManager(cfg.Topo)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := nfv.NewManager(cfg.Topo)
+	if err != nil {
+		return nil, err
+	}
+	var wdm *optical.WDM
+	if cfg.Wavelengths > 0 {
+		wdm, err = optical.NewWDM(cfg.Wavelengths)
+		if err != nil {
+			return nil, err
+		}
+	}
+	standbyK := cfg.StandbyK
+	if standbyK == 0 {
+		standbyK = DefaultStandbyK
+	}
+	if standbyK < 0 {
+		standbyK = 0 // disabled
+	}
+	return &sharedCore{
+		topo:      cfg.Topo,
+		slices:    slices,
+		mgr:       mgr,
+		wdm:       wdm,
+		policy:    policy,
+		mode:      mode,
+		costModel: model,
+		standbyK:  standbyK,
+	}, nil
+}
+
+// Orchestrator coordinates the cluster allocator, slice manager,
+// Cloud/NFV manager and SDN controller for the deployments it owns.
+// Safe for concurrent use. A standalone orchestrator (New) is a single
+// shard owning every OPS; NewSharded stands up N of them over one
+// sharedCore with partitioned OPS pools and strided deployment IDs.
+type Orchestrator struct {
+	*sharedCore
+
+	mu sync.Mutex
+
+	// shard/idStride identify this orchestrator inside a Sharded router:
+	// shard s of n issues deployment IDs s+1, s+1+n, s+1+2n, … so the
+	// owning shard of any ID is (id-1) mod n — no shared ID allocator,
+	// no cross-shard lookup. A standalone orchestrator is shard 0 with
+	// stride 1 (IDs 1,2,3,… exactly as before).
+	shard    int
+	idStride DeploymentID
+
+	alloc *cluster.Allocator
+	ctrl  *sdn.Controller
+
 	deployments map[DeploymentID]*Deployment
 	// flowKeys maps each active (or being-provisioned) chain's flow key
 	// to its deployment, reserving the SDN flow-table and WDM namespace:
 	// two live chains must never share a key (Delete of one would strip
-	// the other's rules).
+	// the other's rules). Per-shard: the router sends every spec with
+	// the same flow key to the same shard, so a per-shard map is a
+	// global uniqueness check.
 	flowKeys map[string]DeploymentID
 	// busy marks deployments with an exclusive operation (repair, move,
 	// delete, upgrade, scale) in flight, so those verbs cannot
@@ -216,17 +303,10 @@ type Orchestrator struct {
 	// Guarded by mu.
 	linkIndex map[topology.LinkID]map[DeploymentID]struct{}
 
-	// standbyK is the Yen's search width for standby planning
-	// (non-positive: disabled).
-	standbyK int
-
 	// sink receives lifecycle events (events.go). Non-nil also means
 	// repairs defer standby replanning to the background optimizer.
 	// Guarded by mu.
 	sink EventSink
-
-	// vmIdx caches the live VMs offering each service (see liveVMs).
-	vmIdx vmIndex
 }
 
 // vmIndex caches the liveness-filtered service → VM grouping so the
@@ -240,78 +320,52 @@ type vmIndex struct {
 	byService map[string][]topology.NodeID
 }
 
-// New builds an orchestrator over the given topology.
+// New builds a standalone orchestrator over the given topology: a
+// single shard (stride 1) owning the entire OPS pool.
 func New(cfg Config) (*Orchestrator, error) {
 	if cfg.Topo == nil {
 		return nil, fmt.Errorf("orch: nil topology")
 	}
-	builder := cfg.Builder
-	if builder == nil {
-		builder = cluster.PaperBuilder{}
-	}
-	policy := cfg.Policy
-	if policy == nil {
-		policy = placement.OpticalFirst{}
-	}
-	mode := cfg.Mode
-	if mode == 0 {
-		mode = placement.AccountPerVNF
-	}
-	model := optical.DefaultCostModel()
-	if cfg.CostModel != nil {
-		model = *cfg.CostModel
+	core, err := newSharedCore(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("orch: %w", err)
 	}
 	alloc := cfg.Allocator
 	if alloc == nil {
-		var err error
+		builder := cfg.Builder
+		if builder == nil {
+			builder = cluster.PaperBuilder{}
+		}
 		alloc, err = cluster.NewAllocator(cfg.Topo, builder)
 		if err != nil {
 			return nil, fmt.Errorf("orch: %w", err)
 		}
 	}
-	slices, err := optical.NewSliceManager(cfg.Topo)
-	if err != nil {
-		return nil, fmt.Errorf("orch: %w", err)
-	}
-	mgr, err := nfv.NewManager(cfg.Topo)
-	if err != nil {
-		return nil, fmt.Errorf("orch: %w", err)
-	}
 	ctrl, err := sdn.NewController(cfg.Topo)
 	if err != nil {
 		return nil, fmt.Errorf("orch: %w", err)
 	}
-	var wdm *optical.WDM
-	if cfg.Wavelengths > 0 {
-		wdm, err = optical.NewWDM(cfg.Wavelengths)
-		if err != nil {
-			return nil, fmt.Errorf("orch: %w", err)
-		}
-	}
-	standbyK := cfg.StandbyK
-	if standbyK == 0 {
-		standbyK = DefaultStandbyK
-	}
-	if standbyK < 0 {
-		standbyK = 0 // disabled
-	}
+	return newShard(core, alloc, ctrl, 0, 1), nil
+}
+
+// newShard assembles one orchestrator shard over an existing core.
+// shard is 0-based; stride is the total shard count. The first ID a
+// shard issues is shard+1, then it advances by stride, so shard ID
+// spaces never overlap and ShardRouter.ShardOf is pure arithmetic.
+func newShard(core *sharedCore, alloc *cluster.Allocator, ctrl *sdn.Controller, shard, stride int) *Orchestrator {
 	return &Orchestrator{
-		topo:        cfg.Topo,
+		sharedCore:  core,
+		shard:       shard,
+		idStride:    DeploymentID(stride),
 		alloc:       alloc,
-		slices:      slices,
-		mgr:         mgr,
 		ctrl:        ctrl,
-		wdm:         wdm,
-		policy:      policy,
-		mode:        mode,
-		costModel:   model,
-		standbyK:    standbyK,
+		nextID:      DeploymentID(shard + 1 - stride),
 		deployments: make(map[DeploymentID]*Deployment),
 		flowKeys:    make(map[string]DeploymentID),
 		busy:        make(map[DeploymentID]bool),
 		nodeIndex:   make(map[topology.NodeID]map[DeploymentID]struct{}),
 		linkIndex:   make(map[topology.LinkID]map[DeploymentID]struct{}),
-	}, nil
+	}
 }
 
 // liveVMs returns the live VMs (VM up, host PM up, and at least one
@@ -572,7 +626,7 @@ func (o *Orchestrator) Provision(spec chain.Spec) (*Deployment, error) {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	o.nextID++
+	o.nextID += o.idStride
 	dep := &Deployment{
 		ID:      o.nextID,
 		Spec:    spec,

@@ -308,7 +308,17 @@ func (p *pipeline) planStandby() error {
 		stops = append(stops, n.Host)
 	}
 	stops = append(stops, dst)
-	sb, err := resilience.PlanStandby(p.o.ctrl, p.o.topo, p.path, stops, p.slice.OPSSet(), k)
+	// A sharded orchestrator plans protection inside its own OPS
+	// partition: the slice came from the shard's pool, so the standby
+	// staying there keeps repairs shard-local and Yen's searches sized
+	// to the pool. If the pool can't protect this chain (e.g. an NF was
+	// moved onto an out-of-pool host), fall back to the whole fabric —
+	// protection beats partition purity.
+	allow := p.o.alloc.Pool()
+	sb, err := resilience.PlanStandby(p.o.ctrl, p.o.topo, p.path, stops, p.slice.OPSSet(), k, allow)
+	if err != nil && allow != nil {
+		sb, err = resilience.PlanStandby(p.o.ctrl, p.o.topo, p.path, stops, p.slice.OPSSet(), k, nil)
+	}
 	if err != nil {
 		return err
 	}

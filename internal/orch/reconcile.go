@@ -127,17 +127,32 @@ func (o *Orchestrator) HandleFailures(nodes []topology.NodeID, links []topology.
 	if len(nodes) == 0 && len(links) == 0 {
 		return nil, nil
 	}
+	dead, err := o.markFailuresDown(nodes, links)
+	if err != nil {
+		return nil, err
+	}
+	reports := o.reconcileFailures(dead)
+	o.emitRepairEvents(reports)
+	return reports, firstRepairError(reports)
+}
+
+// markFailuresDown is the topology half of HandleFailures: it validates
+// every ID, marks the nodes and links down in one write-lock
+// transaction, and returns the failure set with its shared-risk groups
+// collected. It touches only shared-core state, so under sharding it
+// runs exactly once regardless of how many shards reconcile afterwards.
+func (o *Orchestrator) markFailuresDown(nodes []topology.NodeID, links []topology.LinkID) (resilience.FailureSet, error) {
 	o.topoMu.Lock()
 	for _, n := range nodes {
 		if o.topo.Node(n) == nil {
 			o.topoMu.Unlock()
-			return nil, fmt.Errorf("orch: node failure: topology: SetNodeDown: unknown node %d", n)
+			return resilience.FailureSet{}, fmt.Errorf("orch: node failure: topology: SetNodeDown: unknown node %d", n)
 		}
 	}
 	for _, l := range links {
 		if o.topo.Link(l) == nil {
 			o.topoMu.Unlock()
-			return nil, fmt.Errorf("orch: link failure: topology: SetLinkDown: unknown link %d", l)
+			return resilience.FailureSet{}, fmt.Errorf("orch: link failure: topology: SetLinkDown: unknown link %d", l)
 		}
 	}
 	for _, n := range nodes {
@@ -156,7 +171,15 @@ func (o *Orchestrator) HandleFailures(nodes []topology.NodeID, links []topology.
 	// survivor are suspect and get replanned rather than swapped onto.
 	dead.CollectSRLGs(o.topo)
 	o.topoMu.Unlock()
+	return dead, nil
+}
 
+// reconcileFailures is the deployment half of HandleFailures: it finds
+// this orchestrator's affected active deployments through the reverse
+// indexes and repairs them concurrently over a bounded worker pool.
+// Under sharding every shard runs its own pass against the same
+// already-marked failure set.
+func (o *Orchestrator) reconcileFailures(dead resilience.FailureSet) []RepairReport {
 	affected := o.affectedBy(dead)
 	reports := make([]RepairReport, len(affected))
 	runPool(len(affected), 0, func(i int) {
@@ -168,29 +191,35 @@ func (o *Orchestrator) HandleFailures(nodes []topology.NodeID, links []topology.
 		}
 		reports[i] = rep
 	})
-	var firstErr error
-	for _, rep := range reports {
-		if firstErr != nil {
-			break
-		}
-		switch {
-		case rep.Action == ActionFailed:
-			firstErr = fmt.Errorf("orch: repair %d: %w", rep.ID, rep.Err)
-		case rep.Action == ActionSkipped && errors.Is(rep.Err, ErrBusy):
-			// The deployment stayed busy through every retry: it is
-			// still Active with a dead resource in its footprint, and the
-			// caller must know the reconciliation is incomplete.
-			firstErr = fmt.Errorf("orch: repair %d: %w", rep.ID, rep.Err)
-		}
-	}
-	// Wake the background optimizer (no locks held here): every repair
-	// may have left a consumed standby or a drifted placement behind.
+	return reports
+}
+
+// emitRepairEvents wakes the background optimizer (no locks held):
+// every successful repair may have left a consumed standby or a drifted
+// placement behind.
+func (o *Orchestrator) emitRepairEvents(reports []RepairReport) {
 	for _, rep := range reports {
 		if rep.Succeeded() {
 			o.emit(Event{Kind: EventRepairCompleted, Deployment: rep.ID, Action: rep.Action})
 		}
 	}
-	return reports, firstErr
+}
+
+// firstRepairError folds a report list to the error HandleFailures
+// surfaces: the first outright repair failure, or the first deployment
+// that stayed busy through every retry (it is still Active with a dead
+// resource in its footprint, and the caller must know the
+// reconciliation is incomplete).
+func firstRepairError(reports []RepairReport) error {
+	for _, rep := range reports {
+		switch {
+		case rep.Action == ActionFailed:
+			return fmt.Errorf("orch: repair %d: %w", rep.ID, rep.Err)
+		case rep.Action == ActionSkipped && errors.Is(rep.Err, ErrBusy):
+			return fmt.Errorf("orch: repair %d: %w", rep.ID, rep.Err)
+		}
+	}
+	return nil
 }
 
 // affectedBy returns the active deployments whose footprint intersects

@@ -1,0 +1,261 @@
+package orch
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/alvc/alvc/internal/chain"
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// shardTopo generates a fabric wide enough that four disjoint per-shard
+// OPS pools can each host several ALs: one service, deep PM capacity,
+// every ToR uplinked to every core OPS.
+func shardTopo(t *testing.T, opsCount int) *topology.Topology {
+	t.Helper()
+	cfg := topology.DefaultGenConfig()
+	cfg.Racks = 4
+	cfg.PMsPerRack = 2
+	cfg.VMsPerPM = 2
+	cfg.OPSCount = opsCount
+	cfg.ToRUplinks = opsCount
+	cfg.OPSChords = 0
+	cfg.OptoFrac = 0.6
+	cfg.Services = []string{"web"}
+	cfg.PMCapacity = topology.Resources{CPUCores: 1 << 20, MemoryGB: 1 << 20, StorageGB: 1 << 20}
+	topo, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return topo
+}
+
+func newSharded(t *testing.T, topo *topology.Topology, n int, mode ShardMode) *Sharded {
+	t.Helper()
+	s, err := NewSharded(Config{Topo: topo}, n, mode)
+	if err != nil {
+		t.Fatalf("NewSharded(%d): %v", n, err)
+	}
+	return s
+}
+
+func tenantSpec(t *testing.T, i int) chain.Spec {
+	t.Helper()
+	s, err := chain.Linear(fmt.Sprintf("c-%d", i), fmt.Sprintf("t-%d", i),
+		"web", 1, 1<<20, "firewall", "nat")
+	if err != nil {
+		t.Fatalf("Linear: %v", err)
+	}
+	return s
+}
+
+func TestShardRouterDeterministicAndStride(t *testing.T) {
+	r := NewShardRouter(4, ShardByTenant)
+	if got := r.ShardForKey("t-7", "a"); got != r.ShardForKey("t-7", "b") {
+		t.Fatalf("tenant mode hashed the name: %d vs %d", got, r.ShardForKey("t-7", "b"))
+	}
+	for i := 0; i < 100; i++ {
+		tn := fmt.Sprintf("t-%d", i)
+		if a, b := r.ShardForKey(tn, "x"), r.ShardForKey(tn, "x"); a != b {
+			t.Fatalf("routing not deterministic for %s: %d vs %d", tn, a, b)
+		}
+	}
+	rc := NewShardRouter(4, ShardByChain)
+	spread := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		spread[rc.ShardForKey("one-tenant", fmt.Sprintf("c-%d", i))] = true
+	}
+	if len(spread) < 2 {
+		t.Fatalf("chain mode kept one tenant on %d shard(s)", len(spread))
+	}
+	// ID-stride round trip: shard s of n issues IDs s+1, s+1+n, ...
+	for n := 1; n <= 16; n *= 4 {
+		rn := NewShardRouter(n, ShardByTenant)
+		for s := 0; s < n; s++ {
+			for k := 0; k < 3; k++ {
+				id := DeploymentID(s + 1 + k*n)
+				if got := rn.ShardOf(id); got != s {
+					t.Fatalf("ShardOf(%d) with %d shards = %d, want %d", id, n, got, s)
+				}
+			}
+		}
+	}
+}
+
+func TestShardedCrossShardFailureRepairsEachChainOnce(t *testing.T) {
+	const chains = 24
+	s := newSharded(t, shardTopo(t, 2*chains), 4, ShardByTenant)
+	deps := make([]*Deployment, chains)
+	for i := range deps {
+		dep, err := s.Provision(tenantSpec(t, i))
+		if err != nil {
+			t.Fatalf("Provision %d: %v", i, err)
+		}
+		deps[i] = dep
+	}
+
+	// One failure event spanning shards: the first slice OPS of one
+	// chain per shard, all killed in a single batch. Tenants hash to
+	// different shards, so the event crosses at least two of them.
+	victimOf := make(map[int]topology.NodeID)
+	for _, dep := range deps {
+		sh := s.ShardOf(dep.ID)
+		if _, ok := victimOf[sh]; !ok && len(dep.Slice.OPSs) > 0 {
+			victimOf[sh] = dep.Slice.OPSs[0]
+		}
+	}
+	if len(victimOf) < 2 {
+		t.Fatalf("fleet landed on %d shard(s); need a cross-shard event", len(victimOf))
+	}
+	var victims []topology.NodeID
+	for _, v := range victimOf {
+		victims = append(victims, v)
+	}
+
+	reports, err := s.HandleFailures(victims, nil)
+	if err != nil {
+		t.Fatalf("HandleFailures: %v", err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no chain affected by a slice-OPS batch failure")
+	}
+	// A report per affected chain, each exactly once. Chains whose
+	// primary crossed a dead OPS carry one repair; chains only touched
+	// through their standby get a replan (ActionRestandby) and no
+	// primary repair.
+	repaired := make(map[DeploymentID]bool)
+	seen := make(map[DeploymentID]bool)
+	for _, rep := range reports {
+		if seen[rep.ID] {
+			t.Fatalf("deployment %d reconciled twice in one event", rep.ID)
+		}
+		seen[rep.ID] = true
+		if !rep.Succeeded() {
+			t.Fatalf("repair of %d failed: action=%v err=%v", rep.ID, rep.Action, rep.Err)
+		}
+		if rep.Action != ActionRestandby {
+			repaired[rep.ID] = true
+		}
+	}
+	for _, dep := range deps {
+		cur := s.Deployment(dep.ID)
+		if cur == nil {
+			t.Fatalf("deployment %d vanished", dep.ID)
+		}
+		switch {
+		case repaired[dep.ID]:
+			if cur.Repairs != 1 || cur.State != StateActive {
+				t.Fatalf("affected %d: repairs=%d state=%v, want exactly one repair",
+					dep.ID, cur.Repairs, cur.State)
+			}
+		case seen[dep.ID]:
+			if cur.Repairs != 0 || cur.State != StateActive {
+				t.Fatalf("restandbied %d: repairs=%d state=%v, want untouched primary",
+					dep.ID, cur.Repairs, cur.State)
+			}
+		default:
+			if cur.Repairs != 0 || cur.Version != dep.Version {
+				t.Fatalf("untouched %d mutated: repairs=%d version=%d->%d",
+					dep.ID, cur.Repairs, dep.Version, cur.Version)
+			}
+		}
+	}
+}
+
+func TestShardedDuplicateFlowKeyRejectedAcrossShards(t *testing.T) {
+	s := newSharded(t, shardTopo(t, 32), 4, ShardByTenant)
+	spec := tenantSpec(t, 0)
+	if _, err := s.Provision(spec); err != nil {
+		t.Fatalf("first Provision: %v", err)
+	}
+	// Same flow key again, through the router: must hit the owning
+	// shard's reservation map no matter how many shards exist.
+	if _, err := s.Provision(spec); !errors.Is(err, ErrDuplicateChain) {
+		t.Fatalf("duplicate Provision error = %v, want ErrDuplicateChain", err)
+	}
+	// Batch form: intra-batch duplicates are rejected up front, and a
+	// batch echo of an already-live key is rejected by its shard.
+	dupe := tenantSpec(t, 1)
+	results := s.ProvisionBatch([]chain.Spec{dupe, dupe, spec}, 4)
+	if results[0].Err != nil {
+		t.Fatalf("batch spec 0: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("intra-batch duplicate flow key accepted")
+	}
+	if !errors.Is(results[2].Err, ErrDuplicateChain) {
+		t.Fatalf("batch re-provision of live key = %v, want ErrDuplicateChain", results[2].Err)
+	}
+}
+
+func TestShardedDeleteVsRepairRaceAcrossShards(t *testing.T) {
+	const chains = 16
+	s := newSharded(t, shardTopo(t, 2*chains), 2, ShardByTenant)
+	byShard := map[int][]*Deployment{}
+	for i := 0; i < chains; i++ {
+		dep, err := s.Provision(tenantSpec(t, i))
+		if err != nil {
+			t.Fatalf("Provision %d: %v", i, err)
+		}
+		byShard[s.ShardOf(dep.ID)] = append(byShard[s.ShardOf(dep.ID)], dep)
+	}
+	if len(byShard[0]) == 0 || len(byShard[1]) == 0 {
+		t.Fatalf("fleet not spread over both shards: %d/%d", len(byShard[0]), len(byShard[1]))
+	}
+
+	// Shard 0's chains are deleted while a batch failure event repairs
+	// shard 1's: the fan-out must not let one shard's exclusive verbs
+	// block or corrupt the other's reconciliation.
+	var victims []topology.NodeID
+	seen := map[topology.NodeID]bool{}
+	for _, dep := range byShard[1] {
+		if v := dep.Slice.OPSs[0]; !seen[v] {
+			seen[v] = true
+			victims = append(victims, v)
+		}
+	}
+	var wg sync.WaitGroup
+	var delErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, dep := range byShard[0] {
+			if err := s.Delete(dep.ID); err != nil && delErr == nil {
+				delErr = fmt.Errorf("delete %d: %w", dep.ID, err)
+			}
+		}
+	}()
+	reports, repErr := s.HandleFailures(victims, nil)
+	wg.Wait()
+	if delErr != nil {
+		t.Fatal(delErr)
+	}
+	if repErr != nil {
+		t.Fatalf("HandleFailures: %v", repErr)
+	}
+	for _, rep := range reports {
+		if s.ShardOf(rep.ID) != 1 {
+			t.Fatalf("repair report %d leaked from shard %d", rep.ID, s.ShardOf(rep.ID))
+		}
+		if !rep.Succeeded() {
+			t.Fatalf("repair of %d failed: action=%v err=%v", rep.ID, rep.Action, rep.Err)
+		}
+	}
+	for _, dep := range byShard[0] {
+		if cur := s.Deployment(dep.ID); cur == nil || cur.State != StateDeleted {
+			t.Fatalf("shard-0 deployment %d not deleted: %+v", dep.ID, cur)
+		}
+	}
+	for _, dep := range byShard[1] {
+		if cur := s.Deployment(dep.ID); cur == nil || cur.State != StateActive {
+			t.Fatalf("shard-1 deployment %d not active after repair: %+v", dep.ID, cur)
+		}
+	}
+	// Per-shard stats stay consistent with the merged view.
+	stats := s.ShardStats()
+	if stats[0].Deleted != len(byShard[0]) || stats[1].Active != len(byShard[1]) {
+		t.Fatalf("shard stats inconsistent: %+v", stats)
+	}
+}

@@ -131,12 +131,7 @@ func virtualHop(a, b *topology.Node) bool {
 
 // anyLinkBetween is LinkBetween without the liveness filter.
 func anyLinkBetween(topo *topology.Topology, a, b topology.NodeID) *topology.Link {
-	for _, l := range topo.LinksOf(a) {
-		if l.From == b || l.To == b {
-			return l
-		}
-	}
-	return nil
+	return topo.AnyLinkBetween(a, b)
 }
 
 // PathAlive reports whether every node on the path is live and every
@@ -244,7 +239,12 @@ type PathFinder interface {
 // reconciler's liveness check decides at recovery time whether it
 // survived the actual failure. An error means no alternate route
 // exists at all for some segment.
-func PlanStandby(f PathFinder, topo *topology.Topology, primary []topology.NodeID, stops []topology.NodeID, sliceOPS map[topology.NodeID]bool, k int) (*Standby, error) {
+//
+// allowOPS, when non-nil, restricts every alternative to those OPSs —
+// sharded orchestrators pass their shard's OPS pool so protection
+// routes stay inside the shard's partition and Yen's searches scale
+// with the pool, not the fabric. nil searches the whole topology.
+func PlanStandby(f PathFinder, topo *topology.Topology, primary []topology.NodeID, stops []topology.NodeID, sliceOPS map[topology.NodeID]bool, k int, allowOPS map[topology.NodeID]bool) (*Standby, error) {
 	if f == nil || topo == nil {
 		return nil, fmt.Errorf("resilience: plan standby: nil finder or topology")
 	}
@@ -320,7 +320,7 @@ func PlanStandby(f PathFinder, topo *topology.Topology, primary []topology.NodeI
 		if a == b {
 			continue
 		}
-		alts, err := f.PathAlternatives(a, b, k, nil)
+		alts, err := f.PathAlternatives(a, b, k, allowOPS)
 		if err != nil {
 			return nil, fmt.Errorf("resilience: plan standby segment %d: %w", i, err)
 		}

@@ -137,7 +137,7 @@ func TestPlanStandbyPrefersDisjoint(t *testing.T) {
 	finder := stubFinder{alts: map[string][][]topology.NodeID{
 		fmt.Sprintf("%d-%d", pm1, pm2): {primary, alt},
 	}}
-	sb, err := PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4)
+	sb, err := PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4, nil)
 	if err != nil {
 		t.Fatalf("PlanStandby: %v", err)
 	}
@@ -158,7 +158,7 @@ func TestPlanStandbyBestEffortWhenOnlyOverlappingAltExists(t *testing.T) {
 	finder := stubFinder{alts: map[string][][]topology.NodeID{
 		fmt.Sprintf("%d-%d", pm1, pm2): {primary},
 	}}
-	sb, err := PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4)
+	sb, err := PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4, nil)
 	if err != nil {
 		t.Fatalf("PlanStandby: %v", err)
 	}
@@ -171,19 +171,19 @@ func TestPlanStandbyErrors(t *testing.T) {
 	topo, pm1, pm2, tors, _ := twoRouteTopo(t)
 	primary := []topology.NodeID{pm1, tors[0][0], tors[0][1], pm2}
 	finder := stubFinder{alts: map[string][][]topology.NodeID{}}
-	if _, err := PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4); err == nil {
+	if _, err := PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4, nil); err == nil {
 		t.Fatal("no-route segment accepted")
 	}
 	good := stubFinder{alts: map[string][][]topology.NodeID{
 		fmt.Sprintf("%d-%d", pm1, pm2): {primary},
 	}}
-	if _, err := PlanStandby(good, topo, primary, []topology.NodeID{pm1, pm2}, nil, 0); err == nil {
+	if _, err := PlanStandby(good, topo, primary, []topology.NodeID{pm1, pm2}, nil, 0, nil); err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if _, err := PlanStandby(nil, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4); err == nil {
+	if _, err := PlanStandby(nil, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4, nil); err == nil {
 		t.Fatal("nil finder accepted")
 	}
-	if _, err := PlanStandby(good, topo, nil, []topology.NodeID{pm1, pm2}, nil, 4); err == nil {
+	if _, err := PlanStandby(good, topo, nil, []topology.NodeID{pm1, pm2}, nil, 4, nil); err == nil {
 		t.Fatal("empty primary accepted")
 	}
 }
@@ -221,7 +221,7 @@ func TestPlanStandbySRLGCountsAsOverlap(t *testing.T) {
 	finder := stubFinder{alts: map[string][][]topology.NodeID{
 		fmt.Sprintf("%d-%d", pm1, pm2): {alt},
 	}}
-	sb, err := PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4)
+	sb, err := PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4, nil)
 	if err != nil {
 		t.Fatalf("PlanStandby: %v", err)
 	}
@@ -242,7 +242,7 @@ func TestPlanStandbySRLGCountsAsOverlap(t *testing.T) {
 	if err := topo.SetLinkSRLG(links[1][0]); err != nil {
 		t.Fatalf("clear SRLG: %v", err)
 	}
-	sb, err = PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4)
+	sb, err = PlanStandby(finder, topo, primary, []topology.NodeID{pm1, pm2}, nil, 4, nil)
 	if err != nil {
 		t.Fatalf("PlanStandby: %v", err)
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/alvc/alvc/internal/topology"
 )
@@ -89,13 +90,17 @@ type Controller struct {
 	// pathComputations counts graph searches (shortest-path and Yen's
 	// runs). The resilience contract — a standby swap performs zero
 	// shortest-path work at recovery time — is asserted against this
-	// counter.
-	pathComputations int
+	// counter. Atomic: path computation is the read-heavy hot path and
+	// must not serialize on c.mu (which guards the flow tables) — with
+	// sharded orchestrators many controllers count concurrently while
+	// metrics aggregation reads them all.
+	pathComputations atomic.Int64
 	// yenRuns counts only the Yen's k-shortest searches
 	// (PathAlternatives), the expensive standby-planning primitive. The
 	// background-optimizer contract — repairs never plan standbys
-	// inline — is asserted against this counter's delta.
-	yenRuns int
+	// inline — is asserted against this counter's delta. Atomic for the
+	// same reason as pathComputations.
+	yenRuns atomic.Int64
 }
 
 // NewController returns a controller over the topology.
@@ -171,10 +176,8 @@ func (c *Controller) PathAlternatives(src, dst topology.NodeID, k int, restrictO
 	if k <= 0 {
 		return nil, fmt.Errorf("sdn: path alternatives: k must be positive, got %d", k)
 	}
-	c.mu.Lock()
-	c.yenRuns++
-	c.pathComputations++
-	c.mu.Unlock()
+	c.yenRuns.Add(1)
+	c.pathComputations.Add(1)
 	out, _, err := c.snapshot().KShortestPaths(src, dst, k, restrictOPS)
 	if err != nil {
 		return nil, fmt.Errorf("sdn: path alternatives %d->%d: %w", src, dst, err)
@@ -408,9 +411,7 @@ func (c *Controller) countPathComputations(n int) {
 	if n == 0 {
 		return
 	}
-	c.mu.Lock()
-	c.pathComputations += n
-	c.mu.Unlock()
+	c.pathComputations.Add(int64(n))
 }
 
 // PathComputations returns the cumulative number of graph searches the
@@ -418,9 +419,7 @@ func (c *Controller) countPathComputations(n int) {
 // Recovery code paths that promise "no shortest-path work" are asserted
 // against the delta of this counter.
 func (c *Controller) PathComputations() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.pathComputations
+	return int(c.pathComputations.Load())
 }
 
 // YenRuns returns the cumulative number of Yen's k-shortest searches
@@ -428,9 +427,7 @@ func (c *Controller) PathComputations() int {
 // paths that promise "no inline standby replanning" are asserted
 // against the delta of this counter.
 func (c *Controller) YenRuns() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.yenRuns
+	return int(c.yenRuns.Load())
 }
 
 // CountConversionsOnPath counts the domain boundary crossings along a

@@ -185,7 +185,7 @@ func (s *Server) handleProvisionBatch(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 || workers > ceiling {
 		workers = ceiling
 	}
-	results := s.arch.Orchestrator().ProvisionBatch(req.Specs, workers)
+	results := s.arch.Sharded().ProvisionBatch(req.Specs, workers)
 	resp := BatchResponse{Results: make([]BatchItemJSON, len(results))}
 	for i, res := range results {
 		item := BatchItemJSON{Index: res.Index}
@@ -593,5 +593,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Utilization[dom.String()] = u
 	}
+	resp.ShardCount = s.arch.ShardCount()
+	resp.Shards = s.arch.ShardStats()
 	writeJSON(w, http.StatusOK, resp)
 }

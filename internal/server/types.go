@@ -206,6 +206,12 @@ type MetricsResponse struct {
 	TotalConversions  int                        `json:"total_conversions"`
 	TotalEnergyJoules float64                    `json:"total_energy_joules"`
 	Utilization       map[string]UtilizationJSON `json:"utilization"`
+	// ShardCount and Shards expose the orchestrator sharding layout:
+	// one entry per shard with its deployment counts, repair total, OPS
+	// pool size and controller load. A single-shard server reports one
+	// entry.
+	ShardCount int              `json:"shard_count"`
+	Shards     []alvc.ShardStat `json:"shards"`
 }
 
 // OptimizerRunResponse is the body of POST /v1/optimizer:run — a

@@ -19,9 +19,11 @@ import (
 type Snapshot struct {
 	gen    uint64
 	frozen *graph.Frozen
-	// ops marks the OPS vertices of the snapshot: the only kind a
-	// RestrictOPS filter may exclude.
-	ops map[graph.VertexID]bool
+	// opsMask marks the live OPS vertices of the snapshot — the only
+	// kind a RestrictOPS filter may exclude — as a dense bitmap indexed
+	// by vertex ID. Filters test it once per relaxed edge, so a map here
+	// would put a hash lookup on every edge of every search.
+	opsMask []bool
 }
 
 // Generation returns the topology generation the snapshot was built at.
@@ -38,8 +40,20 @@ func (s *Snapshot) Filter(restrict map[NodeID]bool) graph.Filter {
 	if restrict == nil {
 		return nil
 	}
+	// Densify the restriction once per search: the filter runs on every
+	// relaxed edge, and a search from a ToR in a wide fabric relaxes one
+	// edge per core OPS, so a hash lookup per edge dominates Yen's
+	// profile. Two bitmap tests beat a map hit at any restrict size.
+	mask := s.opsMask
+	allowed := make([]bool, len(mask))
+	for id, ok := range restrict {
+		if ok && int(id) < len(allowed) {
+			allowed[id] = true
+		}
+	}
 	return func(v graph.VertexID) bool {
-		return !s.ops[v] || restrict[NodeID(v)]
+		i := int(v)
+		return i >= len(mask) || !mask[i] || allowed[i]
 	}
 }
 
@@ -122,10 +136,17 @@ func (t *Topology) RoutingSnapshot(opts GraphOptions) *Snapshot {
 	full := opts
 	full.RestrictOPS = nil
 	g := t.RoutingGraph(full)
-	s := &Snapshot{gen: gen, frozen: g.Frozen(), ops: make(map[graph.VertexID]bool)}
+	s := &Snapshot{gen: gen, frozen: g.Frozen()}
+	var maxID NodeID
+	for _, n := range t.Nodes(KindOPS) {
+		if !n.Down && n.ID > maxID {
+			maxID = n.ID
+		}
+	}
+	s.opsMask = make([]bool, maxID+1)
 	for _, n := range t.Nodes(KindOPS) {
 		if !n.Down {
-			s.ops[graph.VertexID(n.ID)] = true
+			s.opsMask[n.ID] = true
 		}
 	}
 	t.snaps[key] = s

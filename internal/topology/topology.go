@@ -30,6 +30,41 @@ type Topology struct {
 	// themselves are immutable once published.
 	snapMu sync.Mutex
 	snaps  map[snapKey]*Snapshot
+
+	// derivedMu guards the per-generation derived adjacency caches:
+	// kind-filtered neighbor lists and node-pair link resolution. Both
+	// are pure functions of the topology at one generation and are
+	// discarded wholesale when the generation moves. They exist because
+	// AL construction and standby scoring ask the same "OPSs of this
+	// ToR" / "link between these two" questions thousands of times per
+	// provisioning batch, and each cold answer walks a ToR's full uplink
+	// list with a map lookup per link.
+	derivedMu  sync.Mutex
+	derivedGen uint64
+	kindAdj    map[kindAdjKey][]NodeID
+	pairLive   map[int64]*Link
+	pairAny    map[int64]*Link
+}
+
+// kindAdjKey keys one cached neighborsOfKind answer.
+type kindAdjKey struct {
+	id   NodeID
+	kind NodeKind
+}
+
+// packPair keys one cached node-pair link answer.
+func packPair(a, b NodeID) int64 { return int64(a)<<32 | int64(uint32(b)) }
+
+// resetDerivedLocked clears the derived caches if the topology mutated
+// since they were filled. Caller holds derivedMu.
+func (t *Topology) resetDerivedLocked() {
+	gen := t.Generation()
+	if t.kindAdj == nil || t.derivedGen != gen {
+		t.kindAdj = make(map[kindAdjKey][]NodeID)
+		t.pairLive = make(map[int64]*Link)
+		t.pairAny = make(map[int64]*Link)
+		t.derivedGen = gen
+	}
 }
 
 // New returns an empty topology.
@@ -240,12 +275,22 @@ func (t *Topology) Neighbors(id NodeID) []NodeID {
 }
 
 // neighborsOfKind returns sorted adjacent live nodes of the given kind,
-// reachable over live links.
+// reachable over live links. Answers are cached per topology generation
+// because AL construction asks the same question for the same ToRs on
+// every build; the returned slice is shared with the cache and must be
+// treated as read-only by callers (all of them only iterate or count).
 func (t *Topology) neighborsOfKind(id NodeID, kind NodeKind) []NodeID {
-	seen := make(map[NodeID]bool)
+	t.derivedMu.Lock()
+	defer t.derivedMu.Unlock()
+	t.resetDerivedLocked()
+	key := kindAdjKey{id: id, kind: kind}
+	if out, ok := t.kindAdj[key]; ok {
+		return out
+	}
 	var out []NodeID
-	for _, l := range t.LinksOf(id) {
-		if l.Down {
+	for _, lid := range t.adj[id] {
+		l := t.links[lid]
+		if l == nil || l.Down {
 			continue
 		}
 		other := l.From
@@ -253,13 +298,21 @@ func (t *Topology) neighborsOfKind(id NodeID, kind NodeKind) []NodeID {
 			other = l.To
 		}
 		n := t.nodes[other]
-		if n == nil || n.Kind != kind || n.Down || seen[other] {
+		if n == nil || n.Kind != kind || n.Down {
 			continue
 		}
-		seen[other] = true
 		out = append(out, other)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	out = out[:w]
+	t.kindAdj[key] = out
 	return out
 }
 
@@ -317,17 +370,57 @@ func (t *Topology) SetLinkSRLG(id LinkID, groups ...int) error {
 	return nil
 }
 
-// LinkBetween returns a live link connecting a and b, or nil.
+// LinkBetween returns a live link connecting a and b, or nil. With
+// parallel links the lowest link ID wins (matching LinksOf order). The
+// adjacency list is scanned unsorted: standby planning calls this per
+// hop of every candidate path, and sorting a wide ToR's links each
+// time dominated the planner's profile.
 func (t *Topology) LinkBetween(a, b NodeID) *Link {
-	for _, l := range t.LinksOf(a) {
-		if l.Down {
+	t.derivedMu.Lock()
+	defer t.derivedMu.Unlock()
+	t.resetDerivedLocked()
+	key := packPair(a, b)
+	if l, ok := t.pairLive[key]; ok {
+		return l
+	}
+	var best *Link
+	for _, lid := range t.adj[a] {
+		l := t.links[lid]
+		if l == nil || l.Down {
 			continue
 		}
-		if l.From == b || l.To == b {
-			return l
+		if (l.From == b || l.To == b) && (best == nil || l.ID < best.ID) {
+			best = l
 		}
 	}
-	return nil
+	t.pairLive[key] = best
+	return best
+}
+
+// AnyLinkBetween is LinkBetween without the liveness filter: the
+// lowest-ID link joining a and b, up or down. Failure classification
+// walks paths hop by hop asking "did the dead link sit here" after the
+// link was already marked down, so it needs the dead ones too.
+func (t *Topology) AnyLinkBetween(a, b NodeID) *Link {
+	t.derivedMu.Lock()
+	defer t.derivedMu.Unlock()
+	t.resetDerivedLocked()
+	key := packPair(a, b)
+	if l, ok := t.pairAny[key]; ok {
+		return l
+	}
+	var best *Link
+	for _, lid := range t.adj[a] {
+		l := t.links[lid]
+		if l == nil {
+			continue
+		}
+		if (l.From == b || l.To == b) && (best == nil || l.ID < best.ID) {
+			best = l
+		}
+	}
+	t.pairAny[key] = best
+	return best
 }
 
 // ToRsOfPM returns the ToR switches the physical machine is wired to.
