@@ -26,9 +26,13 @@ bench:
 bench-repair:
 	$(GO) run ./cmd/alvc-bench -repair -chains 50 -json
 
-# Resilience smoke: standby-swap recovery must run zero shortest-path
-# computations and beat the cold re-path; a rack event must visit each
-# chain at most once. Writes BENCH_resilience.json.
+# Resilience smoke, anchored on rule churn and protection health: a
+# standby swap runs zero shortest-path computations; the protected
+# fleet recovers with zero inline standby replans, fewer path
+# computations and no more flow-rule churn per chain than the cold
+# fleet; the protection gap a repair opens closes after the outage
+# heals and one optimizer drain; a rack event visits each chain at
+# most once. Writes BENCH_resilience.json.
 .PHONY: bench-resilience
 bench-resilience:
 	$(GO) run ./cmd/alvc-bench -resilience -chains 25 -json
@@ -49,6 +53,18 @@ bench-optimizer:
 .PHONY: bench-path
 bench-path:
 	$(GO) run ./cmd/alvc-bench -path -json
+
+# Failure-storm smoke: a multi-tray link storm (one primary + one
+# standby transit link per victim chain, SRLG-grouped) recovered
+# per-event vs as one debounced batch. Contract: zero routing-graph
+# rebuilds during either storm (liveness patches the cached snapshot's
+# overlay in place), the batch >= 2x faster than per-event handling,
+# every victim repaired exactly once with no failures, and the
+# optimizer's storm mode coalescing the re-protect backlog by failure
+# domain. Writes BENCH_storm.json; exits non-zero on any violation.
+.PHONY: bench-storm
+bench-storm:
+	$(GO) run ./cmd/alvc-bench -storm -chains 160 -json
 
 # Sharding smoke: provision + batch-repair the same 600-tenant fleet at
 # 1/4/16 shards. Contract: 4 shards deliver >= 2x the single-shard
@@ -73,4 +89,4 @@ vet:
 	$(GO) vet ./...
 
 # Exactly what .github/workflows/ci.yml runs.
-ci: build fmt-check vet race bench bench-repair bench-resilience bench-optimizer bench-path bench-scale
+ci: build fmt-check vet race bench bench-repair bench-resilience bench-optimizer bench-path bench-scale bench-storm

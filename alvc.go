@@ -30,6 +30,7 @@ package alvc
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/alvc/alvc/internal/chain"
 	"github.com/alvc/alvc/internal/cluster"
@@ -128,6 +129,13 @@ type (
 	// ShardStat is one orchestrator shard's slice of the fleet
 	// (deployments by state, repairs, OPS pool size, controller load).
 	ShardStat = orch.ShardStat
+	// FailureDebouncer coalesces a failure-event storm into batched
+	// reconciliation passes (WithFailureDebounce).
+	FailureDebouncer = orch.FailureDebouncer
+	// DebounceStats counts the failure debouncer's coalescing work.
+	DebounceStats = orch.DebounceStats
+	// StormStats counts the optimizer's storm-mode coalescing.
+	StormStats = optimizer.StormStats
 )
 
 // Shard routing modes for WithShardMode.
@@ -178,16 +186,17 @@ func NFCatalog() []string { return nfv.ProfileNames() }
 type Option func(*settings)
 
 type settings struct {
-	builder      cluster.Builder
-	policy       placement.Policy
-	mode         placement.Mode
-	costModel    *optical.CostModel
-	wavelengths  int
-	batchWorkers int
-	standbyK     int
-	optimizer    *optimizer.Options
-	shards       int
-	shardMode    orch.ShardMode
+	builder        cluster.Builder
+	policy         placement.Policy
+	mode           placement.Mode
+	costModel      *optical.CostModel
+	wavelengths    int
+	batchWorkers   int
+	standbyK       int
+	optimizer      *optimizer.Options
+	shards         int
+	shardMode      orch.ShardMode
+	debounceWindow *time.Duration
 }
 
 // WithBuilder selects the AL construction algorithm (default: the
@@ -266,6 +275,18 @@ func WithOptimizer(opts OptimizerOptions) Option {
 	return func(s *settings) { s.optimizer = &opts }
 }
 
+// WithFailureDebounce attaches a failure debouncer: failure events
+// reported through ReportFailures coalesce for the given window and
+// dispatch as one union FailBatch, so a failure storm (a cut tray, a
+// rack PDU trip) repairs every affected chain exactly once instead of
+// once per event. A non-positive window installs the debouncer in
+// pass-through mode (useful to keep one code path and batch only via
+// FlushFailures). When an optimizer is also attached, its status
+// reports the debouncer's coalescing counters.
+func WithFailureDebounce(window time.Duration) Option {
+	return func(s *settings) { s.debounceWindow = &window }
+}
+
 // Architecture is a running AL-VC instance: a topology plus the full
 // management stack of Fig. 6 (orchestrator over SDN controller and
 // Cloud/NFV manager), optionally with the background optimization
@@ -281,6 +302,7 @@ type Architecture struct {
 	orch         *orch.Orchestrator
 	opt          *optimizer.Engine
 	events       *orch.EventMux
+	debounce     *orch.FailureDebouncer
 	batchWorkers int
 }
 
@@ -340,6 +362,12 @@ func FromTopology(topo *topology.Topology, opts ...Option) (*Architecture, error
 		sh.SetEventSink(mux)
 		arch.opt = eng
 		arch.events = mux
+	}
+	if s.debounceWindow != nil {
+		arch.debounce = orch.NewFailureDebouncer(sh, *s.debounceWindow)
+		if arch.opt != nil {
+			arch.opt.SetDebounceSource(arch.debounce)
+		}
 	}
 	return arch, nil
 }
@@ -496,6 +524,41 @@ func (a *Architecture) RecoverLink(id LinkID) error {
 func (a *Architecture) FailBatch(nodes []NodeID, links []LinkID) ([]RepairReport, error) {
 	return a.sh.HandleFailures(nodes, links)
 }
+
+// ReportFailures feeds a failure notification into the debouncer
+// (WithFailureDebounce): reports within one window coalesce into a
+// single FailBatch. Without a debouncer it falls back to an immediate
+// FailBatch, so callers can use one code path either way.
+func (a *Architecture) ReportFailures(nodes []NodeID, links []LinkID) {
+	if a.debounce == nil {
+		_, _ = a.sh.HandleFailures(nodes, links)
+		return
+	}
+	a.debounce.Report(nodes, links)
+}
+
+// FlushFailures dispatches the debouncer's pending failure union
+// immediately and returns the batch outcome (nil, nil when nothing is
+// pending or no debouncer is attached).
+func (a *Architecture) FlushFailures() ([]RepairReport, error) {
+	if a.debounce == nil {
+		return nil, nil
+	}
+	return a.debounce.Flush()
+}
+
+// FailureDebounceStats returns the debouncer's coalescing counters; ok
+// is false when the architecture was built without WithFailureDebounce.
+func (a *Architecture) FailureDebounceStats() (DebounceStats, bool) {
+	if a.debounce == nil {
+		return DebounceStats{}, false
+	}
+	return a.debounce.Stats(), true
+}
+
+// Debouncer returns the failure debouncer, or nil when the
+// architecture was built without WithFailureDebounce.
+func (a *Architecture) Debouncer() *FailureDebouncer { return a.debounce }
 
 // NodeImpact returns the blast radius of a node: every active chain
 // that would be affected if it died, with the roles the node plays

@@ -68,7 +68,30 @@ func run() int {
 	optimizerMode := flag.Bool("optimizer", false, "optimizer-bench mode: inline vs async re-protection at 12/25/50 chains and lambda-defrag before/after")
 	pathMode := flag.Bool("path", false, "path-bench mode: routing fast path ns/op + allocs/op, cold graph rebuild vs epoch-cached snapshot")
 	scaleMode := flag.Bool("scale", false, "scale-bench mode: provision+repair a tenant fleet (-chains) across shard counts 1/4/16")
+	stormMode := flag.Bool("storm", false, "storm-bench mode: per-event vs debounced-batch recovery from a multi-tray link storm")
 	flag.Parse()
+
+	if *stormMode {
+		report, err := runStormBench(*repairChains)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %v\n", err)
+			return 1
+		}
+		printStormReport(report)
+		if *emitJSON {
+			path := filepath.Join(*outDir, "BENCH_storm.json")
+			if err := writeJSONFile(path, report); err != nil {
+				fmt.Fprintf(os.Stderr, "alvc-bench: write %s: %v\n", path, err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if v := stormViolations(report); v > 0 {
+			fmt.Fprintf(os.Stderr, "alvc-bench: %d storm contract violations\n", v)
+			return 2
+		}
+		return 0
+	}
 
 	if *scaleMode {
 		report, err := runScaleBench(*repairChains)

@@ -35,23 +35,43 @@ type contractSample struct {
 	Speedup float64 `json:"speedup"`
 }
 
-// fleetComparison pits a standby-protected fleet against an identical
-// unprotected one under the same ToR failure.
+// fleetComparison pits a standby-protected fleet (with the background
+// optimizer attached) against an identical unprotected one under the
+// same ToR failure. The contract is anchored on control-plane churn
+// and protection health, not wall time: the protected fleet recovers
+// with no inline path searches and no more flow-rule churn per chain
+// than the cold fleet, and the protection gap the repair opens closes
+// after one optimizer drain.
 type fleetComparison struct {
 	Chains  int         `json:"chains"`
 	Standby fleetSample `json:"standby"`
 	Cold    fleetSample `json:"cold"`
-	// Speedup is cold recovery latency over standby recovery latency.
+	// Speedup is cold recovery latency over standby recovery latency
+	// (reported, not gated — wall time is too noisy to contract on).
 	Speedup float64 `json:"speedup"`
 }
 
 // fleetSample is one fleet's measurement.
 type fleetSample struct {
-	Affected         int            `json:"affected"`
-	RepairMs         float64        `json:"repair_ms"`
-	PathComputations int            `json:"path_computations"`
-	Actions          map[string]int `json:"actions"`
-	FailedRepairs    int            `json:"failed_repairs"`
+	Affected         int     `json:"affected"`
+	RepairMs         float64 `json:"repair_ms"`
+	PathComputations int     `json:"path_computations"`
+	// YenRuns counts inline standby replans during recovery; with the
+	// optimizer attached the contract is 0 (replanning is deferred).
+	YenRuns int            `json:"yen_runs"`
+	Actions map[string]int `json:"actions"`
+	// RulesInstalled is the flow-rule churn of the recovery: rules
+	// installed while repairing, normalized per affected chain in
+	// RuleChurnPerChain.
+	RulesInstalled    int     `json:"rules_installed"`
+	RuleChurnPerChain float64 `json:"rule_churn_per_chain"`
+	// ProtectionGap counts active chains left without a standby right
+	// after the repair; ProtectionGapAfterDrain recounts after the
+	// victim recovers and one optimizer drain runs (contract: 0 for the
+	// protected fleet).
+	ProtectionGap           int `json:"protection_gap"`
+	ProtectionGapAfterDrain int `json:"protection_gap_after_drain"`
+	FailedRepairs           int `json:"failed_repairs"`
 }
 
 // rackSample is the batch (ToR + its PMs) reconciliation measurement.
@@ -124,6 +144,18 @@ func swapVictim(arch *alvc.Architecture, dep *alvc.Deployment) alvc.NodeID {
 	return 0
 }
 
+// protectionGap counts active chains currently without a standby —
+// the fleet's exposure to a second failure.
+func protectionGap(arch *alvc.Architecture) int {
+	gap := 0
+	for _, dep := range arch.Deployments() {
+		if dep.State.String() == "active" && dep.Standby == nil {
+			gap++
+		}
+	}
+	return gap
+}
+
 func runResilienceBench(chains int) (*resilienceBenchReport, error) {
 	if chains < 2 {
 		return nil, fmt.Errorf("resilience bench: need at least 2 chains, got %d", chains)
@@ -179,14 +211,16 @@ func runResilienceBench(chains int) (*resilienceBenchReport, error) {
 		report.Contract.Speedup = report.Contract.ColdMs / report.Contract.SwapMs
 	}
 
-	// 2. Fleet: identical topologies and fleets, one protected and one
-	// not, under the same deterministic ToR failure.
+	// 2. Fleet: identical topologies and fleets, one protected (with
+	// the background optimizer deferring replans) and one not, under
+	// the same deterministic ToR failure. Measured on control-plane
+	// churn and protection health.
 	for _, mode := range []struct {
 		name string
 		opts []alvc.Option
 		out  *fleetSample
 	}{
-		{"standby", nil, &report.Fleet.Standby},
+		{"standby", []alvc.Option{alvc.WithOptimizer(alvc.OptimizerOptions{})}, &report.Fleet.Standby},
 		{"cold", []alvc.Option{alvc.WithStandbyK(-1)}, &report.Fleet.Cold},
 	} {
 		arch, err := alvc.New(resilienceTopology(chains), mode.opts...)
@@ -212,14 +246,20 @@ func runResilienceBench(chains int) (*resilienceBenchReport, error) {
 		if victim == 0 {
 			return nil, fmt.Errorf("resilience bench: no ToR victim in %s fleet", mode.name)
 		}
-		before := arch.Orchestrator().Controller().PathComputations()
+		ctrl := arch.Orchestrator().Controller()
+		compsBefore := ctrl.PathComputations()
+		yenBefore := ctrl.YenRuns()
+		_, rulesBefore := ctrl.Stats()
 		start := time.Now()
 		reports, _ := arch.FailNode(victim) // per-chain failures are reported below
 		elapsed := time.Since(start)
+		_, rulesAfter := ctrl.Stats()
 		sample := fleetSample{
 			Affected:         len(reports),
 			RepairMs:         float64(elapsed) / float64(time.Millisecond),
-			PathComputations: arch.Orchestrator().Controller().PathComputations() - before,
+			PathComputations: ctrl.PathComputations() - compsBefore,
+			YenRuns:          ctrl.YenRuns() - yenBefore,
+			RulesInstalled:   rulesAfter - rulesBefore,
 			Actions:          make(map[string]int),
 		}
 		for _, rep := range reports {
@@ -228,6 +268,17 @@ func runResilienceBench(chains int) (*resilienceBenchReport, error) {
 				sample.FailedRepairs++
 			}
 		}
+		if sample.Affected > 0 {
+			sample.RuleChurnPerChain = float64(sample.RulesInstalled) / float64(sample.Affected)
+		}
+		sample.ProtectionGap = protectionGap(arch)
+		// Heal the outage and let the optimizer catch up: the gap the
+		// repair opened must close.
+		if err := arch.RecoverNode(victim); err != nil {
+			return nil, fmt.Errorf("resilience bench: recover %s victim: %w", mode.name, err)
+		}
+		arch.Optimize()
+		sample.ProtectionGapAfterDrain = protectionGap(arch)
 		*mode.out = sample
 	}
 	report.Fleet.Chains = chains
@@ -288,17 +339,21 @@ func printResilienceReport(r *resilienceBenchReport) {
 		name string
 		f    fleetSample
 	}{{"standby", r.Fleet.Standby}, {"cold", r.Fleet.Cold}} {
-		fmt.Printf("  %-7s fleet (%d chains): repair %8.3f ms, %3d affected, %3d path computations, actions %v\n",
-			s.name, r.Fleet.Chains, s.f.RepairMs, s.f.Affected, s.f.PathComputations, s.f.Actions)
+		fmt.Printf("  %-7s fleet (%d chains): repair %8.3f ms, %3d affected, %3d path computations, %2d inline replans, %.1f rules/chain, gap %d -> %d after drain, actions %v\n",
+			s.name, r.Fleet.Chains, s.f.RepairMs, s.f.Affected, s.f.PathComputations,
+			s.f.YenRuns, s.f.RuleChurnPerChain, s.f.ProtectionGap, s.f.ProtectionGapAfterDrain, s.f.Actions)
 	}
 	fmt.Printf("  speedup: %.2fx\n", r.Fleet.Speedup)
 	fmt.Printf("  rack event: %d nodes -> %d reports (%d duplicates) in %.3f ms, actions %v\n",
 		r.Rack.Nodes, r.Rack.Reports, r.Rack.Duplicates, r.Rack.BatchMs, r.Rack.Actions)
 }
 
-// resilienceViolations counts contract breaches: a swap that computed
-// paths (or was not a swap at all), or a rack batch visiting a chain
-// twice.
+// resilienceViolations counts contract breaches. The contract is
+// anchored on control-plane churn and protection health: a swap that
+// computed paths (or was not a swap at all), a protected fleet that
+// replanned standbys inline or churned more flow rules per chain than
+// the cold fleet, a protection gap that one post-recovery drain did
+// not close, or a rack batch visiting a chain twice.
 func resilienceViolations(r *resilienceBenchReport) int {
 	n := 0
 	if r.Contract.Action != "swapped" {
@@ -311,6 +366,27 @@ func resilienceViolations(r *resilienceBenchReport) int {
 		n += r.Rack.Duplicates
 	}
 	if r.Fleet.Standby.Actions["swapped"] == 0 {
+		n++
+	}
+	// Deferred replanning: recovery must run zero inline Yen searches,
+	// and strictly fewer path computations than the cold fleet pays.
+	if r.Fleet.Standby.YenRuns != 0 {
+		n++
+	}
+	if r.Fleet.Standby.PathComputations >= r.Fleet.Cold.PathComputations {
+		n++
+	}
+	// Rule churn: swapping onto precomputed standbys must not install
+	// more rules per affected chain than cold repathing.
+	if r.Fleet.Standby.RuleChurnPerChain > r.Fleet.Cold.RuleChurnPerChain {
+		n++
+	}
+	// Protection health: the gap the repair opens must close after the
+	// outage heals and the optimizer drains.
+	if r.Fleet.Standby.ProtectionGapAfterDrain != 0 {
+		n++
+	}
+	if r.Fleet.Standby.FailedRepairs > 0 {
 		n++
 	}
 	return n

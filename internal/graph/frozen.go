@@ -27,6 +27,7 @@ type Frozen struct {
 	offsets  []int32            // per-vertex edge region, len(ids)+1
 	targets  []int32            // edge head indices, sorted by (id, weight)
 	weights  []float64
+	tags     []int64 // per-arc caller tags (nil when the source graph had none)
 	edges    int
 }
 
@@ -51,6 +52,9 @@ func (g *Graph) Frozen() *Frozen {
 		weights:  make([]float64, 0, total),
 		edges:    g.edges,
 	}
+	if g.tagged {
+		f.tags = make([]int64, 0, total)
+	}
 	var scratch []halfEdge
 	for i, id := range ids {
 		scratch = append(scratch[:0], g.adj[id]...)
@@ -66,11 +70,30 @@ func (g *Graph) Frozen() *Frozen {
 		for _, he := range scratch {
 			f.targets = append(f.targets, index[he.to])
 			f.weights = append(f.weights, he.weight)
+			if f.tags != nil {
+				f.tags = append(f.tags, he.tag)
+			}
 		}
 		f.offsets[i+1] = int32(len(f.targets))
 	}
 	return f
 }
+
+// IndexOf returns the dense index of v, used to address LiveMask vertex
+// entries.
+func (f *Frozen) IndexOf(v VertexID) (int32, bool) {
+	i, ok := f.index[v]
+	return i, ok
+}
+
+// ArcTags returns the caller tag of every CSR arc position (parallel to
+// the internal targets array), or nil if the source graph was untagged.
+// The caller must not modify the returned slice.
+func (f *Frozen) ArcTags() []int64 { return f.tags }
+
+// ArcCount returns the number of CSR arc positions (each undirected edge
+// occupies two).
+func (f *Frozen) ArcCount() int { return len(f.targets) }
 
 // Directed reports whether the source graph was directed.
 func (f *Frozen) Directed() bool { return f.directed }
@@ -102,10 +125,18 @@ func (f *Frozen) EdgeWeight(u, v VertexID) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
-	// The region is sorted by (target, weight): the first hit is the
-	// minimum-weight parallel edge.
+	return f.edgeWeightIdx(ui, vi, nil)
+}
+
+// edgeWeightIdx returns the minimum weight among unmasked parallel
+// ui->vi arcs. The region is sorted by (target, weight): the first
+// unmasked hit is the minimum-weight live parallel edge.
+func (f *Frozen) edgeWeightIdx(ui, vi int32, maskArc []bool) (float64, bool) {
 	for e := f.offsets[ui]; e < f.offsets[ui+1]; e++ {
 		if f.targets[e] == vi {
+			if maskArc != nil && maskArc[e] {
+				continue
+			}
 			return f.weights[e], true
 		}
 		if f.targets[e] > vi {
@@ -149,6 +180,13 @@ type frozenScratch struct {
 	// a linear scan over packed arcs beats a map hash.
 	banVertex []bool
 	banArcs   []int64
+
+	// Durable liveness masks borrowed from a LiveMask for the duration
+	// of one search (the caller holds the mask's read lock). nil = no
+	// masking. Unlike the ban sets these are owned by the mask, never
+	// reset here.
+	maskVertex []bool
+	maskArc    []bool
 }
 
 var frozenScratchPool = sync.Pool{
@@ -171,6 +209,7 @@ func (f *Frozen) getScratch() *frozenScratch {
 	s.banVertex = s.banVertex[:n]
 	s.allow = s.allow[:n]
 	s.hasAllow = false
+	s.maskVertex, s.maskArc = nil, nil
 	s.heap = s.heap[:0]
 	return s
 }
@@ -257,6 +296,7 @@ func (f *Frozen) dijkstra(src, dst int32, useBans bool, s *frozenScratch) {
 	s.dist[src] = 0
 	s.heapPush(frozenItem{dist: 0, idx: src})
 	hasAllow := s.hasAllow
+	maskVertex, maskArc := s.maskVertex, s.maskArc
 	for len(s.heap) > 0 {
 		it := s.heapPop()
 		u := it.idx
@@ -269,6 +309,12 @@ func (f *Frozen) dijkstra(src, dst int32, useBans bool, s *frozenScratch) {
 		}
 		for e := f.offsets[u]; e < f.offsets[u+1]; e++ {
 			v := f.targets[e]
+			if maskArc != nil && maskArc[e] {
+				continue
+			}
+			if maskVertex != nil && maskVertex[v] {
+				continue
+			}
 			if hasAllow && !s.allow[v] {
 				continue
 			}
@@ -331,6 +377,14 @@ func (f *Frozen) ShortestPath(src, dst VertexID) ([]VertexID, float64, error) {
 // by filter. It is output-identical to rebuilding the subgraph induced
 // by the filter and searching it.
 func (f *Frozen) ShortestPathFiltered(src, dst VertexID, filter Filter) ([]VertexID, float64, error) {
+	return f.ShortestPathMasked(src, dst, filter, nil)
+}
+
+// ShortestPathMasked is ShortestPathFiltered with a durable liveness
+// mask applied on top of the filter (nil mask = no masking). It is
+// output-identical to rebuilding the graph without the masked vertices
+// and arcs and searching that.
+func (f *Frozen) ShortestPathMasked(src, dst VertexID, filter Filter, m *LiveMask) ([]VertexID, float64, error) {
 	si, ok := f.index[src]
 	if !ok {
 		return nil, 0, fmt.Errorf("graph: shortest path: unknown source %d", src)
@@ -344,6 +398,14 @@ func (f *Frozen) ShortestPathFiltered(src, dst VertexID, filter Filter) ([]Verte
 	}
 	s := f.getScratch()
 	defer putScratch(s)
+	if m != nil {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		s.maskVertex, s.maskArc = m.downVertex, m.downArc
+		if s.maskVertex[si] || s.maskVertex[di] {
+			return nil, 0, fmt.Errorf("%w from %d to %d", ErrNoPath, src, dst)
+		}
+	}
 	f.densifyFilter(filter, s)
 	f.dijkstra(si, di, false, s)
 	if math.IsInf(s.dist[di], 1) {
@@ -355,6 +417,13 @@ func (f *Frozen) ShortestPathFiltered(src, dst VertexID, filter Filter) ([]Verte
 // Distances returns the shortest-path weight from src to every
 // reachable vertex admitted by filter (nil = all).
 func (f *Frozen) Distances(src VertexID, filter Filter) (map[VertexID]float64, error) {
+	return f.DistancesMasked(src, filter, nil)
+}
+
+// DistancesMasked is Distances with a durable liveness mask applied on
+// top of the filter (nil mask = no masking). A masked source yields an
+// empty map, mirroring a source excluded by the filter.
+func (f *Frozen) DistancesMasked(src VertexID, filter Filter, m *LiveMask) (map[VertexID]float64, error) {
 	si, ok := f.index[src]
 	if !ok {
 		return nil, fmt.Errorf("graph: distances: unknown source %d", src)
@@ -364,6 +433,14 @@ func (f *Frozen) Distances(src VertexID, filter Filter) (map[VertexID]float64, e
 	}
 	s := f.getScratch()
 	defer putScratch(s)
+	if m != nil {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		s.maskVertex, s.maskArc = m.downVertex, m.downArc
+		if s.maskVertex[si] {
+			return map[VertexID]float64{}, nil
+		}
+	}
 	f.densifyFilter(filter, s)
 	f.dijkstra(si, -1, false, s)
 	out := make(map[VertexID]float64)
@@ -379,12 +456,28 @@ func (f *Frozen) Distances(src VertexID, filter Filter) (map[VertexID]float64, e
 // with sorted tie-breaking, honoring the filter (nil = all). It is
 // output-identical to Graph.BFSOrder on the filtered subgraph.
 func (f *Frozen) BFSOrder(src VertexID, filter Filter) []VertexID {
+	return f.BFSOrderMasked(src, filter, nil)
+}
+
+// BFSOrderMasked is BFSOrder with a durable liveness mask applied on
+// top of the filter (nil mask = no masking). A masked source yields nil,
+// mirroring a source excluded by the filter.
+func (f *Frozen) BFSOrderMasked(src VertexID, filter Filter, m *LiveMask) []VertexID {
 	si, ok := f.index[src]
 	if !ok {
 		return nil
 	}
 	if filter != nil && !filter(src) {
 		return nil
+	}
+	var maskVertex, maskArc []bool
+	if m != nil {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		maskVertex, maskArc = m.downVertex, m.downArc
+		if maskVertex[si] {
+			return nil
+		}
 	}
 	seen := make([]bool, len(f.ids))
 	seen[si] = true
@@ -398,6 +491,12 @@ func (f *Frozen) BFSOrder(src VertexID, filter Filter) []VertexID {
 			// edges) collapse via the seen check.
 			for e := f.offsets[u]; e < f.offsets[u+1]; e++ {
 				v := f.targets[e]
+				if maskArc != nil && maskArc[e] {
+					continue
+				}
+				if maskVertex != nil && maskVertex[v] {
+					continue
+				}
 				if seen[v] {
 					continue
 				}
@@ -425,24 +524,55 @@ func (f *Frozen) KShortestPaths(src, dst VertexID, k int) ([][]VertexID, []float
 // KShortestPathsFiltered is KShortestPaths restricted to vertices
 // admitted by filter.
 func (f *Frozen) KShortestPathsFiltered(src, dst VertexID, k int, filter Filter) ([][]VertexID, []float64, error) {
+	return f.KShortestPathsMasked(src, dst, k, filter, nil)
+}
+
+// KShortestPathsMasked is KShortestPathsFiltered with a durable
+// liveness mask applied on top of the filter (nil mask = no masking):
+// masked vertices and arcs are invisible to the first search, every
+// spur search, and candidate path weighing, exactly as if the graph had
+// been rebuilt without them.
+func (f *Frozen) KShortestPathsMasked(src, dst VertexID, k int, filter Filter, m *LiveMask) ([][]VertexID, []float64, error) {
 	if k <= 0 {
 		return nil, nil, fmt.Errorf("graph: k-shortest paths: k must be positive, got %d", k)
 	}
-	first, w, err := f.ShortestPathFiltered(src, dst, filter)
-	if err != nil {
-		return nil, nil, err
+	si, ok := f.index[src]
+	if !ok {
+		return nil, nil, fmt.Errorf("graph: shortest path: unknown source %d", src)
 	}
-	di := f.index[dst]
+	di, ok := f.index[dst]
+	if !ok {
+		return nil, nil, fmt.Errorf("graph: shortest path: unknown destination %d", dst)
+	}
+	if filter != nil && (!filter(src) || !filter(dst)) {
+		return nil, nil, fmt.Errorf("%w from %d to %d", ErrNoPath, src, dst)
+	}
+	s := f.getScratch()
+	defer putScratch(s)
+	if m != nil {
+		// One read-lock spans the whole Yen run: liveness patches wait
+		// for in-flight searches, searches never see a half-applied
+		// batch.
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		s.maskVertex, s.maskArc = m.downVertex, m.downArc
+		if s.maskVertex[si] || s.maskVertex[di] {
+			return nil, nil, fmt.Errorf("%w from %d to %d", ErrNoPath, src, dst)
+		}
+	}
+	f.densifyFilter(filter, s)
+	f.dijkstra(si, di, false, s)
+	if math.IsInf(s.dist[di], 1) {
+		return nil, nil, fmt.Errorf("%w from %d to %d", ErrNoPath, src, dst)
+	}
+	first := f.extractPath(si, di, s)
 	paths := [][]VertexID{first}
-	weights := []float64{w}
+	weights := []float64{s.dist[di]}
 	type cand struct {
 		path   []VertexID
 		weight float64
 	}
 	var candidates []cand
-	s := f.getScratch()
-	defer putScratch(s)
-	f.densifyFilter(filter, s)
 	for len(paths) < k {
 		last := paths[len(paths)-1]
 		for i := 0; i < len(last)-1; i++ {
@@ -461,21 +591,21 @@ func (f *Frozen) KShortestPathsFiltered(src, dst VertexID, k int, filter Filter)
 			for _, v := range rootPath[:len(rootPath)-1] {
 				s.banVertex[f.index[v]] = true
 			}
-			si := f.index[spur]
-			f.dijkstra(si, di, true, s)
-			ok := !math.IsInf(s.dist[di], 1)
+			spi := f.index[spur]
+			f.dijkstra(spi, di, true, s)
+			found := !math.IsInf(s.dist[di], 1)
 			var spurPath []VertexID
-			if ok {
-				spurPath = f.extractPath(si, di, s)
+			if found {
+				spurPath = f.extractPath(spi, di, s)
 			}
 			for _, v := range rootPath[:len(rootPath)-1] {
 				s.banVertex[f.index[v]] = false
 			}
-			if !ok {
+			if !found {
 				continue
 			}
 			total := append(append([]VertexID{}, rootPath[:len(rootPath)-1]...), spurPath...)
-			tw := f.frozenPathWeight(total)
+			tw := f.pathWeight(total, s.maskArc)
 			if math.IsInf(tw, 1) {
 				continue
 			}
@@ -530,10 +660,12 @@ func (f *Frozen) banArc(s *frozenScratch, u, v VertexID) {
 	}
 }
 
-func (f *Frozen) frozenPathWeight(path []VertexID) float64 {
+// pathWeight totals a path's weight over minimum-weight unmasked
+// parallel arcs, returning +Inf if any hop has no unmasked arc.
+func (f *Frozen) pathWeight(path []VertexID, maskArc []bool) float64 {
 	total := 0.0
 	for i := 0; i+1 < len(path); i++ {
-		w, ok := f.EdgeWeight(path[i], path[i+1])
+		w, ok := f.edgeWeightIdx(f.index[path[i]], f.index[path[i+1]], maskArc)
 		if !ok {
 			return math.Inf(1)
 		}

@@ -30,6 +30,11 @@ type Edge struct {
 type halfEdge struct {
 	to     VertexID
 	weight float64
+	// tag is an opaque caller-assigned label (0 = untagged) carried into
+	// Frozen so callers can locate the CSR arcs of a specific source edge
+	// — the hook the topology layer uses to patch per-link liveness masks
+	// without rebuilding.
+	tag int64
 }
 
 // Graph is a weighted graph with O(1) vertex lookup and sorted,
@@ -39,6 +44,7 @@ type Graph struct {
 	directed bool
 	adj      map[VertexID][]halfEdge
 	edges    int
+	tagged   bool
 }
 
 // New returns an empty graph. If directed is false, AddEdge inserts the
@@ -71,6 +77,14 @@ func (g *Graph) HasVertex(v VertexID) bool {
 // the endpoints as needed. Negative weights are rejected because the
 // shortest-path search is Dijkstra-based.
 func (g *Graph) AddEdge(u, v VertexID, weight float64) error {
+	return g.AddEdgeTagged(u, v, weight, 0)
+}
+
+// AddEdgeTagged is AddEdge with an opaque edge tag (0 = untagged). Tags
+// survive freezing: Frozen.ArcTags reports the tag of every CSR arc, so
+// a caller can map its own edge identifiers onto arc positions — even
+// with parallel equal-weight edges — and mask them durably via LiveMask.
+func (g *Graph) AddEdgeTagged(u, v VertexID, weight float64, tag int64) error {
 	if weight < 0 {
 		return fmt.Errorf("graph: negative edge weight %f on %d->%d", weight, u, v)
 	}
@@ -79,9 +93,12 @@ func (g *Graph) AddEdge(u, v VertexID, weight float64) error {
 	}
 	g.AddVertex(u)
 	g.AddVertex(v)
-	g.adj[u] = append(g.adj[u], halfEdge{to: v, weight: weight})
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, weight: weight, tag: tag})
 	if !g.directed {
-		g.adj[v] = append(g.adj[v], halfEdge{to: u, weight: weight})
+		g.adj[v] = append(g.adj[v], halfEdge{to: u, weight: weight, tag: tag})
+	}
+	if tag != 0 {
+		g.tagged = true
 	}
 	g.edges++
 	return nil
@@ -171,6 +188,7 @@ func (g *Graph) Edges() []Edge {
 func (g *Graph) Clone() *Graph {
 	c := New(g.directed)
 	c.edges = g.edges
+	c.tagged = g.tagged
 	for v, hes := range g.adj {
 		cp := make([]halfEdge, len(hes))
 		copy(cp, hes)

@@ -1,0 +1,99 @@
+package graph
+
+import "sync"
+
+// LiveMask is a durable vertex/arc down-mask over one Frozen graph —
+// the Yen ban-set masking promoted to a persistent layer. The frozen
+// CSR arrays stay immutable and shared; liveness changes flip bits here
+// instead of invalidating the snapshot, so a failure (or recovery)
+// costs O(affected arcs) while every Masked search sees it immediately.
+//
+// Writers take the write lock per patch; each search holds the read
+// lock for its whole run, so a search observes either all or none of a
+// batch patch and the race detector stays quiet under concurrent
+// patch-vs-search traffic.
+type LiveMask struct {
+	mu         sync.RWMutex
+	downVertex []bool // by dense vertex index (Frozen.IndexOf)
+	downArc    []bool // by CSR arc position (Frozen.ArcTags order)
+	downCount  int    // total down entries, for the Empty fast path
+}
+
+// NewLiveMask returns an all-up mask sized for f.
+func (f *Frozen) NewLiveMask() *LiveMask {
+	return &LiveMask{
+		downVertex: make([]bool, len(f.ids)),
+		downArc:    make([]bool, len(f.targets)),
+	}
+}
+
+// SetVertexDown marks a dense vertex index down (or back up). Indices
+// outside the mask are ignored.
+func (m *LiveMask) SetVertexDown(idx int32, down bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.setVertexLocked(idx, down)
+}
+
+// SetArcsDown marks a set of CSR arc positions down (or back up) under
+// one lock acquisition — one call per link, covering both directions
+// and any parallel arcs.
+func (m *LiveMask) SetArcsDown(pos []int32, down bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range pos {
+		m.setArcLocked(p, down)
+	}
+}
+
+// Patch applies a whole batch of vertex and arc transitions under one
+// lock acquisition — the batch-mutator fast path: in-flight searches
+// finish first, then the entire storm lands atomically.
+func (m *LiveMask) Patch(vertexDown map[int32]bool, arcs []int32, arcDown bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for idx, down := range vertexDown {
+		m.setVertexLocked(idx, down)
+	}
+	for _, p := range arcs {
+		m.setArcLocked(p, arcDown)
+	}
+}
+
+func (m *LiveMask) setVertexLocked(idx int32, down bool) {
+	if int(idx) >= len(m.downVertex) || m.downVertex[idx] == down {
+		return
+	}
+	m.downVertex[idx] = down
+	if down {
+		m.downCount++
+	} else {
+		m.downCount--
+	}
+}
+
+func (m *LiveMask) setArcLocked(p int32, down bool) {
+	if int(p) >= len(m.downArc) || m.downArc[p] == down {
+		return
+	}
+	m.downArc[p] = down
+	if down {
+		m.downCount++
+	} else {
+		m.downCount--
+	}
+}
+
+// Empty reports whether nothing is masked (everything up).
+func (m *LiveMask) Empty() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.downCount == 0
+}
+
+// VertexDown reports whether the dense vertex index is masked.
+func (m *LiveMask) VertexDown(idx int32) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return int(idx) < len(m.downVertex) && m.downVertex[idx]
+}

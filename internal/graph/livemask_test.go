@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// maskedTestGraph builds a small tagged multigraph: a 4x4 grid with a
+// few parallel edges of differing weights.
+func maskedTestGraph(t *testing.T) (*Graph, []Edge, map[int64][2]VertexID) {
+	t.Helper()
+	g := New(false)
+	tagOf := make(map[int64][2]VertexID)
+	tag := int64(0)
+	add := func(u, v VertexID, w float64) {
+		tag++
+		if err := g.AddEdgeTagged(u, v, w, tag); err != nil {
+			t.Fatalf("AddEdgeTagged(%d,%d): %v", u, v, err)
+		}
+		tagOf[tag] = [2]VertexID{u, v}
+	}
+	side := 4
+	at := func(r, c int) VertexID { return VertexID(r*side + c + 1) }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				add(at(r, c), at(r, c+1), float64(1+(r+c)%3))
+			}
+			if r+1 < side {
+				add(at(r, c), at(r+1, c), float64(1+(r*c)%4))
+			}
+		}
+	}
+	// Parallel edges: one cheaper, one pricier, between existing pairs.
+	add(at(0, 0), at(0, 1), 0.5)
+	add(at(1, 1), at(2, 1), 9)
+	add(at(2, 2), at(2, 3), 0.25)
+	return g, g.Edges(), tagOf
+}
+
+// applyMask marks the given tags' arcs and the given vertices down on a
+// fresh mask, and returns the rebuilt comparison graph with those same
+// edges and vertices removed entirely.
+func applyMask(t *testing.T, g *Graph, f *Frozen, deadTags map[int64]bool, deadVerts map[VertexID]bool) (*LiveMask, *Frozen) {
+	t.Helper()
+	m := f.NewLiveMask()
+	var arcs []int32
+	for pos, tg := range f.ArcTags() {
+		if deadTags[tg] {
+			arcs = append(arcs, int32(pos))
+		}
+	}
+	m.SetArcsDown(arcs, true)
+	for v := range deadVerts {
+		idx, ok := f.IndexOf(v)
+		if !ok {
+			t.Fatalf("IndexOf(%d): missing", v)
+		}
+		m.SetVertexDown(idx, true)
+	}
+	// Rebuild without the dead elements: the ground truth the mask must
+	// reproduce byte-for-byte.
+	cold := New(g.directed)
+	for _, v := range g.Vertices() {
+		if !deadVerts[v] {
+			cold.AddVertex(v)
+		}
+	}
+	for u, hes := range g.adj {
+		for _, he := range hes {
+			if !g.directed && he.to < u {
+				continue
+			}
+			if deadTags[he.tag] || deadVerts[u] || deadVerts[he.to] {
+				continue
+			}
+			if err := cold.AddEdge(u, he.to, he.weight); err != nil {
+				t.Fatalf("cold AddEdge: %v", err)
+			}
+		}
+	}
+	return m, cold.Frozen()
+}
+
+func TestLiveMaskEqualsRebuild(t *testing.T) {
+	g, _, tagOf := maskedTestGraph(t)
+	f := g.Frozen()
+	rng := rand.New(rand.NewSource(7))
+	verts := g.Vertices()
+	for round := 0; round < 60; round++ {
+		deadTags := make(map[int64]bool)
+		for tg := range tagOf {
+			if rng.Intn(5) == 0 {
+				deadTags[tg] = true
+			}
+		}
+		deadVerts := make(map[VertexID]bool)
+		for _, v := range verts {
+			if rng.Intn(8) == 0 {
+				deadVerts[v] = true
+			}
+		}
+		m, cold := applyMask(t, g, f, deadTags, deadVerts)
+		for trial := 0; trial < 10; trial++ {
+			src := verts[rng.Intn(len(verts))]
+			dst := verts[rng.Intn(len(verts))]
+			if deadVerts[src] || deadVerts[dst] || src == dst {
+				continue
+			}
+			gotP, gotW, gotErr := f.ShortestPathMasked(src, dst, nil, m)
+			wantP, wantW, wantErr := cold.ShortestPath(src, dst)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("round %d: masked err=%v cold err=%v (src=%d dst=%d)", round, gotErr, wantErr, src, dst)
+			}
+			if gotErr == nil && (!reflect.DeepEqual(gotP, wantP) || gotW != wantW) {
+				t.Fatalf("round %d: masked path %v/%v != cold %v/%v", round, gotP, gotW, wantP, wantW)
+			}
+			gotPs, gotWs, gotErr2 := f.KShortestPathsMasked(src, dst, 4, nil, m)
+			wantPs, wantWs, wantErr2 := cold.KShortestPaths(src, dst, 4)
+			if (gotErr2 == nil) != (wantErr2 == nil) {
+				t.Fatalf("round %d: masked yen err=%v cold err=%v", round, gotErr2, wantErr2)
+			}
+			if gotErr2 == nil && (!reflect.DeepEqual(gotPs, wantPs) || !reflect.DeepEqual(gotWs, wantWs)) {
+				t.Fatalf("round %d: masked yen %v/%v != cold %v/%v", round, gotPs, gotWs, wantPs, wantWs)
+			}
+			if got, want := f.BFSOrderMasked(src, nil, m), cold.BFSOrder(src, nil); !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d: masked bfs %v != cold %v", round, got, want)
+			}
+			gotD, err := f.DistancesMasked(src, nil, m)
+			if err != nil {
+				t.Fatalf("DistancesMasked: %v", err)
+			}
+			wantD, err := cold.Distances(src, nil)
+			if err != nil {
+				t.Fatalf("cold Distances: %v", err)
+			}
+			if !reflect.DeepEqual(gotD, wantD) {
+				t.Fatalf("round %d: masked distances %v != cold %v", round, gotD, wantD)
+			}
+		}
+	}
+}
+
+func TestLiveMaskRecoveryAndEmpty(t *testing.T) {
+	g, _, _ := maskedTestGraph(t)
+	f := g.Frozen()
+	m := f.NewLiveMask()
+	if !m.Empty() {
+		t.Fatal("fresh mask not empty")
+	}
+	basePath, baseW, err := f.ShortestPathMasked(1, 16, nil, m)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	// Down then up again: a full fail/recover cycle must restore the
+	// exact baseline result and leave the mask empty.
+	var arcs []int32
+	for pos := range f.ArcTags() {
+		arcs = append(arcs, int32(pos))
+	}
+	m.SetArcsDown(arcs, true)
+	if _, _, err := f.ShortestPathMasked(1, 16, nil, m); err == nil {
+		t.Fatal("all arcs masked but a path was found")
+	}
+	m.SetArcsDown(arcs, false)
+	if !m.Empty() {
+		t.Fatal("mask not empty after full recovery")
+	}
+	p, w, err := f.ShortestPathMasked(1, 16, nil, m)
+	if err != nil || !reflect.DeepEqual(p, basePath) || w != baseW {
+		t.Fatalf("post-recovery search %v/%v/%v != baseline %v/%v", p, w, err, basePath, baseW)
+	}
+}

@@ -102,6 +102,13 @@ type Options struct {
 	// ResultLog is how many recent task results Status retains
 	// (default 32).
 	ResultLog int
+	// StormThreshold is the queue depth at which storm mode engages
+	// (default 64; negative disables). During a storm, repair events
+	// carrying a failure domain coalesce their re-protect work into one
+	// group task per domain — an SRLG tray cut over a large fleet
+	// queues a handful of domain tasks instead of thousands of
+	// per-deployment ones. Storm mode disengages when the queue drains.
+	StormThreshold int
 }
 
 func (o Options) withDefaults() Options {
@@ -116,6 +123,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ResultLog <= 0 {
 		o.ResultLog = 32
+	}
+	if o.StormThreshold == 0 {
+		o.StormThreshold = 64
 	}
 	return o
 }
@@ -151,15 +161,38 @@ type TaskResult struct {
 	When    time.Time `json:"when"`
 }
 
+// StormStats counts storm-mode activity.
+type StormStats struct {
+	// Active reports whether storm mode is currently engaged.
+	Active bool `json:"active"`
+	// Activations counts quiet→storm transitions.
+	Activations int `json:"activations"`
+	// Domains counts group tasks created (one per failure domain per
+	// storm round).
+	Domains int `json:"domains"`
+	// CoalescedTasks counts re-protects folded into an existing domain
+	// group instead of queueing individually — the queue entries the
+	// storm saved.
+	CoalescedTasks int `json:"coalesced_tasks"`
+}
+
 // Status is the engine's observable state.
 type Status struct {
 	Paused     bool `json:"paused"`
 	QueueDepth int  `json:"queue_depth"`
 	// ShardDepths is the queued task count per shard queue, in shard
 	// order (one element on an unsharded target).
-	ShardDepths []int                `json:"shard_depths,omitempty"`
-	Running     int                  `json:"running"`
-	Kinds       map[string]KindStats `json:"kinds"`
+	ShardDepths []int `json:"shard_depths,omitempty"`
+	// ShardHighWater is the per-shard queued-task high-water mark since
+	// the engine started — the spike detector's evidence trail.
+	ShardHighWater []int                `json:"shard_high_water,omitempty"`
+	Running        int                  `json:"running"`
+	Kinds          map[string]KindStats `json:"kinds"`
+	// Storm reports the storm-mode coalescing counters.
+	Storm StormStats `json:"storm"`
+	// Debounce mirrors the upstream failure debouncer's counters when
+	// one is attached (SetDebounceSource).
+	Debounce *orch.DebounceStats `json:"debounce,omitempty"`
 	// LastResults lists the most recent task outcomes, oldest first.
 	LastResults []TaskResult `json:"last_results"`
 }
@@ -167,6 +200,10 @@ type Status struct {
 type taskKey struct {
 	dep  orch.DeploymentID
 	kind TaskKind
+	// domain is non-empty for storm-mode group tasks: one queue entry
+	// re-protects every chain the failure domain hit (dep is 0; the
+	// members live in Engine.groups until the task runs).
+	domain string
 }
 
 type task struct {
@@ -195,13 +232,27 @@ type Engine struct {
 	shardOf func(orch.DeploymentID) int
 	queues  []*shardQueue
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	depth   int // queued tasks across all shard queues
-	paused  bool
-	running int
-	stats   [numKinds]KindStats
-	results []TaskResult
+	mu        sync.Mutex
+	cond      *sync.Cond
+	depth     int // queued tasks across all shard queues
+	paused    bool
+	running   int
+	stats     [numKinds]KindStats
+	results   []TaskResult
+	storm     bool
+	stormStat StormStats
+	highWater []int // per-shard queued-task high-water marks
+
+	// grpMu guards the storm-mode group membership. Never held while
+	// enqueueing (which takes q.mu then e.mu), so there is no ordering
+	// cycle with the queue locks.
+	grpMu  sync.Mutex
+	groups map[string][]orch.DeploymentID
+	member map[orch.DeploymentID]string
+
+	// debounceSrc, when set, lets Status surface the upstream failure
+	// debouncer's coalescing counters next to the engine's own.
+	debounceSrc interface{ Stats() orch.DebounceStats }
 
 	loopMu sync.Mutex
 	stopCh chan struct{}
@@ -221,16 +272,28 @@ func New(o Target, opts Options) (*Engine, error) {
 		shardOf = st.ShardOf
 	}
 	e := &Engine{
-		o:       o,
-		opts:    opts.withDefaults(),
-		shardOf: shardOf,
-		queues:  make([]*shardQueue, shards),
+		o:         o,
+		opts:      opts.withDefaults(),
+		shardOf:   shardOf,
+		queues:    make([]*shardQueue, shards),
+		highWater: make([]int, shards),
+		groups:    make(map[string][]orch.DeploymentID),
+		member:    make(map[orch.DeploymentID]string),
 	}
 	for i := range e.queues {
 		e.queues[i] = &shardQueue{queued: make(map[taskKey]bool)}
 	}
 	e.cond = sync.NewCond(&e.mu)
 	return e, nil
+}
+
+// SetDebounceSource attaches the upstream failure debouncer's counters
+// so Status reports the whole storm pipeline — events coalesced into
+// batches upstream, re-protects coalesced into domain groups here.
+func (e *Engine) SetDebounceSource(src interface{ Stats() orch.DebounceStats }) {
+	e.mu.Lock()
+	e.debounceSrc = src
+	e.mu.Unlock()
 }
 
 // queueFor returns the shard queue owning the deployment's tasks.
@@ -247,7 +310,11 @@ func (e *Engine) OrchEvent(ev orch.Event) {
 	case orch.EventRepairCompleted:
 		// Any successful repair may have consumed or dropped the
 		// standby; the re-protect task is a cheap no-op when not.
-		e.Enqueue(ev.Deployment, KindReProtect)
+		// Under a storm, domain-stamped events coalesce per shared
+		// cause instead of queueing per deployment.
+		if !e.stormEnqueue(ev) {
+			e.Enqueue(ev.Deployment, KindReProtect)
+		}
 		switch ev.Action {
 		case orch.ActionReplaced, orch.ActionPatched, orch.ActionRebuilt:
 			// Instances moved under duress: placement may have drifted.
@@ -282,17 +349,64 @@ func (e *Engine) Enqueue(dep orch.DeploymentID, kind TaskKind) bool {
 	return e.enqueue(task{key: taskKey{dep: dep, kind: kind}})
 }
 
+// stormEnqueue is the storm-mode intake for repair events. It reports
+// whether the event's re-protect was absorbed: false means the caller
+// should enqueue per-deployment as usual — no failure domain on the
+// event, storm mode disabled, or the queue still below the spike
+// threshold. Once the depth crosses the threshold, storm mode engages
+// and each domain's chains share one group task until the queue drains.
+func (e *Engine) stormEnqueue(ev orch.Event) bool {
+	if ev.Domain == "" || e.opts.StormThreshold < 0 {
+		return false
+	}
+	e.mu.Lock()
+	if !e.storm && e.depth >= e.opts.StormThreshold {
+		e.storm = true
+		e.stormStat.Activations++
+	}
+	active := e.storm
+	e.mu.Unlock()
+	if !active {
+		return false
+	}
+	e.grpMu.Lock()
+	if _, grouped := e.member[ev.Deployment]; grouped {
+		e.grpMu.Unlock()
+		e.mu.Lock()
+		e.stormStat.CoalescedTasks++
+		e.mu.Unlock()
+		return true
+	}
+	e.member[ev.Deployment] = ev.Domain
+	first := len(e.groups[ev.Domain]) == 0
+	e.groups[ev.Domain] = append(e.groups[ev.Domain], ev.Deployment)
+	e.grpMu.Unlock()
+	if first {
+		e.enqueue(task{key: taskKey{kind: KindReProtect, domain: ev.Domain}})
+		e.mu.Lock()
+		e.stormStat.Domains++
+		e.mu.Unlock()
+	} else {
+		e.mu.Lock()
+		e.stormStat.CoalescedTasks++
+		e.mu.Unlock()
+	}
+	return true
+}
+
 func (e *Engine) enqueue(t task) bool {
 	if t.key.kind < 0 || t.key.kind >= numKinds {
 		return false
 	}
-	q := e.queueFor(t.key.dep)
+	idx := e.shardOf(t.key.dep)
+	q := e.queues[idx]
 	q.mu.Lock()
 	dup := q.queued[t.key]
 	if !dup {
 		q.queued[t.key] = true
 		q.order[t.key.kind] = append(q.order[t.key.kind], t)
 	}
+	qlen := len(q.queued)
 	q.mu.Unlock()
 	// Stats, the global depth and the dispatcher wake-up live under the
 	// engine lock, taken after the queue lock is released — the two are
@@ -305,6 +419,9 @@ func (e *Engine) enqueue(t task) bool {
 		return false
 	}
 	e.depth++
+	if qlen > e.highWater[idx] {
+		e.highWater[idx] = qlen
+	}
 	if t.attempts == 0 {
 		e.stats[t.key.kind].Enqueued++
 	}
@@ -334,6 +451,24 @@ func (e *Engine) Cancel(dep orch.DeploymentID) int {
 		q.order[kind] = kept
 	}
 	q.mu.Unlock()
+	// A deleted deployment also leaves its storm group: the group task
+	// stays queued for the surviving members.
+	e.grpMu.Lock()
+	if dom, ok := e.member[dep]; ok {
+		delete(e.member, dep)
+		kept := e.groups[dom][:0]
+		for _, id := range e.groups[dom] {
+			if id != dep {
+				kept = append(kept, id)
+			}
+		}
+		if len(kept) == 0 {
+			delete(e.groups, dom)
+		} else {
+			e.groups[dom] = kept
+		}
+	}
+	e.grpMu.Unlock()
 	if n > 0 {
 		e.mu.Lock()
 		e.depth -= n
@@ -445,6 +580,7 @@ func (e *Engine) Drain() []TaskResult {
 	for {
 		batch := e.popBatch()
 		if len(batch) == 0 {
+			e.endStormIfDrained()
 			return out
 		}
 		results := make([]TaskResult, len(batch))
@@ -532,6 +668,9 @@ func (e *Engine) runTask(t task) (res TaskResult, requeue bool) {
 	}()
 
 	res = TaskResult{Deployment: t.key.dep, Kind: t.key.kind.String(), When: time.Now()}
+	if t.key.domain != "" {
+		return e.runGroupTask(t), false
+	}
 	var err error
 	switch t.key.kind {
 	case KindReProtect, KindRefresh:
@@ -592,6 +731,59 @@ func (e *Engine) runTask(t task) (res TaskResult, requeue bool) {
 		res.Error = err.Error()
 	}
 	return res, false
+}
+
+// runGroupTask executes one storm-mode group task: it claims the
+// domain's accumulated members and re-protects each exactly once. Busy
+// members requeue as ordinary per-deployment tasks (the storm may be
+// over by then); deleted ones are moot. Members reported after the
+// claim re-accumulate under the domain and re-create the group task.
+func (e *Engine) runGroupTask(t task) TaskResult {
+	e.grpMu.Lock()
+	members := e.groups[t.key.domain]
+	delete(e.groups, t.key.domain)
+	for _, id := range members {
+		delete(e.member, id)
+	}
+	e.grpMu.Unlock()
+	protected, already, busy, failed := 0, 0, 0, 0
+	for _, id := range members {
+		_, replanned, err := e.o.ReProtect(id)
+		switch {
+		case err == nil && replanned:
+			protected++
+		case err == nil:
+			already++
+		case errors.Is(err, orch.ErrBusy):
+			busy++
+			e.enqueue(task{key: taskKey{dep: id, kind: KindReProtect}})
+		case errors.Is(err, orch.ErrUnknownDeployment), errors.Is(err, orch.ErrNotActive):
+			// Deleted mid-storm: nothing to protect.
+		default:
+			failed++
+		}
+	}
+	res := TaskResult{Kind: t.key.kind.String(), Outcome: "storm-group", When: time.Now()}
+	res.Detail = fmt.Sprintf("domain %s: %d chains (%d protected, %d already, %d busy requeued, %d failed)",
+		t.key.domain, len(members), protected, already, busy, failed)
+	if failed > 0 {
+		res.Outcome = "failed"
+	}
+	return res
+}
+
+// endStormIfDrained disengages storm mode once the queues and group
+// membership are both empty — the spike is over; the next one
+// re-activates.
+func (e *Engine) endStormIfDrained() {
+	e.grpMu.Lock()
+	pending := len(e.groups)
+	e.grpMu.Unlock()
+	e.mu.Lock()
+	if e.storm && e.depth == 0 && pending == 0 {
+		e.storm = false
+	}
+	e.mu.Unlock()
 }
 
 // Start launches the background dispatcher: queued tasks execute as
@@ -674,17 +866,25 @@ func (e *Engine) Stop() {
 func (e *Engine) Status() Status {
 	shardDepths := e.ShardQueueDepths()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	st := Status{
-		Paused:      e.paused,
-		QueueDepth:  e.depth,
-		ShardDepths: shardDepths,
-		Running:     e.running,
-		Kinds:       make(map[string]KindStats, numKinds),
-		LastResults: append([]TaskResult(nil), e.results...),
+		Paused:         e.paused,
+		QueueDepth:     e.depth,
+		ShardDepths:    shardDepths,
+		ShardHighWater: append([]int(nil), e.highWater...),
+		Running:        e.running,
+		Kinds:          make(map[string]KindStats, numKinds),
+		Storm:          e.stormStat,
+		LastResults:    append([]TaskResult(nil), e.results...),
 	}
+	st.Storm.Active = e.storm
 	for kind := TaskKind(0); kind < numKinds; kind++ {
 		st.Kinds[kind.String()] = e.stats[kind]
+	}
+	src := e.debounceSrc
+	e.mu.Unlock()
+	if src != nil {
+		ds := src.Stats()
+		st.Debounce = &ds
 	}
 	return st
 }

@@ -1,0 +1,158 @@
+// Failure-event debouncing: a failure storm — a tray cut, a rack PDU
+// trip, a melted conduit — arrives at the control plane as a burst of
+// per-resource notifications spread over milliseconds. Handling each
+// one alone repairs the same chains repeatedly (swap on the first dead
+// link, re-path on the second) and pays one reconciliation fan-out per
+// event. The FailureDebouncer coalesces the burst: reports within one
+// window merge into a union failure set and dispatch as a single
+// HandleFailures batch, so every affected chain is classified against
+// the whole storm at once and repaired exactly once.
+package orch
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// FailureHandler is the reconciliation entry point the debouncer
+// drives. Orchestrator and Sharded both satisfy it.
+type FailureHandler interface {
+	HandleFailures(nodes []topology.NodeID, links []topology.LinkID) ([]RepairReport, error)
+}
+
+// DebounceStats counts the debouncer's coalescing work.
+type DebounceStats struct {
+	// Events is the number of Report calls received.
+	Events uint64 `json:"events"`
+	// Batches is the number of HandleFailures dispatches — flushes
+	// that actually carried a non-empty union.
+	Batches uint64 `json:"batches"`
+	// Coalesced is the number of reports that merged into an
+	// already-armed window instead of opening a new one: the repairs
+	// the debounce saved.
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// FailureDebouncer coalesces failure reports into batched
+// HandleFailures calls. Reports arriving within one window merge into
+// a pending union of dead nodes and links; when the window expires (or
+// Flush is called) the union dispatches as one batch. Safe for
+// concurrent use.
+type FailureDebouncer struct {
+	h      FailureHandler
+	window time.Duration
+
+	mu      sync.Mutex
+	nodes   map[topology.NodeID]struct{}
+	links   map[topology.LinkID]struct{}
+	timer   *time.Timer
+	stats   DebounceStats
+	onBatch func([]RepairReport, error)
+}
+
+// NewFailureDebouncer wraps a failure handler with a coalescing window.
+// A non-positive window disables coalescing: every Report dispatches
+// synchronously (still through the batch path, still counted).
+func NewFailureDebouncer(h FailureHandler, window time.Duration) *FailureDebouncer {
+	return &FailureDebouncer{
+		h:      h,
+		window: window,
+		nodes:  make(map[topology.NodeID]struct{}),
+		links:  make(map[topology.LinkID]struct{}),
+	}
+}
+
+// SetOnBatch registers a callback receiving each dispatched batch's
+// reports and error. Timer-expiry flushes run it on the timer
+// goroutine; synchronous flushes run it inline. Must be set before the
+// first Report.
+func (d *FailureDebouncer) SetOnBatch(fn func([]RepairReport, error)) {
+	d.mu.Lock()
+	d.onBatch = fn
+	d.mu.Unlock()
+}
+
+// Report merges a failure notification into the pending window. The
+// first report of a quiet period arms the window timer; later reports
+// within the window coalesce into it. With a non-positive window the
+// union (just this report) dispatches before Report returns.
+func (d *FailureDebouncer) Report(nodes []topology.NodeID, links []topology.LinkID) {
+	if len(nodes) == 0 && len(links) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.stats.Events++
+	for _, n := range nodes {
+		d.nodes[n] = struct{}{}
+	}
+	for _, l := range links {
+		d.links[l] = struct{}{}
+	}
+	if d.window <= 0 {
+		d.mu.Unlock()
+		d.Flush()
+		return
+	}
+	if d.timer == nil {
+		d.timer = time.AfterFunc(d.window, func() { d.Flush() })
+	} else {
+		d.stats.Coalesced++
+	}
+	d.mu.Unlock()
+}
+
+// Flush dispatches the pending union immediately as one HandleFailures
+// batch, cancelling the armed window, and returns the batch outcome. A
+// flush with nothing pending is a no-op returning (nil, nil). Exactly
+// one flusher dispatches any given union: a timer expiry racing an
+// explicit Flush finds the pending sets already drained.
+func (d *FailureDebouncer) Flush() ([]RepairReport, error) {
+	d.mu.Lock()
+	if d.timer != nil {
+		d.timer.Stop()
+		d.timer = nil
+	}
+	if len(d.nodes) == 0 && len(d.links) == 0 {
+		d.mu.Unlock()
+		return nil, nil
+	}
+	nodes := make([]topology.NodeID, 0, len(d.nodes))
+	for n := range d.nodes {
+		nodes = append(nodes, n)
+	}
+	links := make([]topology.LinkID, 0, len(d.links))
+	for l := range d.links {
+		links = append(links, l)
+	}
+	d.nodes = make(map[topology.NodeID]struct{})
+	d.links = make(map[topology.LinkID]struct{})
+	d.stats.Batches++
+	onBatch := d.onBatch
+	d.mu.Unlock()
+
+	// Deterministic dispatch order (map iteration is not).
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	reports, err := d.h.HandleFailures(nodes, links)
+	if onBatch != nil {
+		onBatch(reports, err)
+	}
+	return reports, err
+}
+
+// Pending returns the sizes of the pending union (nodes, links).
+func (d *FailureDebouncer) Pending() (int, int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.nodes), len(d.links)
+}
+
+// Stats returns a snapshot of the coalescing counters.
+func (d *FailureDebouncer) Stats() DebounceStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}

@@ -1,0 +1,206 @@
+package orch
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// fakeHandler records every HandleFailures batch it receives.
+type fakeHandler struct {
+	mu      sync.Mutex
+	batches [][2][]int // [nodes, links] as ints for easy comparison
+}
+
+func (f *fakeHandler) HandleFailures(nodes []topology.NodeID, links []topology.LinkID) ([]RepairReport, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var ns, ls []int
+	for _, n := range nodes {
+		ns = append(ns, int(n))
+	}
+	for _, l := range links {
+		ls = append(ls, int(l))
+	}
+	f.batches = append(f.batches, [2][]int{ns, ls})
+	return nil, nil
+}
+
+func (f *fakeHandler) batchCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.batches)
+}
+
+// TestDebouncerCoalescesWindow: a burst of reports within one window
+// dispatches as exactly one union batch, with duplicates deduplicated.
+func TestDebouncerCoalescesWindow(t *testing.T) {
+	h := &fakeHandler{}
+	d := NewFailureDebouncer(h, 20*time.Millisecond)
+	done := make(chan struct{})
+	d.SetOnBatch(func([]RepairReport, error) { close(done) })
+
+	d.Report([]topology.NodeID{1}, nil)
+	d.Report([]topology.NodeID{2}, []topology.LinkID{10})
+	d.Report(nil, []topology.LinkID{10, 11}) // duplicate link 10
+	d.Report([]topology.NodeID{1}, nil)      // duplicate node 1
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("window never flushed")
+	}
+	if got := h.batchCount(); got != 1 {
+		t.Fatalf("batches = %d, want 1", got)
+	}
+	h.mu.Lock()
+	batch := h.batches[0]
+	h.mu.Unlock()
+	if len(batch[0]) != 2 || len(batch[1]) != 2 {
+		t.Fatalf("union batch = %v, want 2 nodes + 2 links", batch)
+	}
+	st := d.Stats()
+	if st.Events != 4 || st.Batches != 1 || st.Coalesced != 3 {
+		t.Fatalf("stats = %+v, want Events=4 Batches=1 Coalesced=3", st)
+	}
+}
+
+// TestDebouncerFlushSynchronous: an explicit Flush dispatches the
+// pending union immediately, cancels the window, and a second Flush
+// with nothing pending is a no-op.
+func TestDebouncerFlushSynchronous(t *testing.T) {
+	h := &fakeHandler{}
+	d := NewFailureDebouncer(h, time.Hour) // never expires on its own
+	d.Report([]topology.NodeID{5}, []topology.LinkID{7})
+	d.Report([]topology.NodeID{6}, nil)
+	if n, l := d.Pending(); n != 2 || l != 1 {
+		t.Fatalf("pending = (%d,%d), want (2,1)", n, l)
+	}
+	if _, err := d.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := h.batchCount(); got != 1 {
+		t.Fatalf("batches = %d, want 1", got)
+	}
+	if n, l := d.Pending(); n != 0 || l != 0 {
+		t.Fatalf("pending after flush = (%d,%d), want (0,0)", n, l)
+	}
+	// Nothing pending: no dispatch, no batch counted.
+	if reports, err := d.Flush(); reports != nil || err != nil {
+		t.Fatalf("empty Flush = (%v,%v), want (nil,nil)", reports, err)
+	}
+	if st := d.Stats(); st.Batches != 1 {
+		t.Fatalf("empty flush counted a batch: %+v", st)
+	}
+}
+
+// TestDebouncerZeroWindowPassThrough: a non-positive window disables
+// coalescing — every report dispatches before Report returns.
+func TestDebouncerZeroWindowPassThrough(t *testing.T) {
+	h := &fakeHandler{}
+	d := NewFailureDebouncer(h, 0)
+	d.Report([]topology.NodeID{1}, nil)
+	d.Report([]topology.NodeID{2}, nil)
+	if got := h.batchCount(); got != 2 {
+		t.Fatalf("batches = %d, want 2 (pass-through)", got)
+	}
+	if st := d.Stats(); st.Events != 2 || st.Batches != 2 || st.Coalesced != 0 {
+		t.Fatalf("stats = %+v, want Events=2 Batches=2 Coalesced=0", st)
+	}
+}
+
+// TestDebouncedStormRepairsOnce: two failure events — the chain's
+// primary link and its standby link, the classic storm pattern that
+// per-event handling repairs twice (swap, then re-path) — coalesce
+// into one batch that classifies the chain against the union and
+// repairs it exactly once.
+func TestDebouncedStormRepairsOnce(t *testing.T) {
+	o, ids := triOrch(t, Config{})
+	dep, err := o.Provision(triSpec(t, "chain-1"))
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	if dep.Standby == nil {
+		t.Fatal("no standby planned")
+	}
+	d := NewFailureDebouncer(o, time.Hour)
+	// Event 1: the primary's transit link. Event 2: the standby's.
+	d.Report(nil, []topology.LinkID{ids.torOpsLinks[0][0]})
+	d.Report(nil, []topology.LinkID{ids.torOpsLinks[0][1]})
+	reports, err := d.Flush()
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if len(reports) != 1 || reports[0].ID != dep.ID {
+		t.Fatalf("reports = %+v, want exactly one for deployment %d", reports, dep.ID)
+	}
+	// Against the union the standby is dead too, so the one repair must
+	// be a cold re-path (route 2), not a swap onto the dead standby.
+	if reports[0].Action != ActionRepathed {
+		t.Fatalf("action = %s, want %s", reports[0].Action, ActionRepathed)
+	}
+	got := o.Deployment(dep.ID)
+	if !pathContains(got.Path, ids.opss[2]) {
+		t.Fatalf("repaired path %v does not use the spare route", got.Path)
+	}
+	if st := d.Stats(); st.Events != 2 || st.Batches != 1 || st.Coalesced != 1 {
+		t.Fatalf("stats = %+v, want Events=2 Batches=1 Coalesced=1", st)
+	}
+}
+
+// TestRepairEventsCarryFailureDomain: repair-completed events stamp the
+// batch's shared failure domain — the dead links' SRLGs when any are
+// grouped, a unique batch tag otherwise.
+func TestRepairEventsCarryFailureDomain(t *testing.T) {
+	o, ids := triOrch(t, Config{})
+	if _, err := o.Provision(triSpec(t, "chain-1")); err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	sink := &recordingSink{}
+	o.SetEventSink(sink)
+
+	// Both route-0 transit links ride tray 42.
+	if err := o.topo.SetLinkSRLG(ids.torOpsLinks[0][0], 42); err != nil {
+		t.Fatalf("SetLinkSRLG: %v", err)
+	}
+	if err := o.topo.SetLinkSRLG(ids.torOpsLinks[1][0], 42); err != nil {
+		t.Fatalf("SetLinkSRLG: %v", err)
+	}
+	if _, err := o.HandleFailures(nil, []topology.LinkID{ids.torOpsLinks[0][0], ids.torOpsLinks[1][0]}); err != nil {
+		t.Fatalf("HandleFailures: %v", err)
+	}
+	sink.mu.Lock()
+	var domains []string
+	for _, ev := range sink.events {
+		if ev.Kind == EventRepairCompleted {
+			domains = append(domains, ev.Domain)
+		}
+	}
+	sink.mu.Unlock()
+	if len(domains) == 0 {
+		t.Fatal("no repair-completed events")
+	}
+	for _, dom := range domains {
+		if dom != "srlg:42" {
+			t.Fatalf("domain = %q, want srlg:42", dom)
+		}
+	}
+
+	// An ungrouped failure gets a unique batch tag.
+	sink.mu.Lock()
+	sink.events = nil
+	sink.mu.Unlock()
+	if _, err := o.HandleFailures(nil, []topology.LinkID{ids.torOpsLinks[0][1]}); err != nil {
+		t.Fatalf("HandleFailures: %v", err)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for _, ev := range sink.events {
+		if ev.Kind == EventRepairCompleted && !strings.HasPrefix(ev.Domain, "batch:") {
+			t.Fatalf("ungrouped failure domain = %q, want batch:N", ev.Domain)
+		}
+	}
+}

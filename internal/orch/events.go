@@ -55,6 +55,12 @@ type Event struct {
 	Action     RepairAction
 	Node       topology.NodeID
 	Link       topology.LinkID
+	// Domain names the shared failure domain for repair-completed
+	// events: "srlg:…" when the batch cut risk-grouped links, else a
+	// unique "batch:N" tag. Every repair of one HandleFailures batch
+	// carries the same domain — the optimizer's storm mode groups
+	// re-protect work by it.
+	Domain string
 }
 
 // EventSink receives orchestrator events. Calls are synchronous and

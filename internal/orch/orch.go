@@ -207,6 +207,11 @@ type sharedCore struct {
 	// Shared: liveness transitions invalidate it for every shard at
 	// once.
 	vmIdx vmIndex
+
+	// batchSeq numbers HandleFailures batches that hit no shared-risk
+	// group, giving their repair events a unique failure domain
+	// (failureDomain). Shared so sharded fleets number globally.
+	batchSeq uint64
 }
 
 // newSharedCore builds the cross-shard substrate from a Config.

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/alvc/alvc/internal/placement"
@@ -132,7 +135,7 @@ func (o *Orchestrator) HandleFailures(nodes []topology.NodeID, links []topology.
 		return nil, err
 	}
 	reports := o.reconcileFailures(dead)
-	o.emitRepairEvents(reports)
+	o.emitRepairEvents(reports, o.failureDomain(dead))
 	return reports, firstRepairError(reports)
 }
 
@@ -155,12 +158,12 @@ func (o *Orchestrator) markFailuresDown(nodes []topology.NodeID, links []topolog
 			return resilience.FailureSet{}, fmt.Errorf("orch: link failure: topology: SetLinkDown: unknown link %d", l)
 		}
 	}
-	for _, n := range nodes {
-		_ = o.topo.SetNodeDown(n, true)
-	}
-	for _, l := range links {
-		_ = o.topo.SetLinkDown(l, true)
-	}
+	// Batch liveness mutators: the whole failure set lands as one
+	// topology generation bump and one overlay patch per cached
+	// snapshot, so a storm of dead links costs O(affected arcs), not
+	// O(resources) graph invalidations.
+	_ = o.topo.SetNodesDown(nodes, true)
+	_ = o.topo.SetLinksDown(links, true)
 	// Inside the write lock: a provision acquiring topoMu.RLock after
 	// this point must not see the stale live-VM cache. Link failures
 	// invalidate it too — a dead PM↔ToR link strands that PM's VMs.
@@ -196,13 +199,35 @@ func (o *Orchestrator) reconcileFailures(dead resilience.FailureSet) []RepairRep
 
 // emitRepairEvents wakes the background optimizer (no locks held):
 // every successful repair may have left a consumed standby or a drifted
-// placement behind.
-func (o *Orchestrator) emitRepairEvents(reports []RepairReport) {
+// placement behind. All events of one HandleFailures batch carry the
+// same failure domain, letting the optimizer's storm mode coalesce
+// their follow-up work per shared cause instead of per deployment.
+func (o *Orchestrator) emitRepairEvents(reports []RepairReport, domain string) {
 	for _, rep := range reports {
 		if rep.Succeeded() {
-			o.emit(Event{Kind: EventRepairCompleted, Deployment: rep.ID, Action: rep.Action})
+			o.emit(Event{Kind: EventRepairCompleted, Deployment: rep.ID, Action: rep.Action, Domain: domain})
 		}
 	}
+}
+
+// failureDomain names the shared failure domain of one HandleFailures
+// batch: the dead links' risk groups when any exist ("srlg:3+7" — the
+// physical tray or conduit that snapped), otherwise a unique per-batch
+// tag — either way, every repair event of the batch shares it.
+func (o *Orchestrator) failureDomain(dead resilience.FailureSet) string {
+	if len(dead.SRLGs) > 0 {
+		groups := make([]int, 0, len(dead.SRLGs))
+		for g := range dead.SRLGs {
+			groups = append(groups, g)
+		}
+		sort.Ints(groups)
+		parts := make([]string, len(groups))
+		for i, g := range groups {
+			parts[i] = strconv.Itoa(g)
+		}
+		return "srlg:" + strings.Join(parts, "+")
+	}
+	return "batch:" + strconv.FormatUint(atomic.AddUint64(&o.batchSeq, 1), 10)
 }
 
 // firstRepairError folds a report list to the error HandleFailures

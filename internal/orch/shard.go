@@ -328,9 +328,10 @@ func (s *Sharded) HandleFailures(nodes []topology.NodeID, links []topology.LinkI
 	runPool(len(s.shards), 0, func(i int) {
 		perShard[i] = s.shards[i].reconcileFailures(dead)
 	})
+	domain := s.shards[0].failureDomain(dead)
 	var reports []RepairReport
 	for i, sh := range s.shards {
-		sh.emitRepairEvents(perShard[i])
+		sh.emitRepairEvents(perShard[i], domain)
 		reports = append(reports, perShard[i]...)
 	}
 	sort.Slice(reports, func(i, j int) bool { return reports[i].ID < reports[j].ID })

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"testing"
+	"time"
 
 	"github.com/alvc/alvc"
 )
@@ -160,5 +161,76 @@ func TestOptimizerRunReprotectsOverHTTP(t *testing.T) {
 	}
 	if dj.Standby == nil || !dj.Standby.Disjoint {
 		t.Fatalf("standby after recovery run = %+v, want disjoint", dj.Standby)
+	}
+}
+
+// TestStormAndDebounceObservabilityOverHTTP: a debounced failure burst
+// engages optimizer storm mode, and both the coalescing counters and
+// the per-shard queue high-water marks are visible over the wire.
+func TestStormAndDebounceObservabilityOverHTTP(t *testing.T) {
+	ts, arch := newTestServerWith(t, wideConfig(24),
+		alvc.WithOptimizer(alvc.OptimizerOptions{StormThreshold: 1}),
+		alvc.WithFailureDebounce(time.Hour))
+
+	var hosts []alvc.NodeID
+	for i := 0; i < 3; i++ {
+		dep := provisionChain(t, ts.URL, fmt.Sprintf("storm-%d", i), "t-storm")
+		full := arch.Deployment(alvc.DeploymentID(dep.ID))
+		hosts = append(hosts, full.Placement.Hosts[0])
+	}
+	// Three per-host notifications in one window: one union batch, one
+	// shared failure domain, every chain repaired exactly once.
+	for _, h := range hosts {
+		arch.ReportFailures([]alvc.NodeID{h}, nil)
+	}
+	reports, err := arch.FlushFailures()
+	if err != nil {
+		t.Fatalf("FlushFailures: %v", err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %+v, want one per chain", reports)
+	}
+
+	_, body := do(t, "GET", ts.URL+"/v1/optimizer/status", nil)
+	st := mustUnmarshal[alvc.OptimizerStatus](t, body)
+	if st.Debounce == nil || st.Debounce.Events != 3 || st.Debounce.Batches != 1 || st.Debounce.Coalesced != 2 {
+		t.Fatalf("debounce over HTTP = %+v, want Events=3 Batches=1 Coalesced=2", st.Debounce)
+	}
+	if !st.Storm.Active || st.Storm.Activations != 1 || st.Storm.Domains != 1 {
+		t.Fatalf("storm over HTTP = %+v, want one active domain", st.Storm)
+	}
+	if st.Storm.CoalescedTasks == 0 || st.QueueDepth == 0 {
+		t.Fatalf("storm queue state = %+v, want coalesced backlog", st)
+	}
+
+	_, body = do(t, "GET", ts.URL+"/v1/metrics", nil)
+	metrics := mustUnmarshal[MetricsResponse](t, body)
+	if len(metrics.OptimizerQueueHighWater) == 0 {
+		t.Fatalf("metrics carry no optimizer high-water marks: %s", body)
+	}
+	peak := 0
+	for _, hw := range metrics.OptimizerQueueHighWater {
+		if hw > peak {
+			peak = hw
+		}
+	}
+	if peak < 2 {
+		t.Fatalf("high-water = %v, want a recorded spike", metrics.OptimizerQueueHighWater)
+	}
+
+	// Draining over HTTP disengages the storm.
+	status, body := do(t, "POST", ts.URL+"/v1/optimizer:run", nil)
+	if status != http.StatusOK {
+		t.Fatalf("run: %d (%s)", status, body)
+	}
+	run := mustUnmarshal[OptimizerRunResponse](t, body)
+	if run.Drained == 0 {
+		t.Fatalf("drained no tasks: %s", body)
+	}
+	if run.Status.Storm.Active {
+		t.Fatalf("storm still active after drain: %+v", run.Status.Storm)
+	}
+	if run.Status.Storm.Activations != 1 {
+		t.Fatalf("activations = %d, want 1", run.Status.Storm.Activations)
 	}
 }

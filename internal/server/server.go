@@ -595,5 +595,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.ShardCount = s.arch.ShardCount()
 	resp.Shards = s.arch.ShardStats()
+	if st, ok := s.arch.OptimizerStatus(); ok {
+		resp.OptimizerQueueHighWater = st.ShardHighWater
+	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -212,6 +212,10 @@ type MetricsResponse struct {
 	// entry.
 	ShardCount int              `json:"shard_count"`
 	Shards     []alvc.ShardStat `json:"shards"`
+	// OptimizerQueueHighWater is the deepest backlog each optimizer
+	// shard queue has reached since start — the storm watermark. Absent
+	// when no optimizer is attached.
+	OptimizerQueueHighWater []int `json:"optimizer_queue_high_water,omitempty"`
 }
 
 // OptimizerRunResponse is the body of POST /v1/optimizer:run — a

@@ -1,0 +1,219 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/alvc/alvc/internal/graph"
+)
+
+// TestLivenessOverlayEqualsColdRebuild is the failure-storm property
+// test: after an arbitrary interleaving of fail/recover patches —
+// single and batch, nodes and links — every masked-snapshot search
+// (Dijkstra, filtered search, Yen, distances, BFS) must be
+// byte-identical to a cold rebuild of the same topology state, while
+// the cached snapshot itself never rebuilds.
+func TestLivenessOverlayEqualsColdRebuild(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Seed = 11
+	topo, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	tors := topo.NodeIDs(KindToR)
+	opss := topo.NodeIDs(KindOPS)
+	pms := topo.NodeIDs(KindPhysicalMachine)
+	var linkIDs []LinkID
+	for _, l := range topo.Links() {
+		linkIDs = append(linkIDs, l.ID)
+	}
+	// Nodes eligible for fail/recover churn (never the search
+	// endpoints' whole kind at once — the comparison handles dead
+	// endpoints anyway).
+	churnNodes := append(append([]NodeID{}, opss...), pms...)
+
+	opts := GraphOptions{IncludeVMs: true}
+	snap := topo.RoutingSnapshot(opts)
+	warmBuilds := topo.GraphBuilds()
+	coldBuilds := uint64(0)
+
+	// Endpoints to compare: ToRs, OPSs and a few VMs (VMs exercise the
+	// host-coupling rule: a VM on a down PM is invisible).
+	vms := topo.NodeIDs(KindVM)
+	endpoints := append(append([]NodeID{}, tors...), opss[:4]...)
+	if len(vms) > 4 {
+		endpoints = append(endpoints, vms[:4]...)
+	}
+
+	compare := func(step int) {
+		cold := topo.RoutingGraph(opts)
+		coldBuilds++
+		for trial := 0; trial < 6; trial++ {
+			src := endpoints[rng.Intn(len(endpoints))]
+			dst := endpoints[rng.Intn(len(endpoints))]
+			if src == dst {
+				continue
+			}
+			var restrict map[NodeID]bool
+			if trial%2 == 1 {
+				restrict = make(map[NodeID]bool)
+				for _, ops := range opss {
+					if rng.Float64() < 0.7 {
+						restrict[ops] = true
+					}
+				}
+			}
+			// The cold comparator applies the restriction at build time.
+			coldG := cold
+			if restrict != nil {
+				coldG = topo.RoutingGraph(GraphOptions{IncludeVMs: true, RestrictOPS: restrict})
+				coldBuilds++
+			}
+			wantP, wantW, wantErr := coldG.ShortestPath(graph.VertexID(src), graph.VertexID(dst))
+			gotP, gotW, gotErr := snap.ShortestPath(src, dst, restrict)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("step %d %d->%d: error mismatch cold=%v masked=%v", step, src, dst, wantErr, gotErr)
+			}
+			if wantErr == nil {
+				if wantW != gotW || len(wantP) != len(gotP) {
+					t.Fatalf("step %d %d->%d: cold %v (%g) vs masked %v (%g)", step, src, dst, wantP, wantW, gotP, gotW)
+				}
+				for i := range wantP {
+					if NodeID(wantP[i]) != gotP[i] {
+						t.Fatalf("step %d %d->%d: cold %v vs masked %v", step, src, dst, wantP, gotP)
+					}
+				}
+			}
+
+			wantPs, wantWs, wantErr2 := coldG.KShortestPaths(graph.VertexID(src), graph.VertexID(dst), 3)
+			gotPs, gotWs, gotErr2 := snap.KShortestPaths(src, dst, 3, restrict)
+			if (wantErr2 == nil) != (gotErr2 == nil) {
+				t.Fatalf("step %d yen %d->%d: error mismatch cold=%v masked=%v", step, src, dst, wantErr2, gotErr2)
+			}
+			if wantErr2 == nil {
+				if len(wantPs) != len(gotPs) {
+					t.Fatalf("step %d yen %d->%d: %d vs %d paths", step, src, dst, len(wantPs), len(gotPs))
+				}
+				for i := range wantPs {
+					if wantWs[i] != gotWs[i] || len(wantPs[i]) != len(gotPs[i]) {
+						t.Fatalf("step %d yen path %d: cold %v (%g) vs masked %v (%g)", step, i, wantPs[i], wantWs[i], gotPs[i], gotWs[i])
+					}
+					for j := range wantPs[i] {
+						if NodeID(wantPs[i][j]) != gotPs[i][j] {
+							t.Fatalf("step %d yen path %d: cold %v vs masked %v", step, i, wantPs[i], gotPs[i])
+						}
+					}
+				}
+			}
+
+			// Reachability sweeps (unrestricted only: the cold BFS and
+			// distance comparators have no filtered variant).
+			if restrict == nil {
+				wantD, errD := coldG.Distances(graph.VertexID(src))
+				gotD, errD2 := snap.Distances(src, nil)
+				if (errD == nil) != (errD2 == nil) {
+					t.Fatalf("step %d distances %d: error mismatch cold=%v masked=%v", step, src, errD, errD2)
+				}
+				if errD == nil {
+					if len(wantD) != len(gotD) {
+						t.Fatalf("step %d distances %d: %d vs %d reachable", step, src, len(wantD), len(gotD))
+					}
+					for v, d := range wantD {
+						if gotD[NodeID(v)] != d {
+							t.Fatalf("step %d distances %d: vertex %d cold %g masked %g", step, src, v, d, gotD[NodeID(v)])
+						}
+					}
+				}
+				wantB := coldG.BFSOrder(graph.VertexID(src))
+				gotB := snap.BFSOrder(src, nil)
+				if len(wantB) != len(gotB) {
+					t.Fatalf("step %d bfs %d: %d vs %d vertices", step, src, len(wantB), len(gotB))
+				}
+				for i := range wantB {
+					if NodeID(wantB[i]) != gotB[i] {
+						t.Fatalf("step %d bfs %d: cold %v vs masked %v", step, src, wantB, gotB)
+					}
+				}
+			}
+		}
+	}
+
+	downNodes := make(map[NodeID]bool)
+	downLinks := make(map[LinkID]bool)
+	for step := 0; step < 40; step++ {
+		switch rng.Intn(4) {
+		case 0: // single node flip
+			id := churnNodes[rng.Intn(len(churnNodes))]
+			down := !downNodes[id]
+			if err := topo.SetNodeDown(id, down); err != nil {
+				t.Fatal(err)
+			}
+			downNodes[id] = down
+		case 1: // single link flip
+			id := linkIDs[rng.Intn(len(linkIDs))]
+			down := !downLinks[id]
+			if err := topo.SetLinkDown(id, down); err != nil {
+				t.Fatal(err)
+			}
+			downLinks[id] = down
+		case 2: // node batch (correlated rack-style event)
+			var batch []NodeID
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				batch = append(batch, churnNodes[rng.Intn(len(churnNodes))])
+			}
+			down := rng.Intn(2) == 0
+			if err := topo.SetNodesDown(batch, down); err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range batch {
+				downNodes[id] = down
+			}
+		default: // link batch (SRLG-style tray cut)
+			var batch []LinkID
+			for i := 0; i < 1+rng.Intn(5); i++ {
+				batch = append(batch, linkIDs[rng.Intn(len(linkIDs))])
+			}
+			down := rng.Intn(2) == 0
+			if err := topo.SetLinksDown(batch, down); err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range batch {
+				downLinks[id] = down
+			}
+		}
+		if s := topo.RoutingSnapshot(opts); s != snap {
+			t.Fatalf("step %d: liveness churn replaced the cached snapshot", step)
+		}
+		compare(step)
+	}
+
+	// Full recovery: the overlay must drain back to the pristine state.
+	var deadN []NodeID
+	for id, down := range downNodes {
+		if down {
+			deadN = append(deadN, id)
+		}
+	}
+	var deadL []LinkID
+	for id, down := range downLinks {
+		if down {
+			deadL = append(deadL, id)
+		}
+	}
+	if err := topo.SetNodesDown(deadN, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.SetLinksDown(deadL, false); err != nil {
+		t.Fatal(err)
+	}
+	compare(40)
+
+	// Every build after warm-up must be attributable to a cold
+	// comparator: the masked side rebuilt nothing across the whole
+	// interleaving.
+	if got, want := topo.GraphBuilds(), warmBuilds+coldBuilds; got != want {
+		t.Fatalf("liveness churn triggered snapshot rebuilds: %d builds, want %d (warm %d + cold comparators %d)",
+			got, want, warmBuilds, coldBuilds)
+	}
+}

@@ -6,30 +6,50 @@ import (
 	"github.com/alvc/alvc/internal/graph"
 )
 
-// Snapshot is an immutable, epoch-versioned routing view of the
-// topology: a frozen CSR graph plus the metadata needed to answer
-// restricted (in-slice) searches without rebuilding anything. Snapshots
-// are cached per (IncludeVMs, UseHops) key against the topology's
-// generation counter — RestrictOPS is applied as a search-time vertex
-// filter, so every restriction set shares the same cached graph.
+// Snapshot is an epoch-versioned routing view of the topology: a frozen
+// CSR graph plus the metadata needed to answer restricted (in-slice)
+// searches without rebuilding anything. Snapshots are cached per
+// (IncludeVMs, UseHops) key against the topology's *structural*
+// generation — RestrictOPS is applied as a search-time vertex filter,
+// so every restriction set shares the same cached graph.
 //
-// A Snapshot is safe for concurrent use and stays valid (as a view of
-// the generation it was built at) after the topology mutates; the next
-// RoutingSnapshot call simply rebuilds.
+// Liveness is not a build-time dimension: the frozen graph contains
+// every node and link, up or down, and a durable graph.LiveMask overlay
+// hides the dead ones from every search. SetNodeDown/SetLinkDown (and
+// the batch variants) patch the overlay of each cached snapshot in
+// place, so a failure storm costs zero graph rebuilds; only structural
+// mutations (add node/link, VM churn, latency, SRLG) invalidate the
+// cache.
+//
+// A Snapshot is safe for concurrent use. Searches hold the overlay's
+// read lock for their whole run, so each observes either all or none of
+// a batch liveness patch.
 type Snapshot struct {
-	gen    uint64
-	frozen *graph.Frozen
-	// opsMask marks the live OPS vertices of the snapshot — the only
-	// kind a RestrictOPS filter may exclude — as a dense bitmap indexed
-	// by vertex ID. Filters test it once per relaxed edge, so a map here
-	// would put a hash lookup on every edge of every search.
+	structGen uint64
+	key       snapKey
+	frozen    *graph.Frozen
+	// opsMask marks the OPS vertices of the snapshot — the only kind a
+	// RestrictOPS filter may exclude — as a dense bitmap indexed by
+	// vertex ID. Filters test it once per relaxed edge, so a map here
+	// would put a hash lookup on every edge of every search. Down OPSs
+	// are included; the liveness overlay hides them.
 	opsMask []bool
+	// mask is the durable liveness overlay: down vertices by dense index
+	// and down link arcs by CSR position.
+	mask *graph.LiveMask
+	// linkArcs maps each link to its CSR arc positions (both directions,
+	// plus parallels), resolved once at build time via edge tags so a
+	// liveness patch is O(affected arcs).
+	linkArcs map[LinkID][]int32
 }
 
-// Generation returns the topology generation the snapshot was built at.
-func (s *Snapshot) Generation() uint64 { return s.gen }
+// Generation returns the structural generation the snapshot was built
+// at. Liveness transitions do not advance it.
+func (s *Snapshot) Generation() uint64 { return s.structGen }
 
-// Graph returns the frozen CSR graph backing the snapshot.
+// Graph returns the frozen CSR graph backing the snapshot. It contains
+// every node and link regardless of liveness; direct searches on it
+// bypass the down-overlay — use the Snapshot search methods instead.
 func (s *Snapshot) Graph() *graph.Frozen { return s.frozen }
 
 // Filter translates a RestrictOPS set into a search-time vertex filter
@@ -58,11 +78,11 @@ func (s *Snapshot) Filter(restrict map[NodeID]bool) graph.Filter {
 }
 
 // ShortestPath returns the minimum-weight path between two nodes over
-// the snapshot, honoring a RestrictOPS set (nil = unrestricted). It is
-// output-identical to searching Topology.RoutingGraph built with the
-// same options and restriction.
+// the snapshot, honoring a RestrictOPS set (nil = unrestricted) and the
+// liveness overlay. It is output-identical to searching
+// Topology.RoutingGraph built with the same options and restriction.
 func (s *Snapshot) ShortestPath(src, dst NodeID, restrict map[NodeID]bool) ([]NodeID, float64, error) {
-	vp, w, err := s.frozen.ShortestPathFiltered(graph.VertexID(src), graph.VertexID(dst), s.Filter(restrict))
+	vp, w, err := s.frozen.ShortestPathMasked(graph.VertexID(src), graph.VertexID(dst), s.Filter(restrict), s.mask)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -71,9 +91,9 @@ func (s *Snapshot) ShortestPath(src, dst NodeID, restrict map[NodeID]bool) ([]No
 
 // KShortestPaths returns up to k loopless paths between two nodes in
 // nondecreasing weight order over the snapshot, honoring a RestrictOPS
-// set (nil = unrestricted).
+// set (nil = unrestricted) and the liveness overlay.
 func (s *Snapshot) KShortestPaths(src, dst NodeID, k int, restrict map[NodeID]bool) ([][]NodeID, []float64, error) {
-	vps, ws, err := s.frozen.KShortestPathsFiltered(graph.VertexID(src), graph.VertexID(dst), k, s.Filter(restrict))
+	vps, ws, err := s.frozen.KShortestPathsMasked(graph.VertexID(src), graph.VertexID(dst), k, s.Filter(restrict), s.mask)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -84,7 +104,31 @@ func (s *Snapshot) KShortestPaths(src, dst NodeID, k int, restrict map[NodeID]bo
 	return out, ws, nil
 }
 
+// Distances returns the shortest-path weight from src to every node
+// reachable over the snapshot, honoring a RestrictOPS set and the
+// liveness overlay.
+func (s *Snapshot) Distances(src NodeID, restrict map[NodeID]bool) (map[NodeID]float64, error) {
+	vd, err := s.frozen.DistancesMasked(graph.VertexID(src), s.Filter(restrict), s.mask)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[NodeID]float64, len(vd))
+	for v, d := range vd {
+		out[NodeID(v)] = d
+	}
+	return out, nil
+}
+
+// BFSOrder returns nodes reachable from src in breadth-first order over
+// the snapshot, honoring a RestrictOPS set and the liveness overlay.
+func (s *Snapshot) BFSOrder(src NodeID, restrict map[NodeID]bool) []NodeID {
+	return toNodePath(s.frozen.BFSOrderMasked(graph.VertexID(src), s.Filter(restrict), s.mask))
+}
+
 func toNodePath(vp []graph.VertexID) []NodeID {
+	if vp == nil {
+		return nil
+	}
 	path := make([]NodeID, len(vp))
 	for i, v := range vp {
 		path[i] = NodeID(v)
@@ -93,62 +137,202 @@ func toNodePath(vp []graph.VertexID) []NodeID {
 }
 
 // snapKey is the cache key of one snapshot: every GraphOptions field
-// except RestrictOPS, which is a search-time filter rather than a
-// build-time dimension.
+// except RestrictOPS (a search-time filter) and liveness (an overlay
+// patch).
 type snapKey struct {
 	includeVMs bool
 	useHops    bool
 }
 
-// Generation returns the topology's mutation epoch. Every mutation —
-// node/link add, VM remove/migrate, node/link up/down, latency change,
-// SRLG edit — bumps it; cached snapshots are valid iff their generation
+// Generation returns the topology's total mutation epoch. Every
+// mutation — structural or liveness — bumps it; the derived adjacency
+// caches (which filter on Down flags) are valid iff their generation
 // matches.
 func (t *Topology) Generation() uint64 { return atomic.LoadUint64(&t.gen) }
 
-// bumpGeneration invalidates all cached routing snapshots. Called by
-// every mutator; atomic so concurrent readers of Generation never race
-// even outside the orchestrator's topology lock.
+// StructuralGeneration returns the structural mutation epoch: node/link
+// adds, VM churn, latency and SRLG edits bump it; liveness transitions
+// do not. Cached routing snapshots are valid iff their structural
+// generation matches — liveness lands on them as an overlay patch.
+func (t *Topology) StructuralGeneration() uint64 { return atomic.LoadUint64(&t.structGen) }
+
+// bumpGeneration records a liveness-only mutation: derived caches
+// invalidate, cached routing snapshots survive (the caller patches
+// their overlays). Atomic so concurrent readers of Generation never
+// race even outside the orchestrator's topology lock.
 func (t *Topology) bumpGeneration() { atomic.AddUint64(&t.gen, 1) }
 
+// bumpStructural records a structural mutation, invalidating both the
+// derived caches and all cached routing snapshots.
+func (t *Topology) bumpStructural() {
+	atomic.AddUint64(&t.structGen, 1)
+	atomic.AddUint64(&t.gen, 1)
+}
+
 // GraphBuilds returns how many times a routing graph has been built
-// from scratch (RoutingGraph calls, including snapshot rebuilds). The
-// fast-path contract — zero rebuilds on unchanged topology — is
-// asserted against this counter's delta.
+// from scratch (RoutingGraph calls and snapshot builds). The fast-path
+// contracts — zero rebuilds on unchanged topology, zero rebuilds during
+// a failure storm — are asserted against this counter's delta.
 func (t *Topology) GraphBuilds() uint64 { return atomic.LoadUint64(&t.builds) }
 
 // RoutingSnapshot returns the cached routing snapshot for the options,
-// rebuilding only if the topology mutated since the last build with the
-// same (IncludeVMs, UseHops) key. opts.RestrictOPS is ignored here —
-// pass restriction sets to the snapshot's search methods instead, so
-// restricted searches share the unrestricted cache entry.
+// rebuilding only if the topology *structurally* mutated since the last
+// build with the same (IncludeVMs, UseHops) key; liveness transitions
+// are patched into the cached snapshot in place and never rebuild.
+// opts.RestrictOPS is ignored here — pass restriction sets to the
+// snapshot's search methods instead, so restricted searches share the
+// unrestricted cache entry.
 func (t *Topology) RoutingSnapshot(opts GraphOptions) *Snapshot {
 	key := snapKey{includeVMs: opts.IncludeVMs, useHops: opts.UseHops}
-	gen := t.Generation()
 	t.snapMu.Lock()
 	defer t.snapMu.Unlock()
+	sg := t.StructuralGeneration()
 	if t.snaps == nil {
 		t.snaps = make(map[snapKey]*Snapshot)
 	}
-	if s := t.snaps[key]; s != nil && s.gen == gen {
+	if s := t.snaps[key]; s != nil && s.structGen == sg {
 		return s
 	}
-	full := opts
-	full.RestrictOPS = nil
-	g := t.RoutingGraph(full)
-	s := &Snapshot{gen: gen, frozen: g.Frozen()}
+	s := t.buildSnapshot(key, sg)
+	t.snaps[key] = s
+	return s
+}
+
+// buildSnapshot constructs a snapshot from scratch: the full graph —
+// down nodes and links included — plus a liveness overlay reflecting
+// the current down-state. Caller holds snapMu.
+func (t *Topology) buildSnapshot(key snapKey, structGen uint64) *Snapshot {
+	atomic.AddUint64(&t.builds, 1)
+	g := graph.New(false)
+	for _, n := range t.Nodes() {
+		if n.Kind != KindVM {
+			g.AddVertex(graph.VertexID(n.ID))
+		}
+	}
+	for _, l := range t.Links() {
+		nf, nt := t.nodes[l.From], t.nodes[l.To]
+		if nf == nil || nt == nil || nf.Kind == KindVM || nt.Kind == KindVM {
+			continue
+		}
+		w := l.LatencyMicros
+		if key.useHops {
+			w = 1
+		}
+		// The link ID rides along as the edge tag so the overlay can
+		// address this link's CSR arcs — parallel links included.
+		_ = g.AddEdgeTagged(graph.VertexID(l.From), graph.VertexID(l.To), w, int64(l.ID))
+	}
+	if key.includeVMs {
+		for _, n := range t.Nodes(KindVM) {
+			if t.nodes[n.Host] == nil {
+				continue
+			}
+			w := 0.1
+			if key.useHops {
+				w = 1
+			}
+			_ = g.AddEdgeTagged(graph.VertexID(n.ID), graph.VertexID(n.Host), w, 0)
+		}
+	}
+	f := g.Frozen()
+	s := &Snapshot{
+		structGen: structGen,
+		key:       key,
+		frozen:    f,
+		mask:      f.NewLiveMask(),
+		linkArcs:  make(map[LinkID][]int32),
+	}
+	for pos, tag := range f.ArcTags() {
+		if tag != 0 {
+			s.linkArcs[LinkID(tag)] = append(s.linkArcs[LinkID(tag)], int32(pos))
+		}
+	}
+	// Seed the overlay with the current liveness state.
+	vertex := make(map[int32]bool)
+	var deadArcs []int32
+	for _, n := range t.nodes {
+		if t.effectiveDown(n) {
+			if i, ok := f.IndexOf(graph.VertexID(n.ID)); ok {
+				vertex[i] = true
+			}
+		}
+	}
+	for _, l := range t.links {
+		if l.Down {
+			deadArcs = append(deadArcs, s.linkArcs[l.ID]...)
+		}
+	}
+	if len(vertex) > 0 || len(deadArcs) > 0 {
+		s.mask.Patch(vertex, deadArcs, true)
+	}
 	var maxID NodeID
 	for _, n := range t.Nodes(KindOPS) {
-		if !n.Down && n.ID > maxID {
+		if n.ID > maxID {
 			maxID = n.ID
 		}
 	}
 	s.opsMask = make([]bool, maxID+1)
 	for _, n := range t.Nodes(KindOPS) {
-		if !n.Down {
-			s.opsMask[n.ID] = true
+		s.opsMask[n.ID] = true
+	}
+	return s
+}
+
+// effectiveDown reports whether a node should be invisible to routing:
+// itself down, or (for a VM) hosted on a down or missing PM — matching
+// RoutingGraph's build-time exclusion rules.
+func (t *Topology) effectiveDown(n *Node) bool {
+	if n.Down {
+		return true
+	}
+	if n.Kind == KindVM {
+		h := t.nodes[n.Host]
+		return h == nil || h.Down
+	}
+	return false
+}
+
+// applyLiveness patches the down-state of the given nodes and links
+// into every current cached snapshot in place — O(affected arcs) per
+// snapshot, zero graph rebuilds. Stale-generation entries are skipped
+// (their next fetch rebuilds from current state anyway).
+func (t *Topology) applyLiveness(nodes []*Node, links []*Link, down bool) {
+	t.snapMu.Lock()
+	defer t.snapMu.Unlock()
+	sg := t.StructuralGeneration()
+	for _, s := range t.snaps {
+		if s.structGen != sg {
+			continue
+		}
+		var vertex map[int32]bool
+		if len(nodes) > 0 {
+			vertex = make(map[int32]bool, len(nodes))
+			for _, n := range nodes {
+				s.collectNodePatch(t, n, vertex)
+			}
+		}
+		var arcs []int32
+		for _, l := range links {
+			arcs = append(arcs, s.linkArcs[l.ID]...)
+		}
+		if len(vertex) > 0 || len(arcs) > 0 {
+			s.mask.Patch(vertex, arcs, down)
 		}
 	}
-	t.snaps[key] = s
-	return s
+}
+
+// collectNodePatch records the node's effective down-state (and, for a
+// PM in a VM-bearing snapshot, its hosted VMs' — a VM is reachable only
+// through its host, and cold builds exclude VMs on down hosts).
+func (s *Snapshot) collectNodePatch(t *Topology, n *Node, vertex map[int32]bool) {
+	if i, ok := s.frozen.IndexOf(graph.VertexID(n.ID)); ok {
+		vertex[i] = t.effectiveDown(n)
+	}
+	if n.Kind == KindPhysicalMachine && s.key.includeVMs {
+		for _, vm := range t.VMsOnPM(n.ID) {
+			if i, ok := s.frozen.IndexOf(graph.VertexID(vm)); ok {
+				vertex[i] = t.effectiveDown(t.nodes[vm])
+			}
+		}
+	}
 }

@@ -67,7 +67,11 @@ func TestSnapshotCacheHitAndInvalidation(t *testing.T) {
 		t.Fatal("hop-weighted snapshot must be cached too")
 	}
 
-	mutate := []struct {
+	// Liveness transitions patch the cached snapshot in place: the
+	// total generation bumps (derived caches must refresh), but the
+	// structural generation, the cache entry, and the build counter all
+	// hold still.
+	liveness := []struct {
 		name string
 		fn   func() error
 	}{
@@ -75,24 +79,125 @@ func TestSnapshotCacheHitAndInvalidation(t *testing.T) {
 		{"SetLinkUp", func() error { return topo.SetLinkDown(1, false) }},
 		{"SetNodeDown", func() error { return topo.SetNodeDown(opss[3], true) }},
 		{"SetNodeUp", func() error { return topo.SetNodeDown(opss[3], false) }},
+		{"SetNodesDown", func() error { return topo.SetNodesDown([]NodeID{opss[2], opss[3]}, true) }},
+		{"SetNodesUp", func() error { return topo.SetNodesDown([]NodeID{opss[2], opss[3]}, false) }},
+		{"SetLinksDown", func() error { return topo.SetLinksDown([]LinkID{1, 2}, true) }},
+		{"SetLinksUp", func() error { return topo.SetLinksDown([]LinkID{1, 2}, false) }},
+	}
+	for _, m := range liveness {
+		gen := topo.Generation()
+		sgen := topo.StructuralGeneration()
+		prev := topo.RoutingSnapshot(opts)
+		builds := topo.GraphBuilds()
+		if err := m.fn(); err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if topo.Generation() == gen {
+			t.Fatalf("%s did not bump the total generation", m.name)
+		}
+		if topo.StructuralGeneration() != sgen {
+			t.Fatalf("%s bumped the structural generation", m.name)
+		}
+		if s := topo.RoutingSnapshot(opts); s != prev {
+			t.Fatalf("%s invalidated the snapshot cache (liveness must patch in place)", m.name)
+		}
+		if got := topo.GraphBuilds(); got != builds {
+			t.Fatalf("%s rebuilt the graph: %d -> %d builds", m.name, builds, got)
+		}
+	}
+
+	// Structural mutations still invalidate: the next fetch rebuilds.
+	structural := []struct {
+		name string
+		fn   func() error
+	}{
 		{"SetLinkLatency", func() error { return topo.SetLinkLatency(2, 7.5) }},
 		{"SetLinkSRLG", func() error { return topo.SetLinkSRLG(2, 11) }},
 		{"AddToR", func() error { topo.AddToR(2); return nil }},
 	}
-	for _, m := range mutate {
+	for _, m := range structural {
 		gen := topo.Generation()
+		sgen := topo.StructuralGeneration()
 		prev := topo.RoutingSnapshot(opts)
 		if err := m.fn(); err != nil {
 			t.Fatalf("%s: %v", m.name, err)
 		}
 		if topo.Generation() == gen {
-			t.Fatalf("%s did not bump the generation", m.name)
+			t.Fatalf("%s did not bump the total generation", m.name)
+		}
+		if topo.StructuralGeneration() == sgen {
+			t.Fatalf("%s did not bump the structural generation", m.name)
 		}
 		if s := topo.RoutingSnapshot(opts); s == prev {
 			t.Fatalf("%s did not invalidate the snapshot cache", m.name)
 		}
 	}
 	_ = tors
+}
+
+// TestBatchLivenessMutators pins the batch-mutator contract: one
+// generation bump for the whole set, atomic reject on any unknown ID,
+// and per-element down flags identical to the single-mutator path.
+func TestBatchLivenessMutators(t *testing.T) {
+	topo, tors, opss := snapTestTopo(t)
+
+	gen := topo.Generation()
+	if err := topo.SetNodesDown([]NodeID{opss[0], opss[1], tors[0]}, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Generation() - gen; got != 1 {
+		t.Fatalf("batch node-down bumped the generation %d times, want 1", got)
+	}
+	for _, id := range []NodeID{opss[0], opss[1], tors[0]} {
+		if !topo.Node(id).Down {
+			t.Fatalf("node %d not down after batch", id)
+		}
+	}
+	if err := topo.SetNodesDown([]NodeID{opss[0], opss[1], tors[0]}, false); err != nil {
+		t.Fatal(err)
+	}
+
+	gen = topo.Generation()
+	if err := topo.SetLinksDown([]LinkID{1, 2, 3}, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Generation() - gen; got != 1 {
+		t.Fatalf("batch link-down bumped the generation %d times, want 1", got)
+	}
+	for _, id := range []LinkID{1, 2, 3} {
+		if !topo.Link(id).Down {
+			t.Fatalf("link %d not down after batch", id)
+		}
+	}
+
+	// Atomic reject: an unknown ID anywhere in the set mutates nothing.
+	gen = topo.Generation()
+	if err := topo.SetNodesDown([]NodeID{opss[2], 9999}, true); err == nil {
+		t.Fatal("unknown node in batch must fail")
+	}
+	if topo.Node(opss[2]).Down {
+		t.Fatal("rejected batch mutated a node")
+	}
+	if err := topo.SetLinksDown([]LinkID{4, 9999}, true); err == nil {
+		t.Fatal("unknown link in batch must fail")
+	}
+	if topo.Link(4).Down {
+		t.Fatal("rejected batch mutated a link")
+	}
+	if topo.Generation() != gen {
+		t.Fatal("rejected batch bumped the generation")
+	}
+
+	// Empty sets are no-ops.
+	if err := topo.SetNodesDown(nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.SetLinksDown(nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Generation() != gen {
+		t.Fatal("empty batch bumped the generation")
+	}
 }
 
 // TestSnapshotReflectsLinkFailure is the ISSUE's invalidation check at

@@ -19,12 +19,16 @@ type Topology struct {
 	nextNode NodeID
 	nextLink LinkID
 
-	// gen is the mutation epoch (see Generation); builds counts
-	// from-scratch routing-graph constructions (see GraphBuilds). Both
-	// are accessed atomically so snapshot-cache reads never race with
-	// mutators even outside the orchestrator's topology lock.
-	gen    uint64
-	builds uint64
+	// gen is the total mutation epoch (see Generation) and structGen
+	// the structural one (see StructuralGeneration) — liveness
+	// transitions bump only the former, so cached routing snapshots
+	// survive failure storms. builds counts from-scratch routing-graph
+	// constructions (see GraphBuilds). All are accessed atomically so
+	// snapshot-cache reads never race with mutators even outside the
+	// orchestrator's topology lock.
+	gen       uint64
+	structGen uint64
+	builds    uint64
 
 	// snapMu guards the epoch-keyed routing-snapshot cache. Snapshots
 	// themselves are immutable once published.
@@ -83,7 +87,7 @@ func (t *Topology) addNode(n Node) NodeID {
 		n.Name = fmt.Sprintf("%s-%d", n.Kind, n.ID)
 	}
 	t.nodes[n.ID] = &n
-	t.bumpGeneration()
+	t.bumpStructural()
 	return n.ID
 }
 
@@ -162,7 +166,7 @@ func (t *Topology) AddLink(from, to NodeID, kind LinkKind, bandwidthGbps, latenc
 	t.links[l.ID] = l
 	t.adj[from] = append(t.adj[from], l.ID)
 	t.adj[to] = append(t.adj[to], l.ID)
-	t.bumpGeneration()
+	t.bumpStructural()
 	return l.ID, nil
 }
 
@@ -174,7 +178,7 @@ func (t *Topology) RemoveVM(vm NodeID) error {
 		return fmt.Errorf("topology: RemoveVM: node %d is not a VM", vm)
 	}
 	delete(t.nodes, vm)
-	t.bumpGeneration()
+	t.bumpStructural()
 	return nil
 }
 
@@ -191,7 +195,7 @@ func (t *Topology) MigrateVM(vm, toPM NodeID) error {
 	}
 	n.Host = toPM
 	n.Rack = host.Rack
-	t.bumpGeneration()
+	t.bumpStructural()
 	return nil
 }
 
@@ -317,7 +321,9 @@ func (t *Topology) neighborsOfKind(id NodeID, kind NodeKind) []NodeID {
 }
 
 // SetNodeDown marks a switch or machine as failed (or repaired).
-// Down nodes disappear from connectivity queries and routing graphs.
+// Down nodes disappear from connectivity queries and routing searches.
+// This is a liveness transition: cached routing snapshots are patched
+// in place (zero graph rebuilds), only the derived caches invalidate.
 func (t *Topology) SetNodeDown(id NodeID, down bool) error {
 	n := t.nodes[id]
 	if n == nil {
@@ -325,10 +331,12 @@ func (t *Topology) SetNodeDown(id NodeID, down bool) error {
 	}
 	n.Down = down
 	t.bumpGeneration()
+	t.applyLiveness([]*Node{n}, nil, down)
 	return nil
 }
 
-// SetLinkDown marks a link as failed (or repaired).
+// SetLinkDown marks a link as failed (or repaired). Like SetNodeDown
+// this patches cached routing snapshots in place instead of rebuilding.
 func (t *Topology) SetLinkDown(id LinkID, down bool) error {
 	l := t.links[id]
 	if l == nil {
@@ -336,6 +344,54 @@ func (t *Topology) SetLinkDown(id LinkID, down bool) error {
 	}
 	l.Down = down
 	t.bumpGeneration()
+	t.applyLiveness(nil, []*Link{l}, down)
+	return nil
+}
+
+// SetNodesDown marks a whole set of nodes failed (or recovered) as one
+// liveness transition: every ID is validated before anything mutates
+// (atomic reject), the generation bumps once instead of once per node,
+// and all cached snapshots absorb the batch under a single overlay
+// patch — the fast path for rack events and failure storms.
+func (t *Topology) SetNodesDown(ids []NodeID, down bool) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	nodes := make([]*Node, len(ids))
+	for i, id := range ids {
+		n := t.nodes[id]
+		if n == nil {
+			return fmt.Errorf("topology: SetNodesDown: unknown node %d", id)
+		}
+		nodes[i] = n
+	}
+	for _, n := range nodes {
+		n.Down = down
+	}
+	t.bumpGeneration()
+	t.applyLiveness(nodes, nil, down)
+	return nil
+}
+
+// SetLinksDown is SetNodesDown for links: one validation pass, one
+// generation bump, one overlay patch for the whole set.
+func (t *Topology) SetLinksDown(ids []LinkID, down bool) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	links := make([]*Link, len(ids))
+	for i, id := range ids {
+		l := t.links[id]
+		if l == nil {
+			return fmt.Errorf("topology: SetLinksDown: unknown link %d", id)
+		}
+		links[i] = l
+	}
+	for _, l := range links {
+		l.Down = down
+	}
+	t.bumpGeneration()
+	t.applyLiveness(nil, links, down)
 	return nil
 }
 
@@ -350,7 +406,7 @@ func (t *Topology) SetLinkLatency(id LinkID, latencyMicros float64) error {
 		return fmt.Errorf("topology: SetLinkLatency: negative latency %f on link %d", latencyMicros, id)
 	}
 	l.LatencyMicros = latencyMicros
-	t.bumpGeneration()
+	t.bumpStructural()
 	return nil
 }
 
@@ -366,7 +422,7 @@ func (t *Topology) SetLinkSRLG(id LinkID, groups ...int) error {
 		return fmt.Errorf("topology: SetLinkSRLG: unknown link %d", id)
 	}
 	l.SRLG = append([]int(nil), groups...)
-	t.bumpGeneration()
+	t.bumpStructural()
 	return nil
 }
 
