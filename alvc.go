@@ -348,20 +348,24 @@ func FromTopology(topo *topology.Topology, opts ...Option) (*Architecture, error
 		orch:         sh.Shard(0),
 		batchWorkers: s.batchWorkers,
 	}
+	// Every shard emits into one multiplexer rather than claiming the
+	// orchestrator's single sink slot, so the optimizer, telemetry
+	// bridges and other observers subscribe independently
+	// (SubscribeEvents). The mux is always installed: event streaming
+	// works with or without an optimizer.
+	mux := orch.NewEventMux()
+	sh.SetEventSink(mux)
+	arch.events = mux
 	if s.optimizer != nil {
 		eng, err := optimizer.New(sh, *s.optimizer)
 		if err != nil {
 			return nil, fmt.Errorf("alvc: %w", err)
 		}
-		// The engine subscribes through a multiplexer rather than
-		// claiming the orchestrator's single sink slot, so metrics
-		// exporters and other observers can subscribe independently
-		// (SubscribeEvents). Every shard emits into the same mux.
-		mux := orch.NewEventMux()
 		mux.Subscribe(eng)
-		sh.SetEventSink(mux)
+		// Only with an engine draining repair events may repairs defer
+		// standby replanning off the recovery hot path.
+		sh.SetDeferReprotect(true)
 		arch.opt = eng
-		arch.events = mux
 	}
 	if s.debounceWindow != nil {
 		arch.debounce = orch.NewFailureDebouncer(sh, *s.debounceWindow)
@@ -374,15 +378,13 @@ func FromTopology(topo *topology.Topology, opts ...Option) (*Architecture, error
 
 // SubscribeEvents registers an additional orchestrator-event subscriber
 // (a metrics exporter, an audit log) alongside the background
-// optimizer, returning its cancel function. Subscribers run
-// synchronously per event and must return quickly (enqueue, don't
-// execute). ok is false when the architecture was built without
-// WithOptimizer: attaching any sink switches repairs to deferred
-// standby replanning, which requires the engine to be draining events.
+// optimizer, returning its cancel function. Subscribing is purely
+// observational — it never changes repair semantics (deferred standby
+// replanning is tied to WithOptimizer, not to subscription).
+// Subscribers run synchronously per event and must return quickly
+// (enqueue, don't execute). ok is always true; the pair form is kept
+// for call-site compatibility.
 func (a *Architecture) SubscribeEvents(s orch.EventSink) (cancel func(), ok bool) {
-	if a.events == nil {
-		return nil, false
-	}
 	return a.events.Subscribe(s), true
 }
 

@@ -49,6 +49,14 @@ type stormBenchReport struct {
 	StormGroupTasks int `json:"storm_group_tasks"`
 	DrainedTasks    int `json:"drained_tasks"`
 
+	// QueueBound is the per-shard queue-depth cap the batched fleet ran
+	// with; QueueHighWater the worst per-shard depth observed and
+	// QueueShed the tasks dropped to hold the bound. Contract:
+	// high-water never exceeds the bound.
+	QueueBound     int `json:"queue_bound"`
+	QueueHighWater int `json:"queue_high_water"`
+	QueueShed      int `json:"queue_shed"`
+
 	Violations []string `json:"violations"`
 }
 
@@ -88,6 +96,12 @@ type stormVictim struct {
 // stormTraySize groups this many chains' links per SRLG tray.
 const stormTraySize = 8
 
+// stormQueueBound caps each optimizer shard queue during the storm:
+// small enough that the bound is actually exercised by a 160-chain
+// storm's re-protection backlog, large enough that storm-group tasks
+// (exempt from shedding) never need the headroom.
+const stormQueueBound = 64
+
 // stormTopology reuses the resilience topology: fully dual-homed PMs
 // and one exclusive slice OPS per chain, so swap, repath and replan all
 // stay feasible throughout the storm.
@@ -98,7 +112,7 @@ func stormTopology(chains int) alvc.TopologyConfig {
 func newStormArch(chains int, batched bool) (*alvc.Architecture, error) {
 	opts := []alvc.Option{
 		alvc.WithShards(4),
-		alvc.WithOptimizer(alvc.OptimizerOptions{StormThreshold: 8}),
+		alvc.WithOptimizer(alvc.OptimizerOptions{StormThreshold: 8, MaxQueueDepth: stormQueueBound}),
 	}
 	if batched {
 		// An hour-long window: the bench flushes explicitly, standing in
@@ -378,6 +392,13 @@ func stormRound(chains int) (*stormBenchReport, error) {
 		report.Storm.Activations -= stormBefore.Activations
 		report.Storm.Domains -= stormBefore.Domains
 		report.Storm.CoalescedTasks -= stormBefore.CoalescedTasks
+		report.QueueBound = stormQueueBound
+		for _, hw := range st.ShardHighWater {
+			if hw > report.QueueHighWater {
+				report.QueueHighWater = hw
+			}
+		}
+		report.QueueShed = st.Shed
 	}
 	return report, nil
 }
@@ -425,6 +446,11 @@ func stormContract(r *stormBenchReport) []string {
 	if r.Storm.Active {
 		out = append(out, "optimizer storm mode still active after the backlog drained")
 	}
+	if r.QueueHighWater > r.QueueBound {
+		out = append(out, fmt.Sprintf(
+			"optimizer queue high-water %d exceeded the %d bound (contract: shedding holds the cap)",
+			r.QueueHighWater, r.QueueBound))
+	}
 	return out
 }
 
@@ -444,6 +470,8 @@ func printStormReport(r *stormBenchReport) {
 		r.Debounce.Events, r.Debounce.Batches, r.Debounce.Coalesced)
 	fmt.Printf("  optimizer: %d tasks drained, %d storm groups, storm %+v\n",
 		r.DrainedTasks, r.StormGroupTasks, r.Storm)
+	fmt.Printf("  queue: high-water %d of bound %d, %d shed\n",
+		r.QueueHighWater, r.QueueBound, r.QueueShed)
 	for _, v := range r.Violations {
 		fmt.Printf("  [VIOLATION] %s\n", v)
 	}

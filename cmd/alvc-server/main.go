@@ -53,6 +53,7 @@ func run() int {
 	workers := flag.Int("batch-workers", 0, "max workers per batch provision (0 = one per CPU)")
 	perRun := flag.Bool("per-run-accounting", false, "use colocation-aware per-run O/E/O accounting")
 	optimize := flag.Bool("optimizer", true, "run the background optimization engine (async re-protection, standby refresh, re-homing, lambda defrag)")
+	debounce := flag.Duration("debounce", 0, "failure-report debounce window: POST /v1/failures/* coalesces for this long and repairs once against the union (0 = repair synchronously per request)")
 	optTick := flag.Duration("optimizer-tick", 30*time.Second, "idle-tick interval for the optimizer's opportunistic work (0 = event-driven only)")
 	rehomeMargin := flag.Int("rehome-margin", 1, "hysteresis: conversions a fresh placement must save before re-homing migrates")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
@@ -94,6 +95,9 @@ func run() int {
 	}
 	if *optimize {
 		opts = append(opts, alvc.WithOptimizer(alvc.OptimizerOptions{RehomeMargin: *rehomeMargin}))
+	}
+	if *debounce > 0 {
+		opts = append(opts, alvc.WithFailureDebounce(*debounce))
 	}
 	arch, err := alvc.New(cfg, opts...)
 	if err != nil {

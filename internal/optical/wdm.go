@@ -227,6 +227,20 @@ func (w *WDM) Utilization(link topology.LinkID) int {
 	return len(w.used[link])
 }
 
+// Utilizations returns wavelengths-in-use per link for every link with
+// at least one lit channel — the congestion early-warning feed: each
+// entry over Capacity gives a link's λ occupancy ratio. The map is a
+// fresh copy; grace channels count (they are physically lit).
+func (w *WDM) Utilizations() map[topology.LinkID]int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[topology.LinkID]int, len(w.used))
+	for l, lambdas := range w.used {
+		out[l] = len(lambdas)
+	}
+	return out
+}
+
 // Flows returns the assigned flow keys, sorted.
 func (w *WDM) Flows() []string {
 	w.mu.Lock()

@@ -109,6 +109,14 @@ type Options struct {
 	// queues a handful of domain tasks instead of thousands of
 	// per-deployment ones. Storm mode disengages when the queue drains.
 	StormThreshold int
+	// MaxQueueDepth bounds each shard queue's task count (default 4096;
+	// negative disables the bound). An enqueue that would push a shard
+	// queue past the bound sheds the lowest-priority queued task instead
+	// of growing — protection work survives a storm at the expense of
+	// cosmetic re-home/defrag passes, and queue memory stays bounded no
+	// matter how long the event burst runs. Shed tasks are counted
+	// (Status.Shed) and regenerate on the next idle tick.
+	MaxQueueDepth int
 }
 
 func (o Options) withDefaults() Options {
@@ -126,6 +134,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StormThreshold == 0 {
 		o.StormThreshold = 64
+	}
+	if o.MaxQueueDepth == 0 {
+		o.MaxQueueDepth = 4096
 	}
 	return o
 }
@@ -188,6 +199,9 @@ type Status struct {
 	ShardHighWater []int                `json:"shard_high_water,omitempty"`
 	Running        int                  `json:"running"`
 	Kinds          map[string]KindStats `json:"kinds"`
+	// Shed counts tasks dropped by the queue-depth bound
+	// (Options.MaxQueueDepth) since the engine started.
+	Shed int `json:"queue_shed"`
 	// Storm reports the storm-mode coalescing counters.
 	Storm StormStats `json:"storm"`
 	// Debounce mirrors the upstream failure debouncer's counters when
@@ -242,6 +256,8 @@ type Engine struct {
 	storm     bool
 	stormStat StormStats
 	highWater []int // per-shard queued-task high-water marks
+	shedTotal int   // tasks dropped by the MaxQueueDepth bound
+	drainObs  func(d time.Duration, tasks int)
 
 	// grpMu guards the storm-mode group membership. Never held while
 	// enqueueing (which takes q.mu then e.mu), so there is no ordering
@@ -285,6 +301,15 @@ func New(o Target, opts Options) (*Engine, error) {
 	}
 	e.cond = sync.NewCond(&e.mu)
 	return e, nil
+}
+
+// SetDrainObserver registers a telemetry hook receiving each Drain
+// pass's wall time and executed task count (busy requeues excluded).
+// Record-only: the observer must not call back into the engine.
+func (e *Engine) SetDrainObserver(fn func(d time.Duration, tasks int)) {
+	e.mu.Lock()
+	e.drainObs = fn
+	e.mu.Unlock()
 }
 
 // SetDebounceSource attaches the upstream failure debouncer's counters
@@ -400,11 +425,26 @@ func (e *Engine) enqueue(t task) bool {
 	}
 	idx := e.shardOf(t.key.dep)
 	q := e.queues[idx]
+	maxDepth := e.opts.MaxQueueDepth
 	q.mu.Lock()
 	dup := q.queued[t.key]
+	var shed []taskKey
 	if !dup {
 		q.queued[t.key] = true
 		q.order[t.key.kind] = append(q.order[t.key.kind], t)
+		// Shed back under the bound before qlen is read, so the recorded
+		// high-water mark can never exceed MaxQueueDepth. The victim may
+		// be the task just inserted — a full queue of higher-priority
+		// work rejects new cosmetic tasks outright.
+		if maxDepth > 0 {
+			for len(q.queued) > maxDepth {
+				victim, ok := q.shedLowestLocked()
+				if !ok {
+					break
+				}
+				shed = append(shed, victim)
+			}
+		}
 	}
 	qlen := len(q.queued)
 	q.mu.Unlock()
@@ -418,15 +458,47 @@ func (e *Engine) enqueue(t task) bool {
 		e.stats[t.key.kind].Deduped++
 		return false
 	}
-	e.depth++
+	e.depth += 1 - len(shed)
+	e.shedTotal += len(shed)
 	if qlen > e.highWater[idx] {
 		e.highWater[idx] = qlen
+	}
+	selfShed := false
+	for _, k := range shed {
+		if k == t.key {
+			selfShed = true
+		}
+	}
+	if selfShed {
+		return false
 	}
 	if t.attempts == 0 {
 		e.stats[t.key.kind].Enqueued++
 	}
 	e.cond.Broadcast()
 	return true
+}
+
+// shedLowestLocked evicts the newest task of the lowest-priority
+// (highest-kind) non-empty lane — the work whose loss costs least: a
+// shed defrag or re-home regenerates on the next idle tick, while
+// re-protect lanes are only touched when nothing lower remains.
+// Storm-mode group tasks are never shed (their membership lives outside
+// the queue and would orphan). Caller holds q.mu.
+func (q *shardQueue) shedLowestLocked() (taskKey, bool) {
+	for kind := numKinds - 1; kind >= 0; kind-- {
+		lane := q.order[kind]
+		for i := len(lane) - 1; i >= 0; i-- {
+			if lane[i].key.domain != "" {
+				continue
+			}
+			victim := lane[i].key
+			q.order[kind] = append(lane[:i], lane[i+1:]...)
+			delete(q.queued, victim)
+			return victim, true
+		}
+	}
+	return taskKey{}, false
 }
 
 // Cancel drops every queued task for the deployment (it was deleted;
@@ -576,11 +648,21 @@ func (e *Engine) Tick() {
 // POST /v1/optimizer:run — and may run concurrently with the
 // background loop; both feed from the same queue.
 func (e *Engine) Drain() []TaskResult {
+	e.mu.Lock()
+	obs := e.drainObs
+	e.mu.Unlock()
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
 	var out []TaskResult
 	for {
 		batch := e.popBatch()
 		if len(batch) == 0 {
 			e.endStormIfDrained()
+			if obs != nil {
+				obs(time.Since(start), len(out))
+			}
 			return out
 		}
 		results := make([]TaskResult, len(batch))
@@ -873,6 +955,7 @@ func (e *Engine) Status() Status {
 		ShardHighWater: append([]int(nil), e.highWater...),
 		Running:        e.running,
 		Kinds:          make(map[string]KindStats, numKinds),
+		Shed:           e.shedTotal,
 		Storm:          e.stormStat,
 		LastResults:    append([]TaskResult(nil), e.results...),
 	}

@@ -93,6 +93,7 @@ func engineOver(t *testing.T, topo *topology.Topology, opts Options) (*orch.Orch
 		t.Fatalf("optimizer.New: %v", err)
 	}
 	o.SetEventSink(eng)
+	o.SetDeferReprotect(true)
 	return o, eng
 }
 

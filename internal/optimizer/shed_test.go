@@ -1,0 +1,87 @@
+package optimizer
+
+import (
+	"testing"
+
+	"github.com/alvc/alvc/internal/orch"
+)
+
+// TestQueueBoundShedsLowestPriority fills a bounded queue with
+// low-priority defrag tasks and pushes high-priority re-protects past
+// the cap: the defrag tail is shed, depth and high-water hold the
+// bound, and the shed counter accounts for every eviction.
+func TestQueueBoundShedsLowestPriority(t *testing.T) {
+	topo, _, _ := routeTopo(t, 2)
+	_, eng := engineOver(t, topo, Options{MaxQueueDepth: 4})
+
+	for i := 1; i <= 4; i++ {
+		if !eng.Enqueue(orch.DeploymentID(i), KindDefrag) {
+			t.Fatalf("defrag %d rejected below the bound", i)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		if !eng.Enqueue(orch.DeploymentID(i), KindReProtect) {
+			t.Fatalf("re-protect %d rejected; high-priority work must displace defrag", i)
+		}
+	}
+
+	st := eng.Status()
+	if st.Shed != 3 {
+		t.Errorf("Shed = %d, want 3", st.Shed)
+	}
+	for i, d := range st.ShardDepths {
+		if d > 4 {
+			t.Errorf("shard %d depth %d exceeds bound 4", i, d)
+		}
+	}
+	for i, hw := range st.ShardHighWater {
+		if hw > 4 {
+			t.Errorf("shard %d high-water %d exceeds bound 4", i, hw)
+		}
+	}
+	if got := st.Kinds[KindReProtect.String()].Enqueued; got != 3 {
+		t.Errorf("re-protect enqueued = %d, want 3", got)
+	}
+}
+
+// TestQueueBoundSelfShed: when the queue is full of work that outranks
+// the newcomer, the newcomer itself is the shed victim and Enqueue
+// reports it was not queued.
+func TestQueueBoundSelfShed(t *testing.T) {
+	topo, _, _ := routeTopo(t, 2)
+	_, eng := engineOver(t, topo, Options{MaxQueueDepth: 2})
+
+	eng.Enqueue(orch.DeploymentID(1), KindReProtect)
+	eng.Enqueue(orch.DeploymentID(2), KindReProtect)
+	if eng.Enqueue(orch.DeploymentID(3), KindDefrag) {
+		t.Fatal("defrag enqueued past a bound held by higher-priority work")
+	}
+	st := eng.Status()
+	if st.Shed != 1 {
+		t.Errorf("Shed = %d, want 1", st.Shed)
+	}
+	if got := st.Kinds[KindDefrag.String()].Enqueued; got != 0 {
+		t.Errorf("self-shed defrag counted as enqueued (%d)", got)
+	}
+}
+
+// TestQueueUnboundedWhenNegative: MaxQueueDepth < 0 disables the bound.
+func TestQueueUnboundedWhenNegative(t *testing.T) {
+	topo, _, _ := routeTopo(t, 2)
+	_, eng := engineOver(t, topo, Options{MaxQueueDepth: -1})
+
+	for i := 1; i <= 64; i++ {
+		eng.Enqueue(orch.DeploymentID(i), KindDefrag)
+	}
+	st := eng.Status()
+	if st.Shed != 0 {
+		t.Errorf("Shed = %d, want 0 with the bound disabled", st.Shed)
+	}
+	total := 0
+	for _, d := range st.ShardDepths {
+		total += d
+	}
+	if total != 64 {
+		t.Errorf("queued %d tasks, want 64", total)
+	}
+}

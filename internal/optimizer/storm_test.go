@@ -43,6 +43,7 @@ func TestStormModeCoalescesByDomain(t *testing.T) {
 		t.Fatalf("optimizer.New: %v", err)
 	}
 	o.SetEventSink(eng)
+	o.SetDeferReprotect(true)
 
 	var deps []*orch.Deployment
 	for i := 0; i < 6; i++ {

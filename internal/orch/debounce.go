@@ -51,6 +51,7 @@ type FailureDebouncer struct {
 	timer   *time.Timer
 	stats   DebounceStats
 	onBatch func([]RepairReport, error)
+	onFlush func(d time.Duration, reports int)
 }
 
 // NewFailureDebouncer wraps a failure handler with a coalescing window.
@@ -72,6 +73,16 @@ func NewFailureDebouncer(h FailureHandler, window time.Duration) *FailureDebounc
 func (d *FailureDebouncer) SetOnBatch(fn func([]RepairReport, error)) {
 	d.mu.Lock()
 	d.onBatch = fn
+	d.mu.Unlock()
+}
+
+// SetFlushObserver registers a telemetry hook receiving each dispatched
+// batch's reconciliation latency (the HandleFailures wall time) and
+// report count. Record-only: the observer must not call back into the
+// debouncer.
+func (d *FailureDebouncer) SetFlushObserver(fn func(d time.Duration, reports int)) {
+	d.mu.Lock()
+	d.onFlush = fn
 	d.mu.Unlock()
 }
 
@@ -131,12 +142,17 @@ func (d *FailureDebouncer) Flush() ([]RepairReport, error) {
 	d.links = make(map[topology.LinkID]struct{})
 	d.stats.Batches++
 	onBatch := d.onBatch
+	onFlush := d.onFlush
 	d.mu.Unlock()
 
 	// Deterministic dispatch order (map iteration is not).
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	start := time.Now()
 	reports, err := d.h.HandleFailures(nodes, links)
+	if onFlush != nil {
+		onFlush(time.Since(start), len(reports))
+	}
 	if onBatch != nil {
 		onBatch(reports, err)
 	}

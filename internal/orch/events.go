@@ -72,13 +72,11 @@ type EventSink interface {
 }
 
 // SetEventSink attaches (or, with nil, detaches) the event sink.
-//
-// Attaching a sink also switches standby replanning to deferred mode:
-// repair re-runs of the pipeline stop planning standbys inline —
-// Yen's search leaves the recovery hot path entirely — and instead
-// rely on the sink (the background optimizer) re-protecting the chain
-// from the emitted repair-completed event. Provision-time standby
-// planning is unaffected.
+// Attaching a sink is purely observational — telemetry bridges and
+// event muxes may subscribe freely; whether repairs defer standby
+// replanning to a background optimizer is a separate switch
+// (SetDeferReprotect), flipped only when an optimizer is actually
+// consuming the events.
 func (o *Orchestrator) SetEventSink(s EventSink) {
 	o.mu.Lock()
 	o.sink = s
@@ -91,10 +89,27 @@ func (o *Orchestrator) eventSink() EventSink {
 	return o.sink
 }
 
-// asyncOptimize reports whether a background optimizer is attached,
-// i.e. whether repairs defer standby replanning instead of running
-// Yen's inline.
-func (o *Orchestrator) asyncOptimize() bool { return o.eventSink() != nil }
+// SetDeferReprotect switches standby replanning between inline and
+// deferred mode. Deferred: repair re-runs of the pipeline stop
+// planning standbys inline — Yen's search leaves the recovery hot
+// path entirely — and instead rely on a background optimizer
+// re-protecting the chain from the emitted repair-completed event.
+// Provision-time standby planning is unaffected. Only flip this on
+// when such an optimizer is subscribed, or repaired chains stay
+// unprotected.
+func (o *Orchestrator) SetDeferReprotect(v bool) {
+	o.mu.Lock()
+	o.deferReprotect = v
+	o.mu.Unlock()
+}
+
+// asyncOptimize reports whether repairs defer standby replanning to a
+// background optimizer instead of running Yen's inline.
+func (o *Orchestrator) asyncOptimize() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.deferReprotect
+}
 
 // emit delivers the event to the attached sink, if any. Callers must
 // not hold o.mu or topoMu (the sink may read orchestrator state).

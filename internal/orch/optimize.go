@@ -193,6 +193,11 @@ func (o *Orchestrator) rehome(id DeploymentID, margin int) (moved, rebuilt bool,
 	if len(done) == 0 {
 		return false, false, nil
 	}
+	if obs := o.rehomeObserver(); obs != nil {
+		for _, m := range done {
+			obs(o.rackOf(m.from), o.rackOf(cand.Hosts[m.idx]))
+		}
+	}
 
 	// Re-provision connectivity around the new hosts (path → wdm →
 	// rules, make-before-break). Domains come from the migrated
@@ -222,6 +227,15 @@ func (o *Orchestrator) rehome(id DeploymentID, margin int) (moved, rebuilt bool,
 	o.mu.Unlock()
 	p.commitWDM()
 	return true, false, nil
+}
+
+// rackOf resolves a host's rack for the re-home churn observer (-1
+// when the node is unknown or rackless, e.g. an optoelectronic OPS).
+func (o *Orchestrator) rackOf(host topology.NodeID) int {
+	if n := o.topo.Node(host); n != nil {
+		return n.Rack
+	}
+	return -1
 }
 
 // DefragLambda consolidates the deployment's wavelength assignment

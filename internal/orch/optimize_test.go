@@ -74,6 +74,7 @@ func TestAsyncRestandbyDropsAndReProtectReplans(t *testing.T) {
 	o, ids := triOrch(t, Config{})
 	sink := &recordingSink{}
 	o.SetEventSink(sink)
+	o.SetDeferReprotect(true)
 	dep, err := o.Provision(triSpec(t, "chain-1"))
 	if err != nil {
 		t.Fatalf("Provision: %v", err)
@@ -118,6 +119,7 @@ func TestAsyncRestandbyDropsAndReProtectReplans(t *testing.T) {
 func TestAsyncRepathDefersStandby(t *testing.T) {
 	o, ids := triOrch(t, Config{})
 	o.SetEventSink(&recordingSink{})
+	o.SetDeferReprotect(true)
 	dep, err := o.Provision(triSpec(t, "chain-1"))
 	if err != nil {
 		t.Fatalf("Provision: %v", err)

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/alvc/alvc/internal/chain"
 	"github.com/alvc/alvc/internal/cluster"
@@ -308,10 +310,74 @@ type Orchestrator struct {
 	// Guarded by mu.
 	linkIndex map[topology.LinkID]map[DeploymentID]struct{}
 
-	// sink receives lifecycle events (events.go). Non-nil also means
-	// repairs defer standby replanning to the background optimizer.
-	// Guarded by mu.
-	sink EventSink
+	// sink receives lifecycle events (events.go); deferReprotect
+	// switches repairs to deferred standby replanning — set only when a
+	// background optimizer consumes the events (SetDeferReprotect), not
+	// implied by a sink being attached. Both guarded by mu.
+	sink           EventSink
+	deferReprotect bool
+
+	// hookMu guards the telemetry observer hooks below. A dedicated
+	// lock because the hooks are read inside the pipeline and the
+	// re-home transaction, which run while mu or topoMu are held.
+	hookMu sync.RWMutex
+	// stageObs, when set, is called once per executed pipeline stage
+	// with the stage name and its wall-clock duration.
+	stageObs func(stage string, d time.Duration)
+	// rehomeObs, when set, is called once per VNF migration a re-home
+	// commits, with the source and destination racks (-1 when a host
+	// has no rack).
+	rehomeObs func(fromRack, toRack int)
+
+	// provisionOK/provisionFail count Provision outcomes (atomics).
+	provisionOK   uint64
+	provisionFail uint64
+}
+
+// SetStageObserver installs (or, with nil, removes) the per-stage
+// pipeline latency hook. The observer runs synchronously inside the
+// provisioning/repair pipeline and must only record, never call back
+// into the orchestrator.
+func (o *Orchestrator) SetStageObserver(fn func(stage string, d time.Duration)) {
+	o.hookMu.Lock()
+	o.stageObs = fn
+	o.hookMu.Unlock()
+}
+
+func (o *Orchestrator) stageObserver() func(string, time.Duration) {
+	o.hookMu.RLock()
+	defer o.hookMu.RUnlock()
+	return o.stageObs
+}
+
+// SetRehomeObserver installs (or, with nil, removes) the re-home churn
+// hook, called once per committed VNF migration with source and
+// destination racks. Same contract as SetStageObserver: record only.
+func (o *Orchestrator) SetRehomeObserver(fn func(fromRack, toRack int)) {
+	o.hookMu.Lock()
+	o.rehomeObs = fn
+	o.hookMu.Unlock()
+}
+
+func (o *Orchestrator) rehomeObserver() func(int, int) {
+	o.hookMu.RLock()
+	defer o.hookMu.RUnlock()
+	return o.rehomeObs
+}
+
+// ProvisionOutcomes returns how many Provision calls succeeded and
+// failed since construction.
+func (o *Orchestrator) ProvisionOutcomes() (ok, failed uint64) {
+	return atomic.LoadUint64(&o.provisionOK), atomic.LoadUint64(&o.provisionFail)
+}
+
+// BusyOps returns how many deployments currently hold an exclusive
+// operation (repair, move, delete, upgrade, scale) — the shard's
+// in-flight mutation gauge.
+func (o *Orchestrator) BusyOps() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.busy)
 }
 
 // vmIndex caches the liveness-filtered service → VM grouping so the
@@ -604,6 +670,7 @@ func (o *Orchestrator) teardown(dep *Deployment) error {
 // ProvisionBatch), serialized only at the shared resource pools.
 func (o *Orchestrator) Provision(spec chain.Spec) (*Deployment, error) {
 	if err := spec.Validate(); err != nil {
+		atomic.AddUint64(&o.provisionFail, 1)
 		return nil, fmt.Errorf("orch: provision: %w", err)
 	}
 	flowKey := spec.Tenant + "/" + spec.Name
@@ -614,6 +681,7 @@ func (o *Orchestrator) Provision(spec chain.Spec) (*Deployment, error) {
 	o.mu.Lock()
 	if owner, taken := o.flowKeys[flowKey]; taken {
 		o.mu.Unlock()
+		atomic.AddUint64(&o.provisionFail, 1)
 		return nil, fmt.Errorf("orch: provision %q: %w: flow key %q is held by deployment %d",
 			spec.Name, ErrDuplicateChain, flowKey, owner)
 	}
@@ -627,8 +695,10 @@ func (o *Orchestrator) Provision(spec chain.Spec) (*Deployment, error) {
 		o.mu.Lock()
 		delete(o.flowKeys, flowKey)
 		o.mu.Unlock()
+		atomic.AddUint64(&o.provisionFail, 1)
 		return nil, fmt.Errorf("orch: provision %q: %w", spec.Name, err)
 	}
+	atomic.AddUint64(&o.provisionOK, 1)
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.nextID += o.idStride

@@ -2,6 +2,7 @@ package orch
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/alvc/alvc/internal/chain"
 	"github.com/alvc/alvc/internal/cluster"
@@ -182,10 +183,21 @@ func (p *pipeline) rollback() {
 
 // runFrom executes the pipeline from the given stage to the end. On
 // error every undo registered by this pipeline is unwound and the
-// error is returned annotated with the failing stage.
+// error is returned annotated with the failing stage. When a stage
+// observer is installed (telemetry), each executed stage reports its
+// wall-clock duration — including the failing one.
 func (p *pipeline) runFrom(first stageID) error {
+	obs := p.o.stageObserver()
 	for s := first; s < numStages; s++ {
-		if err := p.runStage(s); err != nil {
+		var err error
+		if obs != nil {
+			start := time.Now()
+			err = p.runStage(s)
+			obs(s.String(), time.Since(start))
+		} else {
+			err = p.runStage(s)
+		}
+		if err != nil {
 			p.rollback()
 			return err
 		}

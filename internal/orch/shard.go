@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"time"
 
 	"github.com/alvc/alvc/internal/chain"
 	"github.com/alvc/alvc/internal/cluster"
@@ -367,11 +368,35 @@ func (s *Sharded) LinkImpact(link topology.LinkID) []ImpactEntry {
 	return out
 }
 
-// SetEventSink attaches the sink to every shard (repairs on any shard
-// defer standby replanning to the background optimizer).
+// SetEventSink attaches the sink to every shard. Purely observational;
+// see Orchestrator.SetEventSink.
 func (s *Sharded) SetEventSink(sink EventSink) {
 	for _, sh := range s.shards {
 		sh.SetEventSink(sink)
+	}
+}
+
+// SetDeferReprotect flips deferred standby replanning on every shard;
+// see Orchestrator.SetDeferReprotect.
+func (s *Sharded) SetDeferReprotect(v bool) {
+	for _, sh := range s.shards {
+		sh.SetDeferReprotect(v)
+	}
+}
+
+// SetStageObserver attaches the pipeline-stage latency observer to
+// every shard; see Orchestrator.SetStageObserver.
+func (s *Sharded) SetStageObserver(fn func(stage string, d time.Duration)) {
+	for _, sh := range s.shards {
+		sh.SetStageObserver(fn)
+	}
+}
+
+// SetRehomeObserver attaches the re-home churn observer to every
+// shard; see Orchestrator.SetRehomeObserver.
+func (s *Sharded) SetRehomeObserver(fn func(fromRack, toRack int)) {
+	for _, sh := range s.shards {
+		sh.SetRehomeObserver(fn)
 	}
 }
 
@@ -413,15 +438,18 @@ func (s *Sharded) RuleCount() int {
 // ShardStat is one shard's slice of the fleet, for metrics endpoints
 // and the scale bench.
 type ShardStat struct {
-	Shard            int `json:"shard"`
-	Active           int `json:"active"`
-	Deleted          int `json:"deleted"`
-	Failed           int `json:"failed"`
-	Repairs          int `json:"repairs"`
-	OPSPool          int `json:"ops_pool"`
-	PathComputations int `json:"path_computations"`
-	YenRuns          int `json:"yen_runs"`
-	InstalledRules   int `json:"installed_rules"`
+	Shard            int    `json:"shard"`
+	Active           int    `json:"active"`
+	Deleted          int    `json:"deleted"`
+	Failed           int    `json:"failed"`
+	Repairs          int    `json:"repairs"`
+	OPSPool          int    `json:"ops_pool"`
+	PathComputations int    `json:"path_computations"`
+	YenRuns          int    `json:"yen_runs"`
+	InstalledRules   int    `json:"installed_rules"`
+	ProvisionOK      uint64 `json:"provision_ok"`
+	ProvisionFailed  uint64 `json:"provision_failed"`
+	BusyOps          int    `json:"busy_ops"`
 }
 
 // ShardStats returns one entry per shard, in shard order.
@@ -441,7 +469,9 @@ func (o *Orchestrator) shardStat() ShardStat {
 		PathComputations: o.ctrl.PathComputations(),
 		YenRuns:          o.ctrl.YenRuns(),
 		InstalledRules:   o.ctrl.RuleCount(),
+		BusyOps:          o.BusyOps(),
 	}
+	st.ProvisionOK, st.ProvisionFailed = o.ProvisionOutcomes()
 	o.mu.Lock()
 	for _, dep := range o.deployments {
 		switch dep.State {

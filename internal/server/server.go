@@ -23,6 +23,7 @@ import (
 	"github.com/alvc/alvc/internal/nfv"
 	"github.com/alvc/alvc/internal/orch"
 	"github.com/alvc/alvc/internal/placement"
+	"github.com/alvc/alvc/internal/telemetry"
 	"github.com/alvc/alvc/internal/topology"
 )
 
@@ -46,6 +47,7 @@ type Server struct {
 	arch    *alvc.Architecture
 	logger  *log.Logger
 	handler http.Handler
+	tele    *telemetry.Plane
 }
 
 // New wires the route table over the architecture.
@@ -60,9 +62,15 @@ func New(arch *alvc.Architecture, opts ...Option) (*Server, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
+	// The telemetry plane wires its observer hooks and event-mux
+	// subscriptions at construction; the server just mounts its two
+	// handlers.
+	s.tele = telemetry.NewPlane(arch)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.tele.MetricsHandler())
+	mux.Handle("GET /v1/watch", s.tele.WatchHandler())
 	mux.HandleFunc("POST /v1/chains", s.handleProvision)
 	mux.HandleFunc("POST /v1/chains:batch", s.handleProvisionBatch)
 	mux.HandleFunc("GET /v1/chains", s.handleListChains)
@@ -93,6 +101,10 @@ func New(arch *alvc.Architecture, opts ...Option) (*Server, error) {
 // Handler returns the fully wrapped route table, ready for
 // http.Server or httptest.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// Telemetry returns the server's telemetry plane (registry and watch
+// hub) for tests and embedders.
+func (s *Server) Telemetry() *telemetry.Plane { return s.tele }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -347,6 +359,16 @@ func fillReports(resp *FailureResponse, reports []orch.RepairReport, err error) 
 	}
 }
 
+// acceptFailures routes a validated failure report through the
+// debouncer and answers 202 Accepted: repairs run when the window
+// flushes, so there are no per-chain reports to return yet.
+func (s *Server) acceptFailures(w http.ResponseWriter, resp FailureAcceptedResponse, nodes []topology.NodeID, links []topology.LinkID) {
+	s.arch.ReportFailures(nodes, links)
+	resp.Accepted = true
+	resp.PendingNodes, resp.PendingLinks = s.arch.Debouncer().Pending()
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
 func (s *Server) handleFailNode(w http.ResponseWriter, r *http.Request) {
 	node, ok := s.pathNode(w, r)
 	if !ok {
@@ -354,6 +376,10 @@ func (s *Server) handleFailNode(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.arch.Topology().Node(node) == nil {
 		writeError(w, http.StatusNotFound, "unknown node %d", node)
+		return
+	}
+	if s.arch.Debouncer() != nil {
+		s.acceptFailures(w, FailureAcceptedResponse{Node: node}, []topology.NodeID{node}, nil)
 		return
 	}
 	// The node exists, so FailNode's error can only report repairs that
@@ -397,6 +423,10 @@ func (s *Server) handleFailLink(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.arch.Topology().Link(link) == nil {
 		writeError(w, http.StatusNotFound, "unknown link %d", link)
+		return
+	}
+	if s.arch.Debouncer() != nil {
+		s.acceptFailures(w, FailureAcceptedResponse{Link: link}, nil, []topology.LinkID{link})
 		return
 	}
 	// Mirrors handleFailNode: the injection has landed, so per-chain
@@ -445,6 +475,10 @@ func (s *Server) handleFailBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, "unknown link %d", l)
 			return
 		}
+	}
+	if s.arch.Debouncer() != nil {
+		s.acceptFailures(w, FailureAcceptedResponse{Nodes: req.Nodes, Links: req.Links}, req.Nodes, req.Links)
+		return
 	}
 	reports, err := s.arch.FailBatch(req.Nodes, req.Links)
 	resp := FailureResponse{Nodes: req.Nodes, Links: req.Links}

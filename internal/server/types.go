@@ -156,6 +156,21 @@ type FailureResponse struct {
 	Error    string             `json:"error,omitempty"`
 }
 
+// FailureAcceptedResponse is the 202 body the failure endpoints return
+// when the architecture runs with a failure debouncer (-debounce):
+// the report has been absorbed into the pending union and repairs will
+// run when the window flushes, so there are no per-chain reports yet.
+// PendingNodes/PendingLinks are the union sizes after this report.
+type FailureAcceptedResponse struct {
+	Node         topology.NodeID   `json:"node,omitempty"`
+	Link         topology.LinkID   `json:"link,omitempty"`
+	Nodes        []topology.NodeID `json:"nodes,omitempty"`
+	Links        []topology.LinkID `json:"links,omitempty"`
+	Accepted     bool              `json:"accepted"`
+	PendingNodes int               `json:"pending_nodes"`
+	PendingLinks int               `json:"pending_links"`
+}
+
 // BatchFailureRequest is the body of POST /v1/failures:batch — one
 // rack-scale event: every named node and link goes down together and
 // each affected chain is reconciled exactly once against the union.

@@ -1,0 +1,501 @@
+// Package telemetry is the first-class observability plane of the
+// AL-VC stack: a dependency-free metric registry with Prometheus
+// text-format exposition (GET /metrics) and a ring-buffered event hub
+// streaming orchestrator lifecycle events over SSE (GET /v1/watch).
+//
+// The registry reuses the internal/metrics primitives (Counter,
+// Histogram) as storage backends and adds what an exposition endpoint
+// needs on top: metric families with HELP/TYPE metadata, labeled
+// series, cumulative histogram buckets, and scrape-time collectors
+// (CounterFunc/GaugeFunc/HistogramFunc) that read live architecture
+// state instead of duplicating it into push-updated shadows. Output is
+// deterministic — families sorted by name, series by label values —
+// so exposition tests can compare against golden files.
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/alvc/alvc/internal/metrics"
+)
+
+// MetricType is the Prometheus family type announced by # TYPE.
+type MetricType string
+
+// Family types the registry supports.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Sample is one series of a scrape-time family: label values (aligned
+// with the family's label names) and the current value.
+type Sample struct {
+	Labels []string
+	Value  float64
+}
+
+// collector is one registered metric family.
+type collector interface {
+	famName() string
+	famHelp() string
+	famType() MetricType
+	// write emits the family's series lines (no HELP/TYPE).
+	write(w *bufio.Writer)
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Safe for concurrent registration and scraping.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]collector)}
+}
+
+// register adds a family, panicking on a duplicate name — families are
+// wired once at construction time, so a collision is a programming
+// error, and failing loud beats silently exporting garbage.
+func (r *Registry) register(c collector) {
+	name := c.famName()
+	if name == "" {
+		panic("telemetry: empty metric family name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric family %q", name))
+	}
+	r.fams[name] = c
+}
+
+// FamilyNames returns the registered family names, sorted.
+func (r *Registry) FamilyNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WritePrometheus renders every family in text exposition format,
+// sorted by family name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]collector, 0, len(r.fams))
+	for _, c := range r.fams {
+		fams = append(fams, c)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].famName() < fams[j].famName() })
+	bw := bufio.NewWriter(w)
+	for _, c := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", c.famName(), escapeHelp(c.famHelp()))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", c.famName(), c.famType())
+		c.write(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler returns the GET /metrics scrape handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// escapeHelp escapes a HELP line per the exposition format: backslash
+// and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value ("+Inf"/"-Inf"/"NaN" for the
+// non-finite cases, shortest round-trip decimal otherwise).
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// seriesName renders name{k1="v1",k2="v2"}; a series with no labels is
+// the bare name.
+func seriesName(name string, labelNames, labelValues []string) string {
+	if len(labelNames) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range labelNames {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(labelValues) {
+			v = labelValues[i]
+		}
+		// escapeLabel already applied exposition-format escaping; %q
+		// would escape the backslashes a second time.
+		fmt.Fprintf(&b, "%s=\"%s\"", k, escapeLabel(v))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelKey joins label values into a deterministic child-map key.
+func labelKey(values []string) string {
+	return strings.Join(values, "\x1f")
+}
+
+// ---------------------------------------------------------------------------
+// Push-updated families
+
+// CounterVec is a labeled counter family backed by metrics.Counter
+// children, one per label-value combination.
+type CounterVec struct {
+	name, help string
+	labelNames []string
+	mu         sync.Mutex
+	children   map[string]*counterChild
+}
+
+type counterChild struct {
+	values []string
+	c      metrics.Counter
+}
+
+// NewCounterVec registers a counter family with the given label names
+// (none for a single-series counter).
+func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	v := &CounterVec{
+		name:       name,
+		help:       help,
+		labelNames: labelNames,
+		children:   make(map[string]*counterChild),
+	}
+	r.register(v)
+	return v
+}
+
+// WithLabelValues returns (creating if needed) the child counter for
+// the label values, which must match the family's label arity.
+func (v *CounterVec) WithLabelValues(values ...string) *metrics.Counter {
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("telemetry: %s: %d label values for %d labels", v.name, len(values), len(v.labelNames)))
+	}
+	key := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch, ok := v.children[key]
+	if !ok {
+		ch = &counterChild{values: append([]string(nil), values...)}
+		v.children[key] = ch
+	}
+	return &ch.c
+}
+
+func (v *CounterVec) famName() string     { return v.name }
+func (v *CounterVec) famHelp() string     { return v.help }
+func (v *CounterVec) famType() MetricType { return TypeCounter }
+
+func (v *CounterVec) write(w *bufio.Writer) {
+	v.mu.Lock()
+	kids := make([]*counterChild, 0, len(v.children))
+	for _, ch := range v.children {
+		kids = append(kids, ch)
+	}
+	v.mu.Unlock()
+	sort.Slice(kids, func(i, j int) bool { return labelKey(kids[i].values) < labelKey(kids[j].values) })
+	for _, ch := range kids {
+		fmt.Fprintf(w, "%s %d\n", seriesName(v.name, v.labelNames, ch.values), ch.c.Value())
+	}
+}
+
+// GaugeVec is a labeled gauge family; children hold float64 values in
+// atomic bit form so Set/Add stay lock-free on hot paths.
+type GaugeVec struct {
+	name, help string
+	labelNames []string
+	mu         sync.Mutex
+	children   map[string]*Gauge
+}
+
+// Gauge is one settable series of a GaugeVec.
+type Gauge struct {
+	values []string
+	bits   atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta to the gauge (CAS loop over the float bits).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// NewGaugeVec registers a gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	v := &GaugeVec{
+		name:       name,
+		help:       help,
+		labelNames: labelNames,
+		children:   make(map[string]*Gauge),
+	}
+	r.register(v)
+	return v
+}
+
+// WithLabelValues returns (creating if needed) the child gauge.
+func (v *GaugeVec) WithLabelValues(values ...string) *Gauge {
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("telemetry: %s: %d label values for %d labels", v.name, len(values), len(v.labelNames)))
+	}
+	key := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[key]
+	if !ok {
+		g = &Gauge{values: append([]string(nil), values...)}
+		v.children[key] = g
+	}
+	return g
+}
+
+func (v *GaugeVec) famName() string     { return v.name }
+func (v *GaugeVec) famHelp() string     { return v.help }
+func (v *GaugeVec) famType() MetricType { return TypeGauge }
+
+func (v *GaugeVec) write(w *bufio.Writer) {
+	v.mu.Lock()
+	kids := make([]*Gauge, 0, len(v.children))
+	for _, g := range v.children {
+		kids = append(kids, g)
+	}
+	v.mu.Unlock()
+	sort.Slice(kids, func(i, j int) bool { return labelKey(kids[i].values) < labelKey(kids[j].values) })
+	for _, g := range kids {
+		fmt.Fprintf(w, "%s %s\n", seriesName(v.name, v.labelNames, g.values), formatValue(g.Value()))
+	}
+}
+
+// HistogramVec is a labeled histogram family backed by
+// metrics.Histogram children plus a separately tracked sample sum (the
+// backend tracks bucket counts only). Exposition renders cumulative
+// le-labeled buckets with the implicit +Inf, _sum and _count series.
+type HistogramVec struct {
+	name, help string
+	labelNames []string
+	bounds     []float64
+	mu         sync.Mutex
+	children   map[string]*HistogramChild
+}
+
+// HistogramChild is one observable series of a HistogramVec.
+type HistogramChild struct {
+	values  []string
+	h       *metrics.Histogram
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (c *HistogramChild) Observe(v float64) {
+	c.h.Observe(v)
+	for {
+		old := c.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// NewHistogramVec registers a histogram family with the given
+// ascending bucket upper bounds (the +Inf bucket is implicit).
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labelNames ...string) *HistogramVec {
+	if _, err := metrics.NewHistogram(bounds...); err != nil {
+		panic(fmt.Sprintf("telemetry: %s: %v", name, err))
+	}
+	v := &HistogramVec{
+		name:       name,
+		help:       help,
+		labelNames: labelNames,
+		bounds:     append([]float64(nil), bounds...),
+		children:   make(map[string]*HistogramChild),
+	}
+	r.register(v)
+	return v
+}
+
+// WithLabelValues returns (creating if needed) the child histogram.
+func (v *HistogramVec) WithLabelValues(values ...string) *HistogramChild {
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("telemetry: %s: %d label values for %d labels", v.name, len(values), len(v.labelNames)))
+	}
+	key := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch, ok := v.children[key]
+	if !ok {
+		h, err := metrics.NewHistogram(v.bounds...)
+		if err != nil {
+			panic(fmt.Sprintf("telemetry: %s: %v", v.name, err))
+		}
+		ch = &HistogramChild{values: append([]string(nil), values...), h: h}
+		v.children[key] = ch
+	}
+	return ch
+}
+
+func (v *HistogramVec) famName() string     { return v.name }
+func (v *HistogramVec) famHelp() string     { return v.help }
+func (v *HistogramVec) famType() MetricType { return TypeHistogram }
+
+func (v *HistogramVec) write(w *bufio.Writer) {
+	v.mu.Lock()
+	kids := make([]*HistogramChild, 0, len(v.children))
+	for _, ch := range v.children {
+		kids = append(kids, ch)
+	}
+	v.mu.Unlock()
+	sort.Slice(kids, func(i, j int) bool { return labelKey(kids[i].values) < labelKey(kids[j].values) })
+	for _, ch := range kids {
+		counts := ch.h.Counts()
+		writeHistogram(w, v.name, v.labelNames, ch.values, v.bounds, counts,
+			math.Float64frombits(ch.sumBits.Load()))
+	}
+}
+
+// writeHistogram renders one histogram series: cumulative buckets (the
+// per-bucket counts accumulate into each le bound, ending at +Inf),
+// then _sum and _count. counts has len(bounds)+1 entries, the last
+// being the overflow bucket.
+func writeHistogram(w *bufio.Writer, name string, labelNames, labelValues []string, bounds []float64, counts []int64, sum float64) {
+	leNames := append(append([]string(nil), labelNames...), "le")
+	var cum int64
+	for i, b := range bounds {
+		cum += counts[i]
+		vals := append(append([]string(nil), labelValues...), formatValue(b))
+		fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", leNames, vals), cum)
+	}
+	if len(counts) > len(bounds) {
+		cum += counts[len(bounds)]
+	}
+	vals := append(append([]string(nil), labelValues...), "+Inf")
+	fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", leNames, vals), cum)
+	fmt.Fprintf(w, "%s %s\n", seriesName(name+"_sum", labelNames, labelValues), formatValue(sum))
+	fmt.Fprintf(w, "%s %d\n", seriesName(name+"_count", labelNames, labelValues), cum)
+}
+
+// ---------------------------------------------------------------------------
+// Scrape-time families
+
+// funcCollector reads its series from a closure at scrape time — the
+// natural fit for state the architecture already tracks (shard stats,
+// optimizer status, topology counters): no shadow copies to keep in
+// sync, the scrape sees the live value.
+type funcCollector struct {
+	name, help string
+	mtype      MetricType
+	labelNames []string
+	fn         func() []Sample
+}
+
+func (c *funcCollector) famName() string     { return c.name }
+func (c *funcCollector) famHelp() string     { return c.help }
+func (c *funcCollector) famType() MetricType { return c.mtype }
+
+func (c *funcCollector) write(w *bufio.Writer) {
+	samples := c.fn()
+	sort.SliceStable(samples, func(i, j int) bool {
+		return labelKey(samples[i].Labels) < labelKey(samples[j].Labels)
+	})
+	for _, s := range samples {
+		fmt.Fprintf(w, "%s %s\n", seriesName(c.name, c.labelNames, s.Labels), formatValue(s.Value))
+	}
+}
+
+// CounterFunc registers a scrape-time counter family: fn is called per
+// scrape and returns the current series.
+func (r *Registry) CounterFunc(name, help string, labelNames []string, fn func() []Sample) {
+	r.register(&funcCollector{name: name, help: help, mtype: TypeCounter, labelNames: labelNames, fn: fn})
+}
+
+// GaugeFunc registers a scrape-time gauge family.
+func (r *Registry) GaugeFunc(name, help string, labelNames []string, fn func() []Sample) {
+	r.register(&funcCollector{name: name, help: help, mtype: TypeGauge, labelNames: labelNames, fn: fn})
+}
+
+// histogramFunc buckets a scrape-time observation set — e.g. per-link
+// λ occupancy ratios — into a fixed bound list on every scrape.
+type histogramFunc struct {
+	name, help string
+	bounds     []float64
+	fn         func() []float64
+}
+
+func (c *histogramFunc) famName() string     { return c.name }
+func (c *histogramFunc) famHelp() string     { return c.help }
+func (c *histogramFunc) famType() MetricType { return TypeHistogram }
+
+func (c *histogramFunc) write(w *bufio.Writer) {
+	obs := c.fn()
+	counts := make([]int64, len(c.bounds)+1)
+	sum := 0.0
+	for _, v := range obs {
+		sum += v
+		i := sort.SearchFloat64s(c.bounds, v)
+		counts[i]++
+	}
+	writeHistogram(w, c.name, nil, nil, c.bounds, counts, sum)
+}
+
+// HistogramFunc registers a scrape-time histogram: fn returns the full
+// observation set each scrape (a distribution snapshot, not a stream).
+func (r *Registry) HistogramFunc(name, help string, bounds []float64, fn func() []float64) {
+	if _, err := metrics.NewHistogram(bounds...); err != nil {
+		panic(fmt.Sprintf("telemetry: %s: %v", name, err))
+	}
+	r.register(&histogramFunc{name: name, help: help, bounds: append([]float64(nil), bounds...), fn: fn})
+}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds one family of every collector kind, with
+// values chosen to exercise escaping, bucket cumulativity and series
+// sorting.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+
+	reqs := r.NewCounterVec("test_requests_total",
+		"Requests by method and code.", "method", "code")
+	reqs.WithLabelValues("POST", "200").Add(7)
+	reqs.WithLabelValues("GET", "500").Inc()
+	reqs.WithLabelValues("GET", "200").Add(3)
+
+	depth := r.NewGaugeVec("test_queue_depth",
+		`Depth; help with a \ backslash and a`+"\n"+`newline.`, "path")
+	depth.WithLabelValues("C:\\tmp\\\"x\"\nrest").Set(4.5)
+
+	lat := r.NewHistogramVec("test_latency_seconds",
+		"Latency distribution.", []float64{0.1, 1, 10})
+	child := lat.WithLabelValues()
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		child.Observe(v)
+	}
+
+	r.GaugeFunc("test_live_value", "Scrape-time gauge.",
+		[]string{"shard"}, func() []Sample {
+			// Deliberately unsorted: the writer must order by label key.
+			return []Sample{
+				{Labels: []string{"1"}, Value: 2},
+				{Labels: []string{"0"}, Value: 1},
+			}
+		})
+
+	r.HistogramFunc("test_occupancy_ratio", "Scrape-time distribution.",
+		[]float64{0.5, 1}, func() []float64 {
+			return []float64{0.25, 0.75, 0.75}
+		})
+
+	return r
+}
+
+// TestWritePrometheusGolden locks the full exposition byte-for-byte:
+// HELP/TYPE lines, label escaping, cumulative buckets, family and
+// series ordering. Regenerate with go test -run Golden -update.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestDuplicateFamilyPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate family registration did not panic")
+		}
+	}()
+	r.GaugeFunc("dup_total", "second", nil, func() []Sample { return nil })
+}
+
+func TestLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("arity_total", "two labels", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	v.WithLabelValues("only-one")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGaugeVec("esc_value", "escaping", "p")
+	g.WithLabelValues("a\\b\"c\nd").Set(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_value{p="a\\b\"c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("escaped series %q not found in:\n%s", want, buf.String())
+	}
+}
+
+// TestHistogramCumulative checks the exposition invariants a scraper
+// relies on: bucket counts are non-decreasing in le order, the +Inf
+// bucket equals _count, and _sum matches the observations.
+func TestHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogramVec("cum_seconds", "cumulative check", []float64{1, 2, 3})
+	c := h.WithLabelValues()
+	for _, v := range []float64{0.5, 1.5, 1.6, 2.5, 9} {
+		c.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`cum_seconds_bucket{le="1"} 1`,
+		`cum_seconds_bucket{le="2"} 3`,
+		`cum_seconds_bucket{le="3"} 4`,
+		`cum_seconds_bucket{le="+Inf"} 5`,
+		`cum_seconds_sum 15.1`,
+		`cum_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentScrape hammers every mutation path while scraping;
+// run under -race this is the registry's thread-safety proof.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("conc_total", "c", "k")
+	gv := r.NewGaugeVec("conc_depth", "g", "k")
+	hv := r.NewHistogramVec("conc_seconds", "h", []float64{0.1, 1}, "k")
+	r.GaugeFunc("conc_live", "f", nil, func() []Sample {
+		return []Sample{{Value: 1}}
+	})
+
+	const writers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := string(rune('a' + w))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cv.WithLabelValues(k).Inc()
+				gv.WithLabelValues(k).Add(0.5)
+				hv.WithLabelValues(k).Observe(float64(i%3) / 2)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

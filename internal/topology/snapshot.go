@@ -175,6 +175,17 @@ func (t *Topology) bumpStructural() {
 // a failure storm — are asserted against this counter's delta.
 func (t *Topology) GraphBuilds() uint64 { return atomic.LoadUint64(&t.builds) }
 
+// SnapshotHits returns how many RoutingSnapshot calls were served from
+// the warm cache without a rebuild — the routing fast path's hit
+// counter, exposed alongside GraphBuilds so scrapers can compute a hit
+// ratio.
+func (t *Topology) SnapshotHits() uint64 { return atomic.LoadUint64(&t.snapHits) }
+
+// LivenessPatches returns how many liveness transitions were patched
+// into cached snapshots in place (one count per applyLiveness batch) —
+// the storm fast path's "no rebuild happened here" counter.
+func (t *Topology) LivenessPatches() uint64 { return atomic.LoadUint64(&t.livePatches) }
+
 // RoutingSnapshot returns the cached routing snapshot for the options,
 // rebuilding only if the topology *structurally* mutated since the last
 // build with the same (IncludeVMs, UseHops) key; liveness transitions
@@ -191,6 +202,7 @@ func (t *Topology) RoutingSnapshot(opts GraphOptions) *Snapshot {
 		t.snaps = make(map[snapKey]*Snapshot)
 	}
 	if s := t.snaps[key]; s != nil && s.structGen == sg {
+		atomic.AddUint64(&t.snapHits, 1)
 		return s
 	}
 	s := t.buildSnapshot(key, sg)
@@ -299,6 +311,7 @@ func (t *Topology) effectiveDown(n *Node) bool {
 func (t *Topology) applyLiveness(nodes []*Node, links []*Link, down bool) {
 	t.snapMu.Lock()
 	defer t.snapMu.Unlock()
+	atomic.AddUint64(&t.livePatches, 1)
 	sg := t.StructuralGeneration()
 	for _, s := range t.snaps {
 		if s.structGen != sg {

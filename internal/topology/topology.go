@@ -30,6 +30,14 @@ type Topology struct {
 	structGen uint64
 	builds    uint64
 
+	// snapHits counts warm RoutingSnapshot fetches (cache hits) and
+	// livePatches counts in-place liveness overlay patches — the two
+	// counters that, against builds, tell an operator whether the
+	// routing fast path is actually being hit (see SnapshotHits,
+	// LivenessPatches).
+	snapHits    uint64
+	livePatches uint64
+
 	// snapMu guards the epoch-keyed routing-snapshot cache. Snapshots
 	// themselves are immutable once published.
 	snapMu sync.Mutex
