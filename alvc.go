@@ -29,6 +29,7 @@
 package alvc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,6 +43,7 @@ import (
 	"github.com/alvc/alvc/internal/placement"
 	"github.com/alvc/alvc/internal/resilience"
 	"github.com/alvc/alvc/internal/topology"
+	"github.com/alvc/alvc/internal/trace"
 	"github.com/alvc/alvc/internal/workload"
 )
 
@@ -136,6 +138,22 @@ type (
 	DebounceStats = orch.DebounceStats
 	// StormStats counts the optimizer's storm-mode coalescing.
 	StormStats = optimizer.StormStats
+	// Tracer issues request-scoped spans into the trace store; nil-safe
+	// (every method on a nil Tracer is a no-op).
+	Tracer = trace.Tracer
+	// TraceStore is the bounded in-memory span store behind
+	// GET /v1/traces.
+	TraceStore = trace.Store
+	// TraceOptions bounds the in-memory trace store (ring sizes,
+	// slowest/errored retention, span budget).
+	TraceOptions = trace.StoreOptions
+	// TraceSpan is one recorded operation of a trace.
+	TraceSpan = trace.Span
+	// TraceSummary is one trace's roll-up (id, kind, duration, span
+	// count) as listed by GET /v1/traces.
+	TraceSummary = trace.Summary
+	// TraceQuery filters trace listings.
+	TraceQuery = trace.Query
 )
 
 // Shard routing modes for WithShardMode.
@@ -197,6 +215,8 @@ type settings struct {
 	shards         int
 	shardMode      orch.ShardMode
 	debounceWindow *time.Duration
+	traceOpts      *trace.StoreOptions
+	traceSet       bool
 }
 
 // WithBuilder selects the AL construction algorithm (default: the
@@ -275,6 +295,16 @@ func WithOptimizer(opts OptimizerOptions) Option {
 	return func(s *settings) { s.optimizer = &opts }
 }
 
+// WithTracing tunes or disables request-scoped tracing. Tracing is ON
+// by default with default store bounds: every Deploy/Delete/repair
+// records a span tree into a bounded in-memory store, queryable via
+// Architecture.TraceStore (the server's GET /v1/traces). Pass non-nil
+// options to resize the store; pass nil to disable tracing entirely —
+// the hot paths then skip span bookkeeping with zero allocations.
+func WithTracing(opts *TraceOptions) Option {
+	return func(s *settings) { s.traceSet = true; s.traceOpts = opts }
+}
+
 // WithFailureDebounce attaches a failure debouncer: failure events
 // reported through ReportFailures coalesce for the given window and
 // dispatch as one union FailBatch, so a failure storm (a cut tray, a
@@ -303,6 +333,7 @@ type Architecture struct {
 	opt          *optimizer.Engine
 	events       *orch.EventMux
 	debounce     *orch.FailureDebouncer
+	tracer       *trace.Tracer
 	batchWorkers int
 }
 
@@ -348,6 +379,18 @@ func FromTopology(topo *topology.Topology, opts ...Option) (*Architecture, error
 		orch:         sh.Shard(0),
 		batchWorkers: s.batchWorkers,
 	}
+	// Tracing is on by default (bounded store, default sizes); only an
+	// explicit WithTracing(nil) turns it off. The one tracer is shared
+	// by every shard, the debouncer and the optimizer, so spans from
+	// all of them land in one store and one causal chain.
+	traceOpts := &trace.StoreOptions{}
+	if s.traceSet {
+		traceOpts = s.traceOpts
+	}
+	if traceOpts != nil {
+		arch.tracer = trace.NewTracer(trace.NewStore(*traceOpts))
+		sh.SetTracer(arch.tracer)
+	}
 	// Every shard emits into one multiplexer rather than claiming the
 	// orchestrator's single sink slot, so the optimizer, telemetry
 	// bridges and other observers subscribe independently
@@ -365,10 +408,16 @@ func FromTopology(topo *topology.Topology, opts ...Option) (*Architecture, error
 		// Only with an engine draining repair events may repairs defer
 		// standby replanning off the recovery hot path.
 		sh.SetDeferReprotect(true)
+		if arch.tracer != nil {
+			eng.SetTracer(arch.tracer)
+		}
 		arch.opt = eng
 	}
 	if s.debounceWindow != nil {
 		arch.debounce = orch.NewFailureDebouncer(sh, *s.debounceWindow)
+		if arch.tracer != nil {
+			arch.debounce.SetTracer(arch.tracer)
+		}
 		if arch.opt != nil {
 			arch.opt.SetDebounceSource(arch.debounce)
 		}
@@ -442,6 +491,13 @@ func (a *Architecture) Deploy(spec Spec) (*Deployment, error) {
 	return a.sh.Provision(spec)
 }
 
+// DeployCtx is Deploy carrying a request context: when the context
+// holds a span (the server middleware's root HTTP span), the provision
+// span and its per-stage children join that trace.
+func (a *Architecture) DeployCtx(ctx context.Context, spec Spec) (*Deployment, error) {
+	return a.sh.ProvisionCtx(ctx, spec)
+}
+
 // DeployBatch provisions independent chain specs concurrently over a
 // bounded worker pool (the WithBatchWorkers size, or one worker per
 // CPU) and returns one result per spec, in input order. Individual
@@ -471,6 +527,11 @@ func (a *Architecture) DeployRequest(req ChainRequest) (*Deployment, error) {
 // Delete tears a deployment down and releases its resources.
 func (a *Architecture) Delete(id DeploymentID) error { return a.sh.Delete(id) }
 
+// DeleteCtx is Delete carrying a request context for trace propagation.
+func (a *Architecture) DeleteCtx(ctx context.Context, id DeploymentID) error {
+	return a.sh.DeleteCtx(ctx, id)
+}
+
 // Upgrade rolls every VNF of the chain to the next version.
 func (a *Architecture) Upgrade(id DeploymentID) error { return a.sh.Upgrade(id) }
 
@@ -494,6 +555,12 @@ func (a *Architecture) FailNode(id NodeID) ([]RepairReport, error) {
 	return a.sh.HandleNodeFailure(id)
 }
 
+// FailNodeCtx is FailNode carrying a request context: every repair it
+// triggers records a span in the context's trace.
+func (a *Architecture) FailNodeCtx(ctx context.Context, id NodeID) ([]RepairReport, error) {
+	return a.sh.HandleNodeFailureCtx(ctx, id)
+}
+
 // RepairedIDs filters a FailNode report list down to the chains whose
 // repair succeeded, preserving order.
 func RepairedIDs(reports []RepairReport) []DeploymentID {
@@ -514,6 +581,12 @@ func (a *Architecture) FailLink(id LinkID) ([]RepairReport, error) {
 	return a.sh.HandleLinkFailure(id)
 }
 
+// FailLinkCtx is FailLink carrying a request context for trace
+// propagation.
+func (a *Architecture) FailLinkCtx(ctx context.Context, id LinkID) ([]RepairReport, error) {
+	return a.sh.HandleLinkFailureCtx(ctx, id)
+}
+
 // RecoverLink marks a failed link as live again. Existing deployments
 // are not rerouted back; new paths may use it immediately.
 func (a *Architecture) RecoverLink(id LinkID) error {
@@ -527,16 +600,30 @@ func (a *Architecture) FailBatch(nodes []NodeID, links []LinkID) ([]RepairReport
 	return a.sh.HandleFailures(nodes, links)
 }
 
+// FailBatchCtx is FailBatch carrying a request context for trace
+// propagation.
+func (a *Architecture) FailBatchCtx(ctx context.Context, nodes []NodeID, links []LinkID) ([]RepairReport, error) {
+	return a.sh.HandleFailuresCtx(ctx, nodes, links)
+}
+
 // ReportFailures feeds a failure notification into the debouncer
 // (WithFailureDebounce): reports within one window coalesce into a
 // single FailBatch. Without a debouncer it falls back to an immediate
 // FailBatch, so callers can use one code path either way.
 func (a *Architecture) ReportFailures(nodes []NodeID, links []LinkID) {
+	a.ReportFailuresCtx(context.Background(), nodes, links)
+}
+
+// ReportFailuresCtx is ReportFailures carrying a request context: the
+// debouncer remembers the context's span as a parent of the batch that
+// eventually flushes the report, so the failure report's trace reaches
+// the coalesced repairs.
+func (a *Architecture) ReportFailuresCtx(ctx context.Context, nodes []NodeID, links []LinkID) {
 	if a.debounce == nil {
-		_, _ = a.sh.HandleFailures(nodes, links)
+		_, _ = a.sh.HandleFailuresCtx(ctx, nodes, links)
 		return
 	}
-	a.debounce.Report(nodes, links)
+	a.debounce.ReportCtx(ctx, nodes, links)
 }
 
 // FlushFailures dispatches the debouncer's pending failure union
@@ -577,6 +664,19 @@ func (a *Architecture) LinkImpact(id LinkID) []ImpactEntry {
 
 // Repair rebuilds one deployment around the current topology state.
 func (a *Architecture) Repair(id DeploymentID) error { return a.sh.Repair(id) }
+
+// Tracer returns the request-scoped tracer, or nil when tracing was
+// disabled with WithTracing(nil). A nil Tracer is safe to call.
+func (a *Architecture) Tracer() *Tracer { return a.tracer }
+
+// TraceStore returns the bounded in-memory trace store behind
+// GET /v1/traces, or nil when tracing is disabled.
+func (a *Architecture) TraceStore() *TraceStore {
+	if a.tracer == nil {
+		return nil
+	}
+	return a.tracer.Store()
+}
 
 // Optimizer returns the background optimization engine, or nil when
 // the architecture was built without WithOptimizer.

@@ -22,7 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -57,10 +57,22 @@ func run() int {
 	optTick := flag.Duration("optimizer-tick", 30*time.Second, "idle-tick interval for the optimizer's opportunistic work (0 = event-driven only)")
 	rehomeMargin := flag.Int("rehome-margin", 1, "hysteresis: conversions a fresh placement must save before re-homing migrates")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	watchRing := flag.Int("watch-ring", 0, "events retained for /v1/watch Last-Event-ID replay (0 = default 256)")
 	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on a side listener (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "alvc-server: ", log.LstdFlags|log.Lmicroseconds)
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -log-format %q (want text or json)\n", *logFormat)
+		return 1
+	}
+	logger := slog.New(handler)
 
 	cfg := alvc.DefaultTopology()
 	cfg.Racks = *racks
@@ -84,7 +96,7 @@ func run() int {
 	case "chain":
 		opts = append(opts, alvc.WithShardMode(alvc.ShardByChain))
 	default:
-		logger.Printf("unknown -shard-mode %q (want tenant or chain)", *shardMode)
+		logger.Error("unknown -shard-mode (want tenant or chain)", "shard_mode", *shardMode)
 		return 1
 	}
 	if *workers > 0 {
@@ -101,12 +113,12 @@ func run() int {
 	}
 	arch, err := alvc.New(cfg, opts...)
 	if err != nil {
-		logger.Printf("topology: %v", err)
+		logger.Error("topology construction failed", "error", err)
 		return 1
 	}
 	if eng := arch.Optimizer(); eng != nil {
 		if err := eng.Start(*optTick); err != nil {
-			logger.Printf("optimizer: %v", err)
+			logger.Error("optimizer start failed", "error", err)
 			return 1
 		}
 		defer eng.Stop()
@@ -116,9 +128,12 @@ func run() int {
 	if !*quiet {
 		srvOpts = append(srvOpts, server.WithLogger(logger))
 	}
+	if *watchRing > 0 {
+		srvOpts = append(srvOpts, server.WithWatchRing(*watchRing))
+	}
 	ctrl, err := server.New(arch, srvOpts...)
 	if err != nil {
-		logger.Printf("server: %v", err)
+		logger.Error("server construction failed", "error", err)
 		return 1
 	}
 
@@ -146,10 +161,10 @@ func run() int {
 		}
 		go func() {
 			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Printf("pprof: %v", err)
+				logger.Error("pprof listener failed", "error", err)
 			}
 		}()
-		logger.Printf("pprof listening on %s", *pprofAddr)
+		logger.Info("pprof listening", "addr", *pprofAddr)
 	}
 
 	errCh := make(chan error, 1)
@@ -162,11 +177,11 @@ func run() int {
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		logger.Printf("received %s, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			logger.Printf("shutdown: %v", err)
+			logger.Error("shutdown failed", "error", err)
 			return 1
 		}
 		return 0
@@ -174,7 +189,7 @@ func run() int {
 		if errors.Is(err, http.ErrServerClosed) {
 			return 0
 		}
-		logger.Printf("serve: %v", err)
+		logger.Error("serve failed", "error", err)
 		return 1
 	}
 }

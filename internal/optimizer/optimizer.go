@@ -37,6 +37,7 @@ import (
 
 	"github.com/alvc/alvc/internal/orch"
 	"github.com/alvc/alvc/internal/resilience"
+	"github.com/alvc/alvc/internal/trace"
 )
 
 // Target is the orchestration surface the engine optimizes against:
@@ -223,6 +224,13 @@ type taskKey struct {
 type task struct {
 	key      taskKey
 	attempts int
+	// traceID/parent carry the causal chain of the event that queued
+	// the task (the repair span) across the queue: the task's span, if
+	// any, continues that trace. Empty for tick/sweep work — untraced
+	// tasks record no spans. Dedup is first-wins; busy requeues keep
+	// the fields.
+	traceID string
+	parent  trace.SpanID
 }
 
 // shardQueue is one shard's deduplicating priority queue. Each queue
@@ -265,6 +273,14 @@ type Engine struct {
 	grpMu  sync.Mutex
 	groups map[string][]orch.DeploymentID
 	member map[orch.DeploymentID]string
+	// gparents accumulates, per storm domain, the repair spans of the
+	// coalesced members' events (one per distinct trace): the group
+	// task's span continues the first and links the rest.
+	gparents map[string][]trace.SpanContext
+
+	// tracer, when set, makes event-driven tasks record optimizer
+	// spans continuing the originating repair's trace. Guarded by mu.
+	tracer *trace.Tracer
 
 	// debounceSrc, when set, lets Status surface the upstream failure
 	// debouncer's coalescing counters next to the engine's own.
@@ -295,6 +311,7 @@ func New(o Target, opts Options) (*Engine, error) {
 		highWater: make([]int, shards),
 		groups:    make(map[string][]orch.DeploymentID),
 		member:    make(map[orch.DeploymentID]string),
+		gparents:  make(map[string][]trace.SpanContext),
 	}
 	for i := range e.queues {
 		e.queues[i] = &shardQueue{queued: make(map[taskKey]bool)}
@@ -321,6 +338,21 @@ func (e *Engine) SetDebounceSource(src interface{ Stats() orch.DebounceStats }) 
 	e.mu.Unlock()
 }
 
+// SetTracer attaches (or, with nil, detaches) the tracer. With a
+// tracer set, tasks queued by traced events record optimizer spans in
+// the originating trace; tick/sweep tasks stay span-free.
+func (e *Engine) SetTracer(tr *trace.Tracer) {
+	e.mu.Lock()
+	e.tracer = tr
+	e.mu.Unlock()
+}
+
+func (e *Engine) traceFor() *trace.Tracer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tracer
+}
+
 // queueFor returns the shard queue owning the deployment's tasks.
 func (e *Engine) queueFor(dep orch.DeploymentID) *shardQueue {
 	return e.queues[e.shardOf(dep)]
@@ -338,16 +370,19 @@ func (e *Engine) OrchEvent(ev orch.Event) {
 		// Under a storm, domain-stamped events coalesce per shared
 		// cause instead of queueing per deployment.
 		if !e.stormEnqueue(ev) {
-			e.Enqueue(ev.Deployment, KindReProtect)
+			e.enqueue(task{key: taskKey{dep: ev.Deployment, kind: KindReProtect},
+				traceID: ev.TraceID, parent: ev.SpanID})
 		}
 		switch ev.Action {
 		case orch.ActionReplaced, orch.ActionPatched, orch.ActionRebuilt:
 			// Instances moved under duress: placement may have drifted.
-			e.Enqueue(ev.Deployment, KindRehome)
+			e.enqueue(task{key: taskKey{dep: ev.Deployment, kind: KindRehome},
+				traceID: ev.TraceID, parent: ev.SpanID})
 		}
 	case orch.EventPlacementChanged:
 		// MoveNF / re-home dropped the standby while re-provisioning.
-		e.Enqueue(ev.Deployment, KindReProtect)
+		e.enqueue(task{key: taskKey{dep: ev.Deployment, kind: KindReProtect},
+			traceID: ev.TraceID, parent: ev.SpanID})
 	case orch.EventNodeRecovered, orch.EventLinkRecovered:
 		// Capacity came back: refresh standbys planned around the
 		// outage and pull drifted chains home.
@@ -405,6 +440,19 @@ func (e *Engine) stormEnqueue(ev orch.Event) bool {
 	e.member[ev.Deployment] = ev.Domain
 	first := len(e.groups[ev.Domain]) == 0
 	e.groups[ev.Domain] = append(e.groups[ev.Domain], ev.Deployment)
+	if ev.TraceID != "" {
+		dup := false
+		for _, p := range e.gparents[ev.Domain] {
+			if p.TraceID == ev.TraceID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			e.gparents[ev.Domain] = append(e.gparents[ev.Domain],
+				trace.SpanContext{TraceID: ev.TraceID, SpanID: ev.SpanID})
+		}
+	}
 	e.grpMu.Unlock()
 	if first {
 		e.enqueue(task{key: taskKey{kind: KindReProtect, domain: ev.Domain}})
@@ -536,6 +584,7 @@ func (e *Engine) Cancel(dep orch.DeploymentID) int {
 		}
 		if len(kept) == 0 {
 			delete(e.groups, dom)
+			delete(e.gparents, dom)
 		} else {
 			e.groups[dom] = kept
 		}
@@ -673,7 +722,11 @@ func (e *Engine) Drain() []TaskResult {
 		busyOnly := true
 		for i := range batch {
 			if requeue[i] {
-				e.enqueue(task{key: batch[i].key, attempts: batch[i].attempts + 1})
+				// Requeue the whole task, trace fields included — the
+				// retry is the same causal operation.
+				rt := batch[i]
+				rt.attempts++
+				e.enqueue(rt)
 				continue
 			}
 			busyOnly = false
@@ -753,6 +806,17 @@ func (e *Engine) runTask(t task) (res TaskResult, requeue bool) {
 	if t.key.domain != "" {
 		return e.runGroupTask(t), false
 	}
+	// Event-queued tasks continue the originating repair's trace; a
+	// busy requeue records nothing (the retry is the same operation).
+	var tr *trace.Tracer
+	var sc trace.SpanContext
+	var spanStart time.Time
+	if t.traceID != "" {
+		if tr = e.traceFor(); tr != nil {
+			sc = tr.Start(trace.SpanContext{TraceID: t.traceID, SpanID: t.parent})
+			spanStart = time.Now()
+		}
+	}
 	var err error
 	switch t.key.kind {
 	case KindReProtect, KindRefresh:
@@ -812,6 +876,12 @@ func (e *Engine) runTask(t task) (res TaskResult, requeue bool) {
 		res.Outcome = "failed"
 		res.Error = err.Error()
 	}
+	if tr != nil {
+		tr.Record(trace.Span{TraceID: sc.TraceID, SpanID: sc.SpanID, Parent: t.parent,
+			Name: "optimizer." + t.key.kind.String(), Kind: trace.KindOptimizer,
+			Start: spanStart, End: time.Now(), Dep: int(t.key.dep), Err: res.Error,
+			Attrs: []trace.Attr{{Key: "outcome", Value: res.Outcome}}})
+	}
 	return res, false
 }
 
@@ -824,10 +894,24 @@ func (e *Engine) runGroupTask(t task) TaskResult {
 	e.grpMu.Lock()
 	members := e.groups[t.key.domain]
 	delete(e.groups, t.key.domain)
+	parents := e.gparents[t.key.domain]
+	delete(e.gparents, t.key.domain)
 	for _, id := range members {
 		delete(e.member, id)
 	}
 	e.grpMu.Unlock()
+	// The group span continues the first coalesced repair's trace and
+	// links every other member's, so each originating failure trace
+	// reaches the storm-coalesced re-protect that closed it out.
+	var tr *trace.Tracer
+	var sc trace.SpanContext
+	var spanStart time.Time
+	if len(parents) > 0 {
+		if tr = e.traceFor(); tr != nil {
+			sc = tr.Start(parents[0])
+			spanStart = time.Now()
+		}
+	}
 	protected, already, busy, failed := 0, 0, 0, 0
 	for _, id := range members {
 		_, replanned, err := e.o.ReProtect(id)
@@ -850,6 +934,25 @@ func (e *Engine) runGroupTask(t task) TaskResult {
 		t.key.domain, len(members), protected, already, busy, failed)
 	if failed > 0 {
 		res.Outcome = "failed"
+	}
+	if tr != nil {
+		sp := trace.Span{TraceID: sc.TraceID, SpanID: sc.SpanID, Parent: parents[0].SpanID,
+			Name: "optimizer.storm-group", Kind: trace.KindOptimizer,
+			Start: spanStart, End: time.Now(),
+			Attrs: []trace.Attr{
+				{Key: "domain", Value: t.key.domain},
+				{Key: "chains", Value: fmt.Sprintf("%d", len(members))},
+				{Key: "outcome", Value: res.Outcome},
+			}}
+		for _, p := range parents[1:] {
+			if p.TraceID != sc.TraceID {
+				sp.Links = append(sp.Links, p.TraceID)
+			}
+		}
+		if failed > 0 {
+			sp.Err = fmt.Sprintf("%d member re-protects failed", failed)
+		}
+		tr.Record(sp)
 	}
 	return res
 }

@@ -10,11 +10,14 @@
 package orch
 
 import (
+	"context"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/alvc/alvc/internal/topology"
+	"github.com/alvc/alvc/internal/trace"
 )
 
 // FailureHandler is the reconciliation entry point the debouncer
@@ -22,6 +25,19 @@ import (
 type FailureHandler interface {
 	HandleFailures(nodes []topology.NodeID, links []topology.LinkID) ([]RepairReport, error)
 }
+
+// ctxFailureHandler is the context-carrying reconciliation entry point.
+// Orchestrator and Sharded both satisfy it; the debouncer dispatches
+// through it when available so the batch span it opens reaches the
+// repair spans. Unexported so FailureHandler stays the public contract.
+type ctxFailureHandler interface {
+	HandleFailuresCtx(ctx context.Context, nodes []topology.NodeID, links []topology.LinkID) ([]RepairReport, error)
+}
+
+// maxBatchParents bounds how many distinct originating spans one batch
+// remembers; a storm beyond it still repairs everything, the batch span
+// just stops linking further parents.
+const maxBatchParents = 64
 
 // DebounceStats counts the debouncer's coalescing work.
 type DebounceStats struct {
@@ -52,6 +68,12 @@ type FailureDebouncer struct {
 	stats   DebounceStats
 	onBatch func([]RepairReport, error)
 	onFlush func(d time.Duration, reports int)
+	tracer  *trace.Tracer
+	// parents are the spans of the coalesced reports (one per distinct
+	// trace), accumulated by ReportCtx and drained at flush: the batch
+	// span continues the first parent's trace and links the others, so
+	// the async window does not sever causality.
+	parents []trace.SpanContext
 }
 
 // NewFailureDebouncer wraps a failure handler with a coalescing window.
@@ -86,11 +108,29 @@ func (d *FailureDebouncer) SetFlushObserver(fn func(d time.Duration, reports int
 	d.mu.Unlock()
 }
 
+// SetTracer attaches (or, with nil, detaches) the tracer. With a tracer
+// set, every flush records a batch span whose trace continues the first
+// coalesced report's trace and links the others'.
+func (d *FailureDebouncer) SetTracer(tr *trace.Tracer) {
+	d.mu.Lock()
+	d.tracer = tr
+	d.mu.Unlock()
+}
+
 // Report merges a failure notification into the pending window. The
 // first report of a quiet period arms the window timer; later reports
 // within the window coalesce into it. With a non-positive window the
 // union (just this report) dispatches before Report returns.
 func (d *FailureDebouncer) Report(nodes []topology.NodeID, links []topology.LinkID) {
+	d.ReportCtx(context.Background(), nodes, links)
+}
+
+// ReportCtx is Report carrying a request context: when the context
+// holds a span (the failure report's HTTP request) and a tracer is
+// attached, the span is remembered as a parent of the batch that
+// eventually flushes this report, preserving causality across the
+// debounce window.
+func (d *FailureDebouncer) ReportCtx(ctx context.Context, nodes []topology.NodeID, links []topology.LinkID) {
 	if len(nodes) == 0 && len(links) == 0 {
 		return
 	}
@@ -101,6 +141,20 @@ func (d *FailureDebouncer) Report(nodes []topology.NodeID, links []topology.Link
 	}
 	for _, l := range links {
 		d.links[l] = struct{}{}
+	}
+	if d.tracer != nil {
+		if sc, ok := trace.FromContext(ctx); ok && len(d.parents) < maxBatchParents {
+			dup := false
+			for _, p := range d.parents {
+				if p.TraceID == sc.TraceID {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				d.parents = append(d.parents, sc)
+			}
+		}
 	}
 	if d.window <= 0 {
 		d.mu.Unlock()
@@ -143,15 +197,60 @@ func (d *FailureDebouncer) Flush() ([]RepairReport, error) {
 	d.stats.Batches++
 	onBatch := d.onBatch
 	onFlush := d.onFlush
+	tr := d.tracer
+	parents := d.parents
+	d.parents = nil
 	d.mu.Unlock()
 
 	// Deterministic dispatch order (map iteration is not).
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+
+	// The batch span continues the first coalesced report's trace — so
+	// a failure report's trace contains the whole downstream repair —
+	// and links the other reports' traces (they merged into this batch
+	// too). With no traced parents the batch starts a fresh trace.
+	ctx := context.Background()
+	var sc trace.SpanContext
+	if tr != nil {
+		var first trace.SpanContext
+		if len(parents) > 0 {
+			first = parents[0]
+		}
+		sc = tr.Start(first)
+		ctx = trace.ContextWith(ctx, sc)
+	}
+
 	start := time.Now()
-	reports, err := d.h.HandleFailures(nodes, links)
+	var reports []RepairReport
+	var err error
+	if ch, ok := d.h.(ctxFailureHandler); ok {
+		reports, err = ch.HandleFailuresCtx(ctx, nodes, links)
+	} else {
+		reports, err = d.h.HandleFailures(nodes, links)
+	}
+	elapsed := time.Since(start)
+	if tr != nil {
+		sp := trace.Span{TraceID: sc.TraceID, SpanID: sc.SpanID,
+			Name: "debounce.flush", Kind: trace.KindBatch, Start: start, End: start.Add(elapsed),
+			Attrs: []trace.Attr{
+				{Key: "nodes", Value: strconv.Itoa(len(nodes))},
+				{Key: "links", Value: strconv.Itoa(len(links))},
+				{Key: "reports", Value: strconv.Itoa(len(reports))},
+			}}
+		if len(parents) > 0 {
+			sp.Parent = parents[0].SpanID
+			for _, p := range parents[1:] {
+				if p.TraceID != sc.TraceID {
+					sp.Links = append(sp.Links, p.TraceID)
+				}
+			}
+		}
+		sp.SetError(err)
+		tr.Record(sp)
+	}
 	if onFlush != nil {
-		onFlush(time.Since(start), len(reports))
+		onFlush(elapsed, len(reports))
 	}
 	if onBatch != nil {
 		onBatch(reports, err)

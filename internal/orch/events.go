@@ -1,6 +1,9 @@
 package orch
 
-import "github.com/alvc/alvc/internal/topology"
+import (
+	"github.com/alvc/alvc/internal/topology"
+	"github.com/alvc/alvc/internal/trace"
+)
 
 // EventKind classifies one orchestrator lifecycle event.
 type EventKind int
@@ -61,6 +64,13 @@ type Event struct {
 	// carries the same domain — the optimizer's storm mode groups
 	// re-protect work by it.
 	Domain string
+	// TraceID/SpanID identify the span that emitted the event (the
+	// repair span for repair-completed) when tracing is enabled, so
+	// consumers on the far side of the event mux — the optimizer's
+	// task queue, the /v1/watch stream — continue the causal chain
+	// instead of starting orphan traces. Empty/0 when tracing is off.
+	TraceID string
+	SpanID  trace.SpanID
 }
 
 // EventSink receives orchestrator events. Calls are synchronous and

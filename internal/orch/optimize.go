@@ -8,6 +8,7 @@ package orch
 // engine rather than interleaving teardowns.
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/alvc/alvc/internal/nfv"
@@ -45,7 +46,7 @@ func (o *Orchestrator) ReProtect(id DeploymentID) (sb *resilience.Standby, repla
 	if alive && cur.Disjoint {
 		return cur, false, nil
 	}
-	p := o.pipelineFrom(dep)
+	p := o.pipelineFrom(context.Background(), dep)
 	if planErr := p.planStandby(); planErr != nil {
 		if alive {
 			// The current standby still works; a failed search for a
@@ -181,7 +182,7 @@ func (o *Orchestrator) rehome(id DeploymentID, margin int) (moved, rebuilt bool,
 			// A host filled up between scoring and moving; put the
 			// already-moved instances back and stand pat.
 			if rErr := restore(); rErr != nil {
-				if rbErr := o.rebuild(dep); rbErr != nil {
+				if rbErr := o.rebuild(context.Background(), dep); rbErr != nil {
 					return false, false, fmt.Errorf("orch: rehome %d: %v (restore: %v; %w)", id, mErr, rErr, rbErr)
 				}
 				return true, true, fmt.Errorf("orch: rehome %d: %v (restore failed: %v; chain rebuilt in place)", id, mErr, rErr)
@@ -202,7 +203,7 @@ func (o *Orchestrator) rehome(id DeploymentID, margin int) (moved, rebuilt bool,
 	// Re-provision connectivity around the new hosts (path → wdm →
 	// rules, make-before-break). Domains come from the migrated
 	// instances so the record never disagrees with the manager.
-	p := o.pipelineFrom(dep)
+	p := o.pipelineFrom(context.Background(), dep)
 	p.place = cand
 	for idx := range p.place.Hosts {
 		if inst := o.mgr.Instance(instances[idx]); inst != nil {
@@ -212,7 +213,7 @@ func (o *Orchestrator) rehome(id DeploymentID, margin int) (moved, rebuilt bool,
 	p.place.Conversions = placement.CountOEO(p.place.Domains, o.mode)
 	if err := p.runFrom(stagePath); err != nil {
 		if rErr := restore(); rErr != nil {
-			if rbErr := o.rebuild(dep); rbErr != nil {
+			if rbErr := o.rebuild(context.Background(), dep); rbErr != nil {
 				return false, false, fmt.Errorf("orch: rehome %d: %v (restore: %v; %w)", id, err, rErr, rbErr)
 			}
 			return true, true, fmt.Errorf("orch: rehome %d: %v (restore failed: %v; chain rebuilt in place)", id, err, rErr)

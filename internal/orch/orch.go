@@ -24,6 +24,7 @@
 package orch
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,6 +41,7 @@ import (
 	"github.com/alvc/alvc/internal/resilience"
 	"github.com/alvc/alvc/internal/sdn"
 	"github.com/alvc/alvc/internal/topology"
+	"github.com/alvc/alvc/internal/trace"
 )
 
 // Sentinel errors callers (notably the HTTP control plane) classify on.
@@ -328,6 +330,10 @@ type Orchestrator struct {
 	// commits, with the source and destination racks (-1 when a host
 	// has no rack).
 	rehomeObs func(fromRack, toRack int)
+	// tr, when set, records spans for provision/repair/delete and
+	// their pipeline stages. Like the observers it is read inside the
+	// pipeline while mu or topoMu are held, hence hookMu.
+	tr *trace.Tracer
 
 	// provisionOK/provisionFail count Provision outcomes (atomics).
 	provisionOK   uint64
@@ -363,6 +369,24 @@ func (o *Orchestrator) rehomeObserver() func(int, int) {
 	o.hookMu.RLock()
 	defer o.hookMu.RUnlock()
 	return o.rehomeObs
+}
+
+// SetTracer installs (or, with nil, removes) the span tracer. With a
+// tracer attached, Provision/Delete and every reconciliation repair
+// record a span, each executed pipeline stage becomes a child span,
+// and repair-completed events carry their repair span's identity so
+// downstream consumers (debouncer, optimizer) continue the trace.
+// A nil tracer leaves the hot paths with zero span allocations.
+func (o *Orchestrator) SetTracer(tr *trace.Tracer) {
+	o.hookMu.Lock()
+	o.tr = tr
+	o.hookMu.Unlock()
+}
+
+func (o *Orchestrator) tracer() *trace.Tracer {
+	o.hookMu.RLock()
+	defer o.hookMu.RUnlock()
+	return o.tr
 }
 
 // ProvisionOutcomes returns how many Provision calls succeeded and
@@ -627,11 +651,12 @@ func (o *Orchestrator) WDM() *optical.WDM { return o.wdm }
 // buildChain runs the full provisioning pipeline (pipeline.go) for a
 // spec. On error all partial state created by this call is rolled
 // back. Caller holds topoMu (read side).
-func (o *Orchestrator) buildChain(spec chain.Spec, flowKey string) (*pipeline, error) {
+func (o *Orchestrator) buildChain(ctx context.Context, spec chain.Spec, flowKey string) (*pipeline, error) {
 	p, err := o.newPipeline(spec, flowKey)
 	if err != nil {
 		return nil, err
 	}
+	p.attachTrace(ctx)
 	if err := p.runFrom(stageCluster); err != nil {
 		return nil, err
 	}
@@ -669,6 +694,36 @@ func (o *Orchestrator) teardown(dep *Deployment) error {
 // concurrent use: independent specs provision in parallel (see also
 // ProvisionBatch), serialized only at the shared resource pools.
 func (o *Orchestrator) Provision(spec chain.Spec) (*Deployment, error) {
+	return o.ProvisionCtx(context.Background(), spec)
+}
+
+// ProvisionCtx is Provision carrying a request context. With a tracer
+// attached it records a "provision" span — a child of the span in ctx
+// (the server's per-request root) when one is there, the root of a
+// fresh trace otherwise — with every executed pipeline stage as a
+// child span.
+func (o *Orchestrator) ProvisionCtx(ctx context.Context, spec chain.Spec) (*Deployment, error) {
+	tr := o.tracer()
+	if tr == nil {
+		return o.provision(ctx, spec)
+	}
+	parent, _ := trace.FromContext(ctx)
+	sc := tr.Start(parent)
+	start := time.Now()
+	dep, err := o.provision(trace.ContextWith(ctx, sc), spec)
+	sp := trace.Span{
+		TraceID: sc.TraceID, SpanID: sc.SpanID, Parent: parent.SpanID,
+		Name: "provision", Kind: trace.KindProvision, Start: start, End: time.Now(),
+	}
+	sp.SetError(err)
+	if dep != nil {
+		sp.Dep = int(dep.ID)
+	}
+	tr.Record(sp)
+	return dep, err
+}
+
+func (o *Orchestrator) provision(ctx context.Context, spec chain.Spec) (*Deployment, error) {
 	if err := spec.Validate(); err != nil {
 		atomic.AddUint64(&o.provisionFail, 1)
 		return nil, fmt.Errorf("orch: provision: %w", err)
@@ -690,7 +745,7 @@ func (o *Orchestrator) Provision(spec chain.Spec) (*Deployment, error) {
 
 	o.topoMu.RLock()
 	defer o.topoMu.RUnlock()
-	b, err := o.buildChain(spec, flowKey)
+	b, err := o.buildChain(ctx, spec, flowKey)
 	if err != nil {
 		o.mu.Lock()
 		delete(o.flowKeys, flowKey)
@@ -729,7 +784,7 @@ func (o *Orchestrator) Repair(id DeploymentID) error {
 	defer o.endExclusive(id)
 
 	o.topoMu.RLock()
-	err = o.rebuild(dep)
+	err = o.rebuild(context.Background(), dep)
 	o.topoMu.RUnlock()
 	if err != nil {
 		return fmt.Errorf("orch: repair %d: %w", id, err)
@@ -743,7 +798,7 @@ func (o *Orchestrator) Repair(id DeploymentID) error {
 // deployment stays in the reverse index throughout; the commit swaps
 // the index entries atomically with the fields, and the failure paths
 // unindex via failLocked.
-func (o *Orchestrator) rebuild(dep *Deployment) error {
+func (o *Orchestrator) rebuild(ctx context.Context, dep *Deployment) error {
 	// Tear down outside the lock (manager/controller have their own).
 	if err := o.teardown(dep); err != nil {
 		// Resource release failed irrecoverably; mark failed.
@@ -752,6 +807,7 @@ func (o *Orchestrator) rebuild(dep *Deployment) error {
 	}
 	b, err := o.newPipeline(dep.Spec, dep.FlowKey())
 	if err == nil {
+		b.attachTrace(ctx)
 		// With a background optimizer attached, even a full rebuild
 		// leaves standby planning to the async re-protect task — no
 		// Yen's search on the recovery path.
@@ -837,7 +893,7 @@ func (o *Orchestrator) moveNF(id DeploymentID, idx int, to topology.NodeID) (reb
 
 	// Stage the new placement and re-run only the connectivity stages
 	// of the pipeline (path → WDM → rules).
-	p := o.pipelineFrom(dep)
+	p := o.pipelineFrom(context.Background(), dep)
 	p.place.Hosts[idx] = to
 	p.place.Domains[idx] = migrated.Domain
 	p.place.Conversions = placement.CountOEO(p.place.Domains, o.mode)
@@ -850,7 +906,7 @@ func (o *Orchestrator) moveNF(id DeploymentID, idx int, to topology.NodeID) (reb
 			// a move-back cannot realign the record with reality, so
 			// reconcile by rebuilding the chain in place (the failure
 			// path transitions it to Failed).
-			if rErr := o.rebuild(dep); rErr != nil {
+			if rErr := o.rebuild(context.Background(), dep); rErr != nil {
 				return false, fmt.Errorf("orch: move deployment %d: %v (restore: %v; %w)", id, err, mErr, rErr)
 			}
 			return true, fmt.Errorf("orch: move deployment %d: %v (restore failed: %v; chain rebuilt in place)", id, err, mErr)
@@ -967,6 +1023,30 @@ func (o *Orchestrator) ScaleNF(id DeploymentID, idx, replicas int) error {
 // slice and cluster released. The deployment record is retained with
 // state Deleted.
 func (o *Orchestrator) Delete(id DeploymentID) error {
+	return o.DeleteCtx(context.Background(), id)
+}
+
+// DeleteCtx is Delete carrying a request context; with a tracer
+// attached it records a "delete" span under the span in ctx.
+func (o *Orchestrator) DeleteCtx(ctx context.Context, id DeploymentID) error {
+	tr := o.tracer()
+	if tr == nil {
+		return o.delete(id)
+	}
+	parent, _ := trace.FromContext(ctx)
+	sc := tr.Start(parent)
+	start := time.Now()
+	err := o.delete(id)
+	sp := trace.Span{
+		TraceID: sc.TraceID, SpanID: sc.SpanID, Parent: parent.SpanID,
+		Name: "delete", Kind: trace.KindDelete, Start: start, End: time.Now(), Dep: int(id),
+	}
+	sp.SetError(err)
+	tr.Record(sp)
+	return err
+}
+
+func (o *Orchestrator) delete(id DeploymentID) error {
 	dep, err := o.beginExclusive(id)
 	if err != nil {
 		return fmt.Errorf("orch: delete: %w", err)

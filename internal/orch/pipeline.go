@@ -1,6 +1,7 @@
 package orch
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"github.com/alvc/alvc/internal/resilience"
 	"github.com/alvc/alvc/internal/sdn"
 	"github.com/alvc/alvc/internal/topology"
+	"github.com/alvc/alvc/internal/trace"
 )
 
 // stageID names one stage of the provisioning pipeline. Stages run in
@@ -112,7 +114,25 @@ type pipeline struct {
 	// outcome, or restored by the undo chain on rollback.
 	graced bool
 
+	// tr/sctx, when set (attachTrace), make runFrom record one child
+	// span per executed stage under sctx — the enclosing provision,
+	// repair or delete span.
+	tr   *trace.Tracer
+	sctx trace.SpanContext
+
 	undo []func()
+}
+
+// attachTrace arms the pipeline to emit stage spans under the span
+// carried by ctx. Without a tracer on the orchestrator, or without a
+// span in ctx (an untraced entry point), the pipeline stays span-free:
+// stage spans only ever exist inside an enclosing traced operation.
+func (p *pipeline) attachTrace(ctx context.Context) {
+	if tr := p.o.tracer(); tr != nil {
+		if sc, ok := trace.FromContext(ctx); ok {
+			p.tr, p.sctx = tr, sc
+		}
+	}
 }
 
 // newPipeline resolves the spec (live VMs, NF profiles with demand
@@ -143,16 +163,17 @@ func (o *Orchestrator) newPipeline(spec chain.Spec, flowKey string) (*pipeline, 
 	}, nil
 }
 
-// pipelineFrom seeds a pipeline with a deployment's surviving state.
+// pipelineFrom seeds a pipeline with a deployment's surviving state
+// and arms stage-span emission under the span carried by ctx, if any.
 // Placement is deep-copied so in-flight mutation (instance migration)
 // never races snapshot readers; the remaining fields are immutable
 // records or replaced wholesale by the stages that recompute them. The
 // caller must hold the deployment's exclusive-operation claim.
-func (o *Orchestrator) pipelineFrom(dep *Deployment) *pipeline {
+func (o *Orchestrator) pipelineFrom(ctx context.Context, dep *Deployment) *pipeline {
 	place := dep.Placement
 	place.Hosts = append([]topology.NodeID(nil), dep.Placement.Hosts...)
 	place.Domains = append([]topology.Domain(nil), dep.Placement.Domains...)
-	return &pipeline{
+	p := &pipeline{
 		o:         o,
 		spec:      dep.Spec,
 		flowKey:   dep.FlowKey(),
@@ -168,6 +189,8 @@ func (o *Orchestrator) pipelineFrom(dep *Deployment) *pipeline {
 		standby:   dep.Standby,
 		reentry:   true,
 	}
+	p.attachTrace(ctx)
+	return p
 }
 
 func (p *pipeline) pushUndo(f func()) { p.undo = append(p.undo, f) }
@@ -190,10 +213,14 @@ func (p *pipeline) runFrom(first stageID) error {
 	obs := p.o.stageObserver()
 	for s := first; s < numStages; s++ {
 		var err error
-		if obs != nil {
+		if obs != nil || p.tr != nil {
 			start := time.Now()
 			err = p.runStage(s)
-			obs(s.String(), time.Since(start))
+			d := time.Since(start)
+			if obs != nil {
+				obs(s.String(), d)
+			}
+			p.tr.RecordChild(p.sctx, s.String(), trace.KindStage, start, d, err)
 		} else {
 			err = p.runStage(s)
 		}

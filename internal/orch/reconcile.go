@@ -1,6 +1,7 @@
 package orch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"github.com/alvc/alvc/internal/placement"
 	"github.com/alvc/alvc/internal/resilience"
 	"github.com/alvc/alvc/internal/topology"
+	"github.com/alvc/alvc/internal/trace"
 )
 
 // RepairAction classifies what the reconciliation engine did to one
@@ -67,6 +69,11 @@ type RepairReport struct {
 	// ActionRestandby when no new standby could be planned (the chain
 	// keeps carrying traffic but is left unprotected).
 	Err error
+	// TraceID/SpanID identify the repair span recorded for this
+	// deployment (empty/0 when tracing is disabled), continuing the
+	// trace of the failure report that triggered the reconciliation.
+	TraceID string
+	SpanID  trace.SpanID
 }
 
 // Succeeded reports whether the repair left the deployment active and
@@ -103,14 +110,26 @@ const (
 // deployment whose footprint includes it. It is the single-node form of
 // HandleFailures.
 func (o *Orchestrator) HandleNodeFailure(node topology.NodeID) ([]RepairReport, error) {
-	return o.HandleFailures([]topology.NodeID{node}, nil)
+	return o.HandleFailuresCtx(context.Background(), []topology.NodeID{node}, nil)
+}
+
+// HandleNodeFailureCtx is HandleNodeFailure carrying a request context
+// for trace propagation.
+func (o *Orchestrator) HandleNodeFailureCtx(ctx context.Context, node topology.NodeID) ([]RepairReport, error) {
+	return o.HandleFailuresCtx(ctx, []topology.NodeID{node}, nil)
 }
 
 // HandleLinkFailure marks one link as down and reconciles every active
 // deployment whose primary or standby path crosses it. It is the
 // single-link form of HandleFailures.
 func (o *Orchestrator) HandleLinkFailure(link topology.LinkID) ([]RepairReport, error) {
-	return o.HandleFailures(nil, []topology.LinkID{link})
+	return o.HandleFailuresCtx(context.Background(), nil, []topology.LinkID{link})
+}
+
+// HandleLinkFailureCtx is HandleLinkFailure carrying a request context
+// for trace propagation.
+func (o *Orchestrator) HandleLinkFailureCtx(ctx context.Context, link topology.LinkID) ([]RepairReport, error) {
+	return o.HandleFailuresCtx(ctx, nil, []topology.LinkID{link})
 }
 
 // HandleFailures marks every given node and link as down in one
@@ -127,6 +146,15 @@ func (o *Orchestrator) HandleLinkFailure(link topology.LinkID) ([]RepairReport, 
 // repair runs, so callers can map the error to a 404 without partial
 // state.
 func (o *Orchestrator) HandleFailures(nodes []topology.NodeID, links []topology.LinkID) ([]RepairReport, error) {
+	return o.HandleFailuresCtx(context.Background(), nodes, links)
+}
+
+// HandleFailuresCtx is HandleFailures carrying a request context: when
+// tracing is enabled and the context holds a span (the HTTP request's
+// root span, or a debouncer batch span), every repair records a child
+// span in that trace, and the repair-completed events carry the repair
+// span's identity across the event mux.
+func (o *Orchestrator) HandleFailuresCtx(ctx context.Context, nodes []topology.NodeID, links []topology.LinkID) ([]RepairReport, error) {
 	if len(nodes) == 0 && len(links) == 0 {
 		return nil, nil
 	}
@@ -134,7 +162,7 @@ func (o *Orchestrator) HandleFailures(nodes []topology.NodeID, links []topology.
 	if err != nil {
 		return nil, err
 	}
-	reports := o.reconcileFailures(dead)
+	reports := o.reconcileFailures(ctx, dead)
 	o.emitRepairEvents(reports, o.failureDomain(dead))
 	return reports, firstRepairError(reports)
 }
@@ -182,15 +210,38 @@ func (o *Orchestrator) markFailuresDown(nodes []topology.NodeID, links []topolog
 // indexes and repairs them concurrently over a bounded worker pool.
 // Under sharding every shard runs its own pass against the same
 // already-marked failure set.
-func (o *Orchestrator) reconcileFailures(dead resilience.FailureSet) []RepairReport {
+func (o *Orchestrator) reconcileFailures(ctx context.Context, dead resilience.FailureSet) []RepairReport {
 	affected := o.affectedBy(dead)
 	reports := make([]RepairReport, len(affected))
+	tr := o.tracer()
+	parent, _ := trace.FromContext(ctx)
 	runPool(len(affected), 0, func(i int) {
-		rep := o.repairAround(affected[i], dead)
+		// One repair span per deployment wraps the whole busy-retry
+		// loop — retries are attempts at the same repair, not separate
+		// operations — continuing the caller's trace (the failure
+		// report's HTTP span or the debouncer's batch span).
+		rctx := ctx
+		var sc trace.SpanContext
+		var start time.Time
+		if tr != nil {
+			sc = tr.Start(parent)
+			rctx = trace.ContextWith(ctx, sc)
+			start = time.Now()
+		}
+		rep := o.repairAround(rctx, affected[i], dead)
 		for attempt := 0; attempt < busyRetries &&
 			rep.Action == ActionSkipped && errors.Is(rep.Err, ErrBusy); attempt++ {
 			time.Sleep(busyRetryDelay)
-			rep = o.repairAround(affected[i], dead)
+			rep = o.repairAround(rctx, affected[i], dead)
+		}
+		if tr != nil {
+			sp := trace.Span{TraceID: sc.TraceID, SpanID: sc.SpanID, Parent: parent.SpanID,
+				Name: "repair", Kind: trace.KindRepair, Start: start, End: time.Now(),
+				Dep:   int(affected[i]),
+				Attrs: []trace.Attr{{Key: "action", Value: string(rep.Action)}}}
+			sp.SetError(rep.Err)
+			tr.Record(sp)
+			rep.TraceID, rep.SpanID = sc.TraceID, sc.SpanID
 		}
 		reports[i] = rep
 	})
@@ -205,7 +256,8 @@ func (o *Orchestrator) reconcileFailures(dead resilience.FailureSet) []RepairRep
 func (o *Orchestrator) emitRepairEvents(reports []RepairReport, domain string) {
 	for _, rep := range reports {
 		if rep.Succeeded() {
-			o.emit(Event{Kind: EventRepairCompleted, Deployment: rep.ID, Action: rep.Action, Domain: domain})
+			o.emit(Event{Kind: EventRepairCompleted, Deployment: rep.ID, Action: rep.Action,
+				Domain: domain, TraceID: rep.TraceID, SpanID: rep.SpanID})
 		}
 	}
 }
@@ -297,7 +349,7 @@ func (o *Orchestrator) affectedBy(dead resilience.FailureSet) []DeploymentID {
 // failure set intersects the deployment's footprint, applies the
 // cheapest repair that covers the whole damage, and falls back to a
 // full rebuild when the differential repair is impossible.
-func (o *Orchestrator) repairAround(id DeploymentID, dead resilience.FailureSet) RepairReport {
+func (o *Orchestrator) repairAround(ctx context.Context, id DeploymentID, dead resilience.FailureSet) RepairReport {
 	dep, err := o.beginExclusive(id)
 	if err != nil {
 		// A concurrent delete/repair/move claimed the deployment; its
@@ -332,17 +384,17 @@ func (o *Orchestrator) repairAround(id DeploymentID, dead resilience.FailureSet)
 	switch {
 	case sliceHit:
 		action = ActionPatched
-		patchErr = o.patchSlice(dep, dead)
+		patchErr = o.patchSlice(ctx, dep, dead)
 	case hostHit:
 		action = ActionReplaced
-		patchErr = o.replaceAndRepath(dep, dead)
+		patchErr = o.replaceAndRepath(ctx, dep, dead)
 	case pathHit:
 		if standbyAlive {
 			action = ActionSwapped
-			patchErr = o.swapToStandby(dep)
+			patchErr = o.swapToStandby(ctx, dep)
 		} else {
 			action = ActionRepathed
-			patchErr = o.repath(dep)
+			patchErr = o.repath(ctx, dep)
 		}
 	case standbyHit:
 		// The primary is intact; only the anticipation was consumed.
@@ -362,7 +414,7 @@ func (o *Orchestrator) repairAround(id DeploymentID, dead resilience.FailureSet)
 			o.mu.Unlock()
 			return RepairReport{ID: id, Action: ActionRestandby}
 		}
-		return RepairReport{ID: id, Action: ActionRestandby, Err: o.replanStandby(dep)}
+		return RepairReport{ID: id, Action: ActionRestandby, Err: o.replanStandby(ctx, dep)}
 	default:
 		// The footprint changed since the index snapshot; the failure
 		// no longer touches this deployment.
@@ -373,7 +425,7 @@ func (o *Orchestrator) repairAround(id DeploymentID, dead resilience.FailureSet)
 	}
 	// Differential repair impossible (e.g. a dead endpoint VM, an
 	// uncoverable VM group, λ exhaustion): rebuild everything.
-	if err := o.rebuild(dep); err != nil {
+	if err := o.rebuild(ctx, dep); err != nil {
 		return RepairReport{ID: id, Action: ActionFailed, Err: err}
 	}
 	return RepairReport{ID: id, Action: ActionRebuilt}
@@ -400,8 +452,8 @@ func (o *Orchestrator) finishRepairFrom(p *pipeline, dep *Deployment, first stag
 // repath re-runs the connectivity stages of the pipeline (path →
 // standby → wdm → rules) around the deployment's unchanged placement —
 // the cold data-path repair, which also replans the standby.
-func (o *Orchestrator) repath(dep *Deployment) error {
-	return o.finishRepairFrom(o.pipelineFrom(dep), dep, stagePath)
+func (o *Orchestrator) repath(ctx context.Context, dep *Deployment) error {
+	return o.finishRepairFrom(o.pipelineFrom(ctx, dep), dep, stagePath)
 }
 
 // swapToStandby promotes the precomputed standby to primary: the
@@ -410,8 +462,8 @@ func (o *Orchestrator) repath(dep *Deployment) error {
 // only a wavelength retune (two-λ grace) and a make-before-break rule
 // swap. The consumed standby is cleared; a later ActionRestandby or any
 // cold repair replans it.
-func (o *Orchestrator) swapToStandby(dep *Deployment) error {
-	p := o.pipelineFrom(dep)
+func (o *Orchestrator) swapToStandby(ctx context.Context, dep *Deployment) error {
+	p := o.pipelineFrom(ctx, dep)
 	sb := dep.Standby
 	p.path = append([]topology.NodeID(nil), sb.Path...)
 	p.confined = sb.Confined
@@ -425,8 +477,8 @@ func (o *Orchestrator) swapToStandby(dep *Deployment) error {
 // On planning failure the dead standby is still dropped — the index
 // must not keep routing failures at a stale alternate — and the error
 // reports that the chain is left unprotected.
-func (o *Orchestrator) replanStandby(dep *Deployment) error {
-	p := o.pipelineFrom(dep)
+func (o *Orchestrator) replanStandby(ctx context.Context, dep *Deployment) error {
+	p := o.pipelineFrom(ctx, dep)
 	planErr := p.planStandby()
 	o.mu.Lock()
 	o.unindexLocked(dep)
@@ -442,8 +494,8 @@ func (o *Orchestrator) replanStandby(dep *Deployment) error {
 // replaceAndRepath migrates the VNF instances hosted on dead nodes to
 // surviving hosts and re-runs the connectivity stages. The VC and slice
 // are untouched.
-func (o *Orchestrator) replaceAndRepath(dep *Deployment, dead resilience.FailureSet) error {
-	p := o.pipelineFrom(dep)
+func (o *Orchestrator) replaceAndRepath(ctx context.Context, dep *Deployment, dead resilience.FailureSet) error {
+	p := o.pipelineFrom(ctx, dep)
 	if err := o.migrateOff(p, dep, dead); err != nil {
 		return err
 	}
@@ -456,7 +508,7 @@ func (o *Orchestrator) replaceAndRepath(dep *Deployment, dead resilience.Failure
 // on failed OPSs (they may be optoelectronic) migrate, and the
 // connectivity stages re-run against the patched slice. The VC ID,
 // slice ID and bandwidth reservation all survive.
-func (o *Orchestrator) patchSlice(dep *Deployment, dead resilience.FailureSet) error {
+func (o *Orchestrator) patchSlice(ctx context.Context, dep *Deployment, dead resilience.FailureSet) error {
 	vms := o.liveVMs(dep.Spec.Service)
 	if len(vms) == 0 {
 		return fmt.Errorf("no live VMs offer service %q", dep.Spec.Service)
@@ -479,7 +531,7 @@ func (o *Orchestrator) patchSlice(dep *Deployment, dead resilience.FailureSet) e
 	dep.Slice = slice
 	o.indexLocked(dep)
 	o.mu.Unlock()
-	p := o.pipelineFrom(dep) // picks up the patched VC and slice
+	p := o.pipelineFrom(ctx, dep) // picks up the patched VC and slice
 	if err := o.migrateOff(p, dep, dead); err != nil {
 		return err
 	}

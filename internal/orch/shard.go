@@ -18,6 +18,7 @@
 package orch
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -28,6 +29,7 @@ import (
 	"github.com/alvc/alvc/internal/resilience"
 	"github.com/alvc/alvc/internal/sdn"
 	"github.com/alvc/alvc/internal/topology"
+	"github.com/alvc/alvc/internal/trace"
 )
 
 // ShardMode selects what the router hashes to pick a shard.
@@ -206,6 +208,12 @@ func (s *Sharded) Provision(spec chain.Spec) (*Deployment, error) {
 	return s.shards[s.router.ShardForSpec(spec)].Provision(spec)
 }
 
+// ProvisionCtx is Provision carrying a request context for trace
+// propagation.
+func (s *Sharded) ProvisionCtx(ctx context.Context, spec chain.Spec) (*Deployment, error) {
+	return s.shards[s.router.ShardForSpec(spec)].ProvisionCtx(ctx, spec)
+}
+
 // ProvisionBatch provisions independent specs concurrently across
 // shards over one bounded worker pool, one result per spec in input
 // order. Intra-batch flow-key duplicates are rejected up front exactly
@@ -241,6 +249,11 @@ func (s *Sharded) ProvisionBatch(specs []chain.Spec, workers int) []BatchResult 
 
 // Delete routes to the owning shard.
 func (s *Sharded) Delete(id DeploymentID) error { return s.owner(id).Delete(id) }
+
+// DeleteCtx is Delete carrying a request context for trace propagation.
+func (s *Sharded) DeleteCtx(ctx context.Context, id DeploymentID) error {
+	return s.owner(id).DeleteCtx(ctx, id)
+}
 
 // Repair routes to the owning shard.
 func (s *Sharded) Repair(id DeploymentID) error { return s.owner(id).Repair(id) }
@@ -302,12 +315,24 @@ func (s *Sharded) ActiveCount() int {
 
 // HandleNodeFailure is the single-node form of HandleFailures.
 func (s *Sharded) HandleNodeFailure(node topology.NodeID) ([]RepairReport, error) {
-	return s.HandleFailures([]topology.NodeID{node}, nil)
+	return s.HandleFailuresCtx(context.Background(), []topology.NodeID{node}, nil)
+}
+
+// HandleNodeFailureCtx is HandleNodeFailure carrying a request context
+// for trace propagation.
+func (s *Sharded) HandleNodeFailureCtx(ctx context.Context, node topology.NodeID) ([]RepairReport, error) {
+	return s.HandleFailuresCtx(ctx, []topology.NodeID{node}, nil)
 }
 
 // HandleLinkFailure is the single-link form of HandleFailures.
 func (s *Sharded) HandleLinkFailure(link topology.LinkID) ([]RepairReport, error) {
-	return s.HandleFailures(nil, []topology.LinkID{link})
+	return s.HandleFailuresCtx(context.Background(), nil, []topology.LinkID{link})
+}
+
+// HandleLinkFailureCtx is HandleLinkFailure carrying a request context
+// for trace propagation.
+func (s *Sharded) HandleLinkFailureCtx(ctx context.Context, link topology.LinkID) ([]RepairReport, error) {
+	return s.HandleFailuresCtx(ctx, nil, []topology.LinkID{link})
 }
 
 // HandleFailures marks the failed resources down once — the topology
@@ -318,6 +343,12 @@ func (s *Sharded) HandleLinkFailure(link topology.LinkID) ([]RepairReport, error
 // repairs every affected chain exactly once. Reports merge in ID
 // order; err carries the first failed or permanently-busy repair.
 func (s *Sharded) HandleFailures(nodes []topology.NodeID, links []topology.LinkID) ([]RepairReport, error) {
+	return s.HandleFailuresCtx(context.Background(), nodes, links)
+}
+
+// HandleFailuresCtx is HandleFailures carrying a request context: every
+// shard's repair spans join the trace the context carries.
+func (s *Sharded) HandleFailuresCtx(ctx context.Context, nodes []topology.NodeID, links []topology.LinkID) ([]RepairReport, error) {
 	if len(nodes) == 0 && len(links) == 0 {
 		return nil, nil
 	}
@@ -327,7 +358,7 @@ func (s *Sharded) HandleFailures(nodes []topology.NodeID, links []topology.LinkI
 	}
 	perShard := make([][]RepairReport, len(s.shards))
 	runPool(len(s.shards), 0, func(i int) {
-		perShard[i] = s.shards[i].reconcileFailures(dead)
+		perShard[i] = s.shards[i].reconcileFailures(ctx, dead)
 	})
 	domain := s.shards[0].failureDomain(dead)
 	var reports []RepairReport
@@ -397,6 +428,14 @@ func (s *Sharded) SetStageObserver(fn func(stage string, d time.Duration)) {
 func (s *Sharded) SetRehomeObserver(fn func(fromRack, toRack int)) {
 	for _, sh := range s.shards {
 		sh.SetRehomeObserver(fn)
+	}
+}
+
+// SetTracer attaches the tracer to every shard; see
+// Orchestrator.SetTracer.
+func (s *Sharded) SetTracer(tr *trace.Tracer) {
+	for _, sh := range s.shards {
+		sh.SetTracer(tr)
 	}
 }
 

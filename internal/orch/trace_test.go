@@ -1,0 +1,178 @@
+package orch
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/alvc/alvc/internal/topology"
+	"github.com/alvc/alvc/internal/trace"
+)
+
+func newTestTracer() *trace.Tracer {
+	return trace.NewTracer(trace.NewStore(trace.StoreOptions{}))
+}
+
+// TestProvisionTraceStageSpans: a traced provision records one
+// "provision" span under the caller's span, with one child span per
+// executed pipeline stage.
+func TestProvisionTraceStageSpans(t *testing.T) {
+	o := newOrch(t)
+	tr := newTestTracer()
+	o.SetTracer(tr)
+
+	root := tr.StartTrace("prov-1")
+	dep, err := o.ProvisionCtx(trace.ContextWith(context.Background(), root), webSpec(t, "chain-1"))
+	if err != nil {
+		t.Fatalf("ProvisionCtx: %v", err)
+	}
+	spans, dropped, ok := tr.Store().Trace("prov-1")
+	if !ok || dropped != 0 {
+		t.Fatalf("Trace(prov-1) = (%d spans, %d dropped, %v)", len(spans), dropped, ok)
+	}
+	var prov *trace.Span
+	for i := range spans {
+		if spans[i].Kind == trace.KindProvision {
+			prov = &spans[i]
+		}
+	}
+	if prov == nil {
+		t.Fatalf("no provision span in %+v", spans)
+	}
+	if prov.Parent != root.SpanID || prov.Dep != int(dep.ID) || prov.Err != "" {
+		t.Fatalf("provision span = %+v, want child of %d for deployment %d", prov, root.SpanID, dep.ID)
+	}
+	stages := map[string]bool{}
+	for _, sp := range spans {
+		if sp.Kind == trace.KindStage {
+			if sp.Parent != prov.SpanID {
+				t.Fatalf("stage %q parented under %d, want provision span %d", sp.Name, sp.Parent, prov.SpanID)
+			}
+			stages[sp.Name] = true
+		}
+	}
+	want := []string{"cluster", "slice", "placement", "instantiate", "path", "standby", "wdm", "rules"}
+	if len(stages) != len(want) {
+		t.Fatalf("stage spans = %v, want %v", stages, want)
+	}
+	for _, name := range want {
+		if !stages[name] {
+			t.Fatalf("missing stage span %q in %v", name, stages)
+		}
+	}
+
+	// The provision trace is reachable through the chain index.
+	chains := tr.Store().ChainTraces(int(dep.ID))
+	if len(chains) != 1 || chains[0].ID != "prov-1" {
+		t.Fatalf("ChainTraces = %+v, want [prov-1]", chains)
+	}
+}
+
+// TestUntracedProvisionRecordsNothing: without a tracer attached the
+// same entry points leave the store untouched (and there is no store
+// to touch — the orchestrator's tracer is nil).
+func TestUntracedProvisionRecordsNothing(t *testing.T) {
+	o := newOrch(t)
+	if _, err := o.ProvisionCtx(context.Background(), webSpec(t, "chain-1")); err != nil {
+		t.Fatalf("ProvisionCtx: %v", err)
+	}
+	// Attach a tracer after the fact: the earlier provision must not
+	// have queued anything into it.
+	tr := newTestTracer()
+	o.SetTracer(tr)
+	if stats := tr.Store().Stats(); stats.SpansRecorded != 0 {
+		t.Fatalf("stats = %+v, want empty store", stats)
+	}
+}
+
+// TestDebouncedStormBatchSpanLinksParents is the exactly-once causal
+// chain across the debouncer: two failure reports from two different
+// traces coalesce into one flush whose batch span continues the first
+// report's trace and links the second, and the single repair it
+// triggers records exactly one repair span inside that same trace.
+func TestDebouncedStormBatchSpanLinksParents(t *testing.T) {
+	o, ids := triOrch(t, Config{})
+	tr := newTestTracer()
+	o.SetTracer(tr)
+	dep, err := o.Provision(triSpec(t, "chain-1"))
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+
+	d := NewFailureDebouncer(o, time.Hour)
+	d.SetTracer(tr)
+	ctxA := trace.ContextWith(context.Background(), tr.StartTrace("report-a"))
+	ctxB := trace.ContextWith(context.Background(), tr.StartTrace("report-b"))
+	d.ReportCtx(ctxA, nil, []topology.LinkID{ids.torOpsLinks[0][0]})
+	d.ReportCtx(ctxB, nil, []topology.LinkID{ids.torOpsLinks[0][1]})
+
+	reports, err := d.Flush()
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if len(reports) != 1 || reports[0].ID != dep.ID {
+		t.Fatalf("reports = %+v, want exactly one for deployment %d", reports, dep.ID)
+	}
+	if reports[0].TraceID != "report-a" {
+		t.Fatalf("report trace = %q, want the batch's trace report-a", reports[0].TraceID)
+	}
+
+	spans, _, ok := tr.Store().Trace("report-a")
+	if !ok {
+		t.Fatal("batch trace report-a not in store")
+	}
+	var batch, repair *trace.Span
+	repairs := 0
+	for i := range spans {
+		switch spans[i].Kind {
+		case trace.KindBatch:
+			batch = &spans[i]
+		case trace.KindRepair:
+			repair = &spans[i]
+			repairs++
+		}
+	}
+	if batch == nil {
+		t.Fatalf("no batch span in %+v", spans)
+	}
+	if len(batch.Links) != 1 || batch.Links[0] != "report-b" {
+		t.Fatalf("batch links = %v, want [report-b]", batch.Links)
+	}
+	if repairs != 1 {
+		t.Fatalf("repair spans = %d, want exactly 1 (exactly-once repair)", repairs)
+	}
+	if repair.Parent != batch.SpanID || repair.Dep != int(dep.ID) {
+		t.Fatalf("repair span = %+v, want child of batch %d for deployment %d", repair, batch.SpanID, dep.ID)
+	}
+	if repair.TraceID != reports[0].TraceID || repair.SpanID != reports[0].SpanID {
+		t.Fatalf("report identity (%s,%d) != repair span (%s,%d)",
+			reports[0].TraceID, reports[0].SpanID, repair.TraceID, repair.SpanID)
+	}
+}
+
+// TestReportCtxWithoutSpanStaysUnparented: reports arriving without a
+// span in their context flush under a fresh trace with no links.
+func TestReportCtxWithoutSpanStaysUnparented(t *testing.T) {
+	o, ids := triOrch(t, Config{})
+	tr := newTestTracer()
+	o.SetTracer(tr)
+	if _, err := o.Provision(triSpec(t, "chain-1")); err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	d := NewFailureDebouncer(o, time.Hour)
+	d.SetTracer(tr)
+	d.Report(nil, []topology.LinkID{ids.torOpsLinks[0][0]})
+	if _, err := d.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	sums := tr.Store().Traces(trace.Query{Kind: trace.KindBatch})
+	if len(sums) != 1 {
+		t.Fatalf("batch traces = %+v, want one fresh trace", sums)
+	}
+	spans, _, _ := tr.Store().Trace(sums[0].ID)
+	for _, sp := range spans {
+		if sp.Kind == trace.KindBatch && (sp.Parent != 0 || len(sp.Links) != 0) {
+			t.Fatalf("unparented batch span = %+v, want root with no links", sp)
+		}
+	}
+}

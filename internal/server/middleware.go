@@ -1,14 +1,18 @@
 package server
 
 import (
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strconv"
+	"strings"
 	"time"
+
+	"github.com/alvc/alvc/internal/trace"
 )
 
 // statusRecorder captures the status code a handler writes so the
-// logging middleware can report it.
+// logging and tracing middleware can report it.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -35,8 +39,64 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
-// withLogging logs one line per request: method, path, status, latency.
-func withLogging(logger *log.Logger, next http.Handler) http.Handler {
+// untraced reports whether a path is excluded from request tracing:
+// scrape and streaming endpoints would flood the store with spans that
+// describe the observer, not the system, and the trace-query API must
+// not generate traffic in the store it reads.
+func untraced(path string) bool {
+	return path == "/metrics" || path == "/healthz" ||
+		path == "/v1/watch" || strings.HasPrefix(path, "/v1/traces")
+}
+
+// withTracing opens the root span of every traced request. A client
+// may pin the trace ID with an X-Trace-Id header (so CI and scripted
+// callers can query the trace back by the ID they chose); otherwise a
+// fresh ID is minted. The resolved ID is echoed in the X-Trace-Id
+// response header either way, and the span context rides the request
+// context into the handlers, where the orchestrator's provision and
+// repair spans attach as children.
+func withTracing(tr *trace.Tracer, next http.Handler) http.Handler {
+	if tr == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if untraced(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		var sc trace.SpanContext
+		if id := r.Header.Get("X-Trace-Id"); id != "" && trace.ValidTraceID(id) {
+			sc = tr.StartTrace(id)
+		} else {
+			sc = tr.Start(trace.SpanContext{})
+		}
+		w.Header().Set("X-Trace-Id", sc.TraceID)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(trace.ContextWith(r.Context(), sc)))
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		sp := trace.Span{
+			TraceID: sc.TraceID,
+			SpanID:  sc.SpanID,
+			Name:    r.Method + " " + r.URL.Path,
+			Kind:    trace.KindHTTP,
+			Start:   start,
+			End:     time.Now(),
+			Attrs:   []trace.Attr{{Key: "status", Value: strconv.Itoa(rec.status)}},
+		}
+		if rec.status >= http.StatusInternalServerError {
+			sp.Err = http.StatusText(rec.status)
+		}
+		tr.Record(sp)
+	})
+}
+
+// withLogging logs one line per request: method, path, status, latency
+// and — when the request is traced — the trace ID, so a slow or failed
+// line in the log can be pivoted straight into GET /v1/traces/{id}.
+func withLogging(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
@@ -44,17 +104,30 @@ func withLogging(logger *log.Logger, next http.Handler) http.Handler {
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
-		logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Duration("duration", time.Since(start).Round(time.Microsecond)),
+		}
+		if sc, ok := trace.FromContext(r.Context()); ok {
+			attrs = append(attrs, slog.String("trace_id", sc.TraceID))
+		}
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 	})
 }
 
 // withRecovery converts handler panics into 500s instead of killing
 // the connection (and, under some servers, the process).
-func withRecovery(logger *log.Logger, next http.Handler) http.Handler {
+func withRecovery(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
-				logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				logger.Error("panic serving request",
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Any("panic", v),
+					slog.String("stack", string(debug.Stack())))
 				writeError(w, http.StatusInternalServerError, "internal server error")
 			}
 		}()

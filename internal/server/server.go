@@ -12,7 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -34,9 +34,16 @@ const maxBodyBytes = 10 << 20
 // Option customizes a Server.
 type Option func(*Server)
 
-// WithLogger replaces the default logger.
-func WithLogger(l *log.Logger) Option {
+// WithLogger replaces the default (discard) logger. Request lines are
+// structured: method, path, status, duration and trace_id attributes.
+func WithLogger(l *slog.Logger) Option {
 	return func(s *Server) { s.logger = l }
+}
+
+// WithWatchRing sets the /v1/watch Last-Event-ID replay horizon in
+// events (default 256).
+func WithWatchRing(n int) Option {
+	return func(s *Server) { s.watchRing = n }
 }
 
 // Server is the REST control plane over one Architecture. The batch
@@ -44,10 +51,11 @@ func WithLogger(l *log.Logger) Option {
 // (one worker per CPU when unset); requests may lower it per call but
 // never raise it.
 type Server struct {
-	arch    *alvc.Architecture
-	logger  *log.Logger
-	handler http.Handler
-	tele    *telemetry.Plane
+	arch      *alvc.Architecture
+	logger    *slog.Logger
+	watchRing int
+	handler   http.Handler
+	tele      *telemetry.Plane
 }
 
 // New wires the route table over the architecture.
@@ -57,7 +65,7 @@ func New(arch *alvc.Architecture, opts ...Option) (*Server, error) {
 	}
 	s := &Server{
 		arch:   arch,
-		logger: log.New(io.Discard, "", 0),
+		logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -65,12 +73,15 @@ func New(arch *alvc.Architecture, opts ...Option) (*Server, error) {
 	// The telemetry plane wires its observer hooks and event-mux
 	// subscriptions at construction; the server just mounts its two
 	// handlers.
-	s.tele = telemetry.NewPlane(arch)
+	s.tele = telemetry.NewPlaneWith(arch, telemetry.PlaneOptions{WatchRing: s.watchRing})
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.tele.MetricsHandler())
 	mux.Handle("GET /v1/watch", s.tele.WatchHandler())
+	mux.HandleFunc("GET /v1/traces", s.handleListTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleGetTrace)
+	mux.HandleFunc("GET /v1/chains/{id}/traces", s.handleChainTraces)
 	mux.HandleFunc("POST /v1/chains", s.handleProvision)
 	mux.HandleFunc("POST /v1/chains:batch", s.handleProvisionBatch)
 	mux.HandleFunc("GET /v1/chains", s.handleListChains)
@@ -94,7 +105,9 @@ func New(arch *alvc.Architecture, opts ...Option) (*Server, error) {
 	mux.HandleFunc("POST /v1/optimizer/pause", s.handleOptimizerPause)
 	mux.HandleFunc("POST /v1/optimizer/resume", s.handleOptimizerResume)
 
-	s.handler = withLogging(s.logger, withRecovery(s.logger, mux))
+	// Tracing sits outermost so the root HTTP span brackets logging and
+	// recovery, and the span context is in place before any handler runs.
+	s.handler = withTracing(arch.Tracer(), withLogging(s.logger, withRecovery(s.logger, mux)))
 	return s, nil
 }
 
@@ -169,7 +182,7 @@ func (s *Server) handleProvision(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parse chain spec: %v", err)
 		return
 	}
-	dep, err := s.arch.Deploy(spec)
+	dep, err := s.arch.DeployCtx(r.Context(), spec)
 	if err != nil {
 		writeError(w, statusOf(err), "provision: %v", err)
 		return
@@ -252,7 +265,7 @@ func (s *Server) handleDeleteChain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.arch.Delete(id); err != nil {
+	if err := s.arch.DeleteCtx(r.Context(), id); err != nil {
 		writeError(w, statusOf(err), "delete: %v", err)
 		return
 	}
@@ -340,7 +353,7 @@ func fillReports(resp *FailureResponse, reports []orch.RepairReport, err error) 
 	resp.Reports = make([]RepairReportJSON, 0, len(reports))
 	resp.Repaired = make([]int, 0, len(reports))
 	for _, rep := range reports {
-		rj := RepairReportJSON{ID: int(rep.ID), Action: string(rep.Action)}
+		rj := RepairReportJSON{ID: int(rep.ID), Action: string(rep.Action), TraceID: rep.TraceID}
 		if rep.Err != nil {
 			rj.Error = rep.Err.Error()
 		}
@@ -362,8 +375,8 @@ func fillReports(resp *FailureResponse, reports []orch.RepairReport, err error) 
 // acceptFailures routes a validated failure report through the
 // debouncer and answers 202 Accepted: repairs run when the window
 // flushes, so there are no per-chain reports to return yet.
-func (s *Server) acceptFailures(w http.ResponseWriter, resp FailureAcceptedResponse, nodes []topology.NodeID, links []topology.LinkID) {
-	s.arch.ReportFailures(nodes, links)
+func (s *Server) acceptFailures(w http.ResponseWriter, r *http.Request, resp FailureAcceptedResponse, nodes []topology.NodeID, links []topology.LinkID) {
+	s.arch.ReportFailuresCtx(r.Context(), nodes, links)
 	resp.Accepted = true
 	resp.PendingNodes, resp.PendingLinks = s.arch.Debouncer().Pending()
 	writeJSON(w, http.StatusAccepted, resp)
@@ -379,13 +392,13 @@ func (s *Server) handleFailNode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.arch.Debouncer() != nil {
-		s.acceptFailures(w, FailureAcceptedResponse{Node: node}, []topology.NodeID{node}, nil)
+		s.acceptFailures(w, r, FailureAcceptedResponse{Node: node}, []topology.NodeID{node}, nil)
 		return
 	}
 	// The node exists, so FailNode's error can only report repairs that
 	// did not succeed — the injection itself has landed. Report those
 	// in-band: the client asked for a failure and got one.
-	reports, err := s.arch.FailNode(node)
+	reports, err := s.arch.FailNodeCtx(r.Context(), node)
 	resp := FailureResponse{Node: node}
 	fillReports(&resp, reports, err)
 	writeJSON(w, http.StatusOK, resp)
@@ -426,12 +439,12 @@ func (s *Server) handleFailLink(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.arch.Debouncer() != nil {
-		s.acceptFailures(w, FailureAcceptedResponse{Link: link}, nil, []topology.LinkID{link})
+		s.acceptFailures(w, r, FailureAcceptedResponse{Link: link}, nil, []topology.LinkID{link})
 		return
 	}
 	// Mirrors handleFailNode: the injection has landed, so per-chain
 	// repair outcomes are reported in-band.
-	reports, err := s.arch.FailLink(link)
+	reports, err := s.arch.FailLinkCtx(r.Context(), link)
 	resp := FailureResponse{Link: link}
 	fillReports(&resp, reports, err)
 	writeJSON(w, http.StatusOK, resp)
@@ -477,10 +490,10 @@ func (s *Server) handleFailBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if s.arch.Debouncer() != nil {
-		s.acceptFailures(w, FailureAcceptedResponse{Nodes: req.Nodes, Links: req.Links}, req.Nodes, req.Links)
+		s.acceptFailures(w, r, FailureAcceptedResponse{Nodes: req.Nodes, Links: req.Links}, req.Nodes, req.Links)
 		return
 	}
-	reports, err := s.arch.FailBatch(req.Nodes, req.Links)
+	reports, err := s.arch.FailBatchCtx(r.Context(), req.Nodes, req.Links)
 	resp := FailureResponse{Nodes: req.Nodes, Links: req.Links}
 	fillReports(&resp, reports, err)
 	writeJSON(w, http.StatusOK, resp)

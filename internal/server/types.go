@@ -138,6 +138,9 @@ type RepairReportJSON struct {
 	ID     int    `json:"id"`
 	Action string `json:"action"`
 	Error  string `json:"error,omitempty"`
+	// TraceID keys the repair's span tree in GET /v1/traces/{id}
+	// (absent when tracing is disabled).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // FailureResponse reports a failure injection (single node, single

@@ -37,6 +37,13 @@ var (
 // counts as congested (alvc_optical_links_congested).
 const congestedOccupancy = 0.75
 
+// PlaneOptions tunes a Plane.
+type PlaneOptions struct {
+	// WatchRing is the /v1/watch Last-Event-ID replay horizon in
+	// events (default 256); see HubOptions.RingSize.
+	WatchRing int
+}
+
 // Plane is the telemetry plane over one Architecture: a Registry
 // serving GET /metrics and a Hub serving GET /v1/watch, with every
 // instrumentation hook wired. Construct one per architecture.
@@ -63,13 +70,21 @@ type Plane struct {
 // attached, and two event-mux subscriptions (the counter sink and the
 // watch hub).
 func NewPlane(arch *alvc.Architecture) *Plane {
-	p := &Plane{arch: arch, reg: NewRegistry(), hub: NewHub()}
+	return NewPlaneWith(arch, PlaneOptions{})
+}
+
+// NewPlaneWith is NewPlane with explicit options.
+func NewPlaneWith(arch *alvc.Architecture, opts PlaneOptions) *Plane {
+	p := &Plane{arch: arch, reg: NewRegistry(),
+		hub: NewHubWith(HubOptions{RingSize: opts.WatchRing})}
 	p.registerOrch()
 	p.registerOptimizer()
 	p.registerRouting()
 	p.registerResilience()
 	p.registerOptical()
 	p.registerWatch()
+	p.registerTrace()
+	p.registerRuntime()
 
 	sh := arch.Sharded()
 	sh.SetStageObserver(func(stage string, d time.Duration) {
@@ -430,6 +445,52 @@ func (p *Plane) registerOptical() {
 		"Optical links with at least one wavelength in use.",
 		nil, func() []Sample {
 			return []Sample{{Value: float64(len(occupancies()))}}
+		})
+}
+
+// registerTrace wires the trace-store self-observability families; all
+// read zero when tracing is disabled (WithTracing(nil)).
+func (p *Plane) registerTrace() {
+	arch := p.arch
+	p.reg.CounterFunc("alvc_trace_spans_total",
+		"Spans recorded into the trace store.",
+		nil, func() []Sample {
+			if st := arch.TraceStore(); st != nil {
+				return []Sample{{Value: float64(st.Stats().SpansRecorded)}}
+			}
+			return []Sample{{Value: 0}}
+		})
+	p.reg.CounterFunc("alvc_trace_spans_dropped_total",
+		"Spans dropped by the per-trace cap or the store span budget.",
+		nil, func() []Sample {
+			if st := arch.TraceStore(); st != nil {
+				return []Sample{{Value: float64(st.Stats().SpansDropped)}}
+			}
+			return []Sample{{Value: 0}}
+		})
+	p.reg.CounterFunc("alvc_trace_traces_evicted_total",
+		"Whole traces force-evicted to stay under the span budget.",
+		nil, func() []Sample {
+			if st := arch.TraceStore(); st != nil {
+				return []Sample{{Value: float64(st.Stats().TracesEvicted)}}
+			}
+			return []Sample{{Value: 0}}
+		})
+	p.reg.GaugeFunc("alvc_trace_store_spans",
+		"Spans currently retained by the trace store.",
+		nil, func() []Sample {
+			if st := arch.TraceStore(); st != nil {
+				return []Sample{{Value: float64(st.Stats().LiveSpans)}}
+			}
+			return []Sample{{Value: 0}}
+		})
+	p.reg.GaugeFunc("alvc_trace_store_traces",
+		"Traces currently retained by the trace store.",
+		nil, func() []Sample {
+			if st := arch.TraceStore(); st != nil {
+				return []Sample{{Value: float64(st.Stats().LiveTraces)}}
+			}
+			return []Sample{{Value: 0}}
 		})
 }
 

@@ -22,14 +22,35 @@ import (
 	"github.com/alvc/alvc/internal/topology"
 )
 
-// ringSize is how many recent events the hub retains for
-// Last-Event-ID replay.
-const ringSize = 256
+// defaultRingSize is how many recent events the hub retains for
+// Last-Event-ID replay when HubOptions does not say otherwise.
+const defaultRingSize = 256
 
 // defaultSubscriberBuffer is the per-subscriber channel depth: enough
 // to ride out a scheduling hiccup, small enough that a genuinely
 // stalled client is detected within one failure batch.
 const defaultSubscriberBuffer = 64
+
+// HubOptions tunes a Hub.
+type HubOptions struct {
+	// RingSize is the Last-Event-ID replay horizon in events
+	// (default 256). Larger rings let clients reconnect across longer
+	// gaps at the cost of retained memory.
+	RingSize int
+	// SubscriberBuffer is the per-subscriber channel depth
+	// (default 64); a subscriber this far behind is dropped.
+	SubscriberBuffer int
+}
+
+func (o HubOptions) withDefaults() HubOptions {
+	if o.RingSize <= 0 {
+		o.RingSize = defaultRingSize
+	}
+	if o.SubscriberBuffer <= 0 {
+		o.SubscriberBuffer = defaultSubscriberBuffer
+	}
+	return o
+}
 
 // StreamEvent is one orchestrator lifecycle event as streamed to
 // /v1/watch clients: the orch.Event payload plus a monotonic sequence
@@ -42,15 +63,21 @@ type StreamEvent struct {
 	Node       topology.NodeID   `json:"node,omitempty"`
 	Link       topology.LinkID   `json:"link,omitempty"`
 	Domain     string            `json:"domain,omitempty"`
+	// TraceID is the trace of the span that emitted the event (the
+	// repair span for repair-completed) when tracing is enabled — the
+	// key into GET /v1/traces/{id} for the full causal tree.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Hub is the fan-out point: an orch.EventSink that assigns sequence
 // numbers, keeps the replay ring, and forwards to subscribers without
 // ever blocking the emitting orchestrator. Safe for concurrent use.
 type Hub struct {
+	opts HubOptions
+
 	mu   sync.Mutex
 	seq  uint64
-	ring []StreamEvent // at most ringSize, oldest first
+	ring []StreamEvent // at most opts.RingSize, oldest first
 	subs map[*subscriber]struct{}
 
 	events  uint64 // events ingested
@@ -61,10 +88,18 @@ type subscriber struct {
 	ch chan StreamEvent
 }
 
-// NewHub returns an empty hub.
+// NewHub returns an empty hub with default options.
 func NewHub() *Hub {
-	return &Hub{subs: make(map[*subscriber]struct{})}
+	return NewHubWith(HubOptions{})
 }
+
+// NewHubWith returns an empty hub with the given options.
+func NewHubWith(opts HubOptions) *Hub {
+	return &Hub{opts: opts.withDefaults(), subs: make(map[*subscriber]struct{})}
+}
+
+// Options returns the hub's effective (defaulted) options.
+func (h *Hub) Options() HubOptions { return h.opts }
 
 // OrchEvent implements orch.EventSink: stamp, ring, fan out. A
 // subscriber whose buffer is full is dropped on the spot — its channel
@@ -82,10 +117,11 @@ func (h *Hub) OrchEvent(ev orch.Event) {
 		Node:       ev.Node,
 		Link:       ev.Link,
 		Domain:     ev.Domain,
+		TraceID:    ev.TraceID,
 	}
 	h.ring = append(h.ring, se)
-	if len(h.ring) > ringSize {
-		h.ring = h.ring[len(h.ring)-ringSize:]
+	if len(h.ring) > h.opts.RingSize {
+		h.ring = h.ring[len(h.ring)-h.opts.RingSize:]
 	}
 	for sub := range h.subs {
 		select {
@@ -173,7 +209,7 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		after = n
 	}
-	ch, cancel := h.Subscribe(after, defaultSubscriberBuffer)
+	ch, cancel := h.Subscribe(after, h.opts.SubscriberBuffer)
 	defer cancel()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")

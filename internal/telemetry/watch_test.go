@@ -54,16 +54,16 @@ func TestHubOrderingAndReplay(t *testing.T) {
 
 func TestHubRingTrimsToHorizon(t *testing.T) {
 	h := NewHub()
-	total := ringSize + 50
+	total := defaultRingSize + 50
 	for i := 0; i < total; i++ {
 		h.OrchEvent(repairEvent(i))
 	}
 	// Resuming from 0 replays only the ring's horizon: the last
-	// ringSize events.
+	// defaultRingSize events.
 	ch, cancel := h.Subscribe(0, 1)
 	defer cancel()
 	first := <-ch
-	if want := uint64(total - ringSize + 1); first.Seq != want {
+	if want := uint64(total - defaultRingSize + 1); first.Seq != want {
 		t.Fatalf("first replayed seq %d, want %d", first.Seq, want)
 	}
 }
@@ -225,5 +225,56 @@ func TestServeHTTPBadLastEventID(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHubCustomRingSizeResume: a hub built with a non-default ring
+// size trims its Last-Event-ID replay horizon to that size, and a
+// resuming subscriber sees exactly the retained tail.
+func TestHubCustomRingSizeResume(t *testing.T) {
+	h := NewHubWith(HubOptions{RingSize: 16})
+	if got := h.Options().RingSize; got != 16 {
+		t.Fatalf("RingSize = %d, want 16", got)
+	}
+	if got := h.Options().SubscriberBuffer; got != defaultSubscriberBuffer {
+		t.Fatalf("SubscriberBuffer = %d, want default %d", got, defaultSubscriberBuffer)
+	}
+	total := 40
+	for i := 0; i < total; i++ {
+		h.OrchEvent(repairEvent(i))
+	}
+	// Resuming from before the horizon replays only the last 16 events.
+	ch, cancel := h.Subscribe(0, 1)
+	defer cancel()
+	seq := uint64(total - 16)
+	for i := 0; i < 16; i++ {
+		select {
+		case se := <-ch:
+			if se.Seq != seq+1 {
+				t.Fatalf("replay event %d: seq %d, want %d", i, se.Seq, seq+1)
+			}
+			seq = se.Seq
+		case <-time.After(time.Second):
+			t.Fatalf("timed out at replay event %d", i)
+		}
+	}
+}
+
+// TestHubStreamEventCarriesTraceID: the SSE wire form surfaces the
+// emitting event's trace ID.
+func TestHubStreamEventCarriesTraceID(t *testing.T) {
+	h := NewHub()
+	ev := repairEvent(3)
+	ev.TraceID = "trace-xyz"
+	h.OrchEvent(ev)
+	ch, cancel := h.Subscribe(0, 1)
+	defer cancel()
+	select {
+	case se := <-ch:
+		if se.TraceID != "trace-xyz" {
+			t.Fatalf("stream event trace = %q, want trace-xyz", se.TraceID)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timed out waiting for replayed event")
 	}
 }

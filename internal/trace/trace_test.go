@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// mkSpan builds a one-off span; parent 0 makes it a root.
+func mkSpan(traceID string, id, parent SpanID, kind string, d time.Duration) Span {
+	start := time.Unix(1000, 0)
+	return Span{
+		TraceID: traceID, SpanID: id, Parent: parent,
+		Name: kind, Kind: kind, Start: start, End: start.Add(d),
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	for _, ok := range []string{"a", "ci-run.42_x", "ABC-123"} {
+		if !ValidTraceID(ok) {
+			t.Errorf("ValidTraceID(%q) = false, want true", ok)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", string(long)} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestTracerParenting(t *testing.T) {
+	tr := NewTracer(NewStore(StoreOptions{}))
+	root := tr.Start(SpanContext{})
+	if !root.Valid() || root.SpanID == 0 {
+		t.Fatalf("root = %+v, want fresh trace", root)
+	}
+	child := tr.Start(root)
+	if child.TraceID != root.TraceID || child.SpanID == root.SpanID {
+		t.Fatalf("child = %+v under %+v, want same trace, new span", child, root)
+	}
+	pinned := tr.StartTrace("my-id")
+	if pinned.TraceID != "my-id" {
+		t.Fatalf("StartTrace kept %q, want my-id", pinned.TraceID)
+	}
+	if sc := tr.StartTrace("bad id!"); sc.TraceID == "bad id!" {
+		t.Fatal("StartTrace accepted a malformed external ID")
+	}
+}
+
+// TestNilTracerZeroAlloc is the WithTracing(nil) contract: every hot-
+// path tracer call on a nil receiver is a no-op that allocates nothing.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(200, func() {
+		sc := tr.Start(SpanContext{})
+		tr.RecordChild(sc, "stage", KindStage, time.Time{}, time.Millisecond, nil)
+		tr.Record(Span{TraceID: "x"})
+		_ = tr.StartTrace("x")
+		_ = tr.NewTraceID()
+		_ = tr.Store()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestStoreOutOfOrderRoot: spans are recorded on completion, so
+// children land before their root. The trace's kind must upgrade when
+// the root arrives, and the root's duration wins the summary.
+func TestStoreOutOfOrderRoot(t *testing.T) {
+	st := NewStore(StoreOptions{})
+	st.add(mkSpan("t1", 2, 1, KindStage, 5*time.Millisecond))
+	st.add(mkSpan("t1", 1, 0, KindProvision, 20*time.Millisecond))
+	if got := st.Traces(Query{Kind: KindProvision}); len(got) != 1 || got[0].ID != "t1" {
+		t.Fatalf("kind filter after root upgrade = %+v, want [t1]", got)
+	}
+	if got := st.Traces(Query{Kind: KindStage}); len(got) != 0 {
+		t.Fatalf("trace still filed under its pre-root kind: %+v", got)
+	}
+	sums := st.Traces(Query{})
+	if len(sums) != 1 || sums[0].Duration != 20*time.Millisecond || sums[0].Spans != 2 {
+		t.Fatalf("summary = %+v, want root duration over 2 spans", sums)
+	}
+}
+
+// TestStoreRecentRingEviction: with no pin set claiming them, traces
+// fall off the per-kind recent ring oldest-first.
+func TestStoreRecentRingEviction(t *testing.T) {
+	st := NewStore(StoreOptions{RecentPerKind: 2})
+	// Child-only spans: no root, so neither slowest-N nor errored-N pins.
+	st.add(mkSpan("t1", 2, 1, KindRepair, time.Millisecond))
+	st.add(mkSpan("t2", 4, 3, KindRepair, time.Millisecond))
+	st.add(mkSpan("t3", 6, 5, KindRepair, time.Millisecond))
+	if _, _, ok := st.Trace("t1"); ok {
+		t.Fatal("t1 survived past the ring horizon with no pin")
+	}
+	for _, id := range []string{"t2", "t3"} {
+		if _, _, ok := st.Trace(id); !ok {
+			t.Fatalf("%s evicted while inside the ring horizon", id)
+		}
+	}
+	stats := st.Stats()
+	if stats.TracesEvicted != 1 || stats.LiveTraces != 2 {
+		t.Fatalf("stats = %+v, want 1 evicted / 2 live", stats)
+	}
+}
+
+// TestStoreErroredPinned: an errored trace survives ring churn.
+func TestStoreErroredPinned(t *testing.T) {
+	st := NewStore(StoreOptions{RecentPerKind: 1})
+	bad := mkSpan("bad", 2, 1, KindRepair, time.Millisecond)
+	bad.SetError(errors.New("boom"))
+	st.add(bad)
+	st.add(mkSpan("t2", 4, 3, KindRepair, time.Millisecond))
+	st.add(mkSpan("t3", 6, 5, KindRepair, time.Millisecond))
+	if _, _, ok := st.Trace("bad"); !ok {
+		t.Fatal("errored trace evicted by ring churn")
+	}
+	got := st.Traces(Query{Errored: true})
+	if len(got) != 1 || got[0].ID != "bad" || !got[0].Errored {
+		t.Fatalf("errored query = %+v, want [bad]", got)
+	}
+}
+
+// TestStoreSlowestPinned: a slow root survives ring churn and sorts
+// first in the listing.
+func TestStoreSlowestPinned(t *testing.T) {
+	st := NewStore(StoreOptions{RecentPerKind: 1})
+	st.add(mkSpan("slow", 1, 0, KindProvision, time.Second))
+	st.add(mkSpan("t2", 2, 0, KindProvision, time.Millisecond))
+	st.add(mkSpan("t3", 3, 0, KindProvision, 2*time.Millisecond))
+	if _, _, ok := st.Trace("slow"); !ok {
+		t.Fatal("slowest trace evicted by ring churn")
+	}
+	got := st.Traces(Query{})
+	if len(got) == 0 || got[0].ID != "slow" {
+		t.Fatalf("listing = %+v, want slow first", got)
+	}
+	if got := st.Traces(Query{MinDuration: 500 * time.Millisecond}); len(got) != 1 || got[0].ID != "slow" {
+		t.Fatalf("min-duration filter = %+v, want [slow]", got)
+	}
+}
+
+// TestStorePerTraceCap: spans beyond MaxSpansPerTrace are counted as
+// dropped, not stored.
+func TestStorePerTraceCap(t *testing.T) {
+	st := NewStore(StoreOptions{MaxSpansPerTrace: 2})
+	for i := SpanID(2); i <= 5; i++ {
+		st.add(mkSpan("t1", i, 1, KindStage, time.Millisecond))
+	}
+	spans, dropped, ok := st.Trace("t1")
+	if !ok || len(spans) != 2 || dropped != 2 {
+		t.Fatalf("Trace = (%d spans, %d dropped, %v), want (2, 2, true)", len(spans), dropped, ok)
+	}
+	if st.Stats().SpansDropped != 2 {
+		t.Fatalf("stats = %+v, want SpansDropped=2", st.Stats())
+	}
+}
+
+// TestStoreMaxSpansBudget is the bounded-memory acceptance check: no
+// matter how many spans arrive, the live total never exceeds MaxSpans.
+func TestStoreMaxSpansBudget(t *testing.T) {
+	st := NewStore(StoreOptions{MaxSpans: 8, RecentPerKind: 64})
+	id := SpanID(1)
+	for i := 0; i < 50; i++ {
+		tid := fmt.Sprintf("t%d", i)
+		for j := 0; j < 3; j++ {
+			st.add(mkSpan(tid, id+1, id, KindRepair, time.Millisecond))
+			id += 2
+			if live := st.Stats().LiveSpans; live > 8 {
+				t.Fatalf("live spans %d exceed the %d budget", live, 8)
+			}
+		}
+	}
+	stats := st.Stats()
+	if stats.TracesEvicted == 0 {
+		t.Fatalf("stats = %+v, want forced evictions under pressure", stats)
+	}
+}
+
+// TestChainTraces: the per-deployment index keeps the last ChainDepth
+// traces, most recent first.
+func TestChainTraces(t *testing.T) {
+	st := NewStore(StoreOptions{ChainDepth: 2})
+	for i := 0; i < 3; i++ {
+		sp := mkSpan(fmt.Sprintf("t%d", i), SpanID(10+i), 0, KindProvision, time.Millisecond)
+		sp.Dep = 7
+		st.add(sp)
+	}
+	got := st.ChainTraces(7)
+	if len(got) != 2 || got[0].ID != "t2" || got[1].ID != "t1" {
+		t.Fatalf("ChainTraces = %+v, want [t2 t1]", got)
+	}
+	if got := st.ChainTraces(99); len(got) != 0 {
+		t.Fatalf("unknown deployment returned %+v", got)
+	}
+}
