@@ -138,6 +138,11 @@ type (
 	DebounceStats = orch.DebounceStats
 	// StormStats counts the optimizer's storm-mode coalescing.
 	StormStats = optimizer.StormStats
+	// GroupPlanStats counts the storm-group planner's shared-search
+	// outcomes (chains planned, unique Yen buckets, sharing, fallbacks).
+	GroupPlanStats = optimizer.GroupPlanStats
+	// GroupReport is one domain-level re-protection pass's outcomes.
+	GroupReport = orch.GroupReport
 	// Tracer issues request-scoped spans into the trace store; nil-safe
 	// (every method on a nil Tracer is a no-op).
 	Tracer = trace.Tracer
@@ -204,19 +209,20 @@ func NFCatalog() []string { return nfv.ProfileNames() }
 type Option func(*settings)
 
 type settings struct {
-	builder        cluster.Builder
-	policy         placement.Policy
-	mode           placement.Mode
-	costModel      *optical.CostModel
-	wavelengths    int
-	batchWorkers   int
-	standbyK       int
-	optimizer      *optimizer.Options
-	shards         int
-	shardMode      orch.ShardMode
-	debounceWindow *time.Duration
-	traceOpts      *trace.StoreOptions
-	traceSet       bool
+	builder          cluster.Builder
+	policy           placement.Policy
+	mode             placement.Mode
+	costModel        *optical.CostModel
+	wavelengths      int
+	batchWorkers     int
+	standbyK         int
+	optimizer        *optimizer.Options
+	shards           int
+	shardMode        orch.ShardMode
+	debounceWindow   *time.Duration
+	traceOpts        *trace.StoreOptions
+	traceSet         bool
+	disablePathCache bool
 }
 
 // WithBuilder selects the AL construction algorithm (default: the
@@ -305,6 +311,18 @@ func WithTracing(opts *TraceOptions) Option {
 	return func(s *settings) { s.traceSet = true; s.traceOpts = opts }
 }
 
+// WithPathCandidateCache enables or disables the SDN controllers'
+// generation-keyed path-candidate cache (default: enabled). The cache
+// memoizes Yen k-shortest results per (structural generation,
+// live-mask version, endpoints, k, pool digest), so repeated standby
+// searches within one topology epoch — optimizer refresh fans,
+// storm-group re-protection — skip the search entirely. Disable it
+// only to measure its effect (the storm bench's per-chain baseline
+// does).
+func WithPathCandidateCache(enabled bool) Option {
+	return func(s *settings) { s.disablePathCache = !enabled }
+}
+
 // WithFailureDebounce attaches a failure debouncer: failure events
 // reported through ReportFailures coalesce for the given window and
 // dispatch as one union FailBatch, so a failure storm (a cut tray, a
@@ -361,13 +379,14 @@ func FromTopology(topo *topology.Topology, opts ...Option) (*Architecture, error
 		opt(&s)
 	}
 	sh, err := orch.NewSharded(orch.Config{
-		Topo:        topo,
-		Builder:     s.builder,
-		Policy:      s.policy,
-		Mode:        s.mode,
-		CostModel:   s.costModel,
-		Wavelengths: s.wavelengths,
-		StandbyK:    s.standbyK,
+		Topo:             topo,
+		Builder:          s.builder,
+		Policy:           s.policy,
+		Mode:             s.mode,
+		CostModel:        s.costModel,
+		Wavelengths:      s.wavelengths,
+		StandbyK:         s.standbyK,
+		DisablePathCache: s.disablePathCache,
 	}, s.shards, s.shardMode)
 	if err != nil {
 		return nil, fmt.Errorf("alvc: %w", err)

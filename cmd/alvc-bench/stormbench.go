@@ -49,6 +49,26 @@ type stormBenchReport struct {
 	StormGroupTasks int `json:"storm_group_tasks"`
 	DrainedTasks    int `json:"drained_tasks"`
 
+	// Drain-phase planning economics. The baseline fleet drains its
+	// re-protection backlog per chain with the path-candidate cache
+	// disabled — the honest per-chain Yen cost. The batched fleet
+	// group-plans per failure domain over the generation-keyed cache.
+	// Contract: DrainYenRuns <= GroupBuckets (one Yen run per unique
+	// (endpoint, pool) bucket at most) and BaselineDrainYenRuns >=
+	// 2*DrainYenRuns (group planning at least halves the Yen bill).
+	BaselineDrainYenRuns int   `json:"baseline_drain_yen_runs"`
+	DrainYenRuns         int   `json:"yen_runs"`
+	GroupPlanned         int   `json:"group_planned"`
+	GroupBuckets         int   `json:"group_buckets"`
+	GroupShared          int   `json:"group_shared_chains"`
+	GroupFallbacks       int   `json:"group_fallbacks"`
+	CandidateCacheHits   int64 `json:"candidate_cache_hits"`
+	CandidateCacheMisses int64 `json:"candidate_cache_misses"`
+	// UnprotectedChains counts batched-fleet chains left without a
+	// standby after the drain. Contract: 0 — group planning must match
+	// per-chain protection coverage.
+	UnprotectedChains int `json:"unprotected_chains"`
+
 	// QueueBound is the per-shard queue-depth cap the batched fleet ran
 	// with; QueueHighWater the worst per-shard depth observed and
 	// QueueShed the tasks dropped to hold the bound. Contract:
@@ -96,6 +116,12 @@ type stormVictim struct {
 // stormTraySize groups this many chains' links per SRLG tray.
 const stormTraySize = 8
 
+// stormSegmentCeiling bounds how many Yen invocations a single
+// per-chain re-protect can cost: one per standby path segment, and the
+// bench chains (VM -> PM -> two NF hosts -> PM -> VM) never exceed
+// five segments.
+const stormSegmentCeiling = 5
+
 // stormQueueBound caps each optimizer shard queue during the storm:
 // small enough that the bound is actually exercised by a 160-chain
 // storm's re-protection backlog, large enough that storm-group tasks
@@ -110,14 +136,20 @@ func stormTopology(chains int) alvc.TopologyConfig {
 }
 
 func newStormArch(chains int, batched bool) (*alvc.Architecture, error) {
-	opts := []alvc.Option{
-		alvc.WithShards(4),
-		alvc.WithOptimizer(alvc.OptimizerOptions{StormThreshold: 8, MaxQueueDepth: stormQueueBound}),
-	}
+	opts := []alvc.Option{alvc.WithShards(4)}
 	if batched {
 		// An hour-long window: the bench flushes explicitly, standing in
 		// for the deployment-tuned debounce interval.
-		opts = append(opts, alvc.WithFailureDebounce(time.Hour))
+		opts = append(opts,
+			alvc.WithOptimizer(alvc.OptimizerOptions{StormThreshold: 8, MaxQueueDepth: stormQueueBound}),
+			alvc.WithFailureDebounce(time.Hour))
+	} else {
+		// The baseline drains per chain — storm grouping off and the
+		// candidate cache disabled, so its drain-phase Yen count is the
+		// true per-chain planning cost the group planner is gated against.
+		opts = append(opts,
+			alvc.WithOptimizer(alvc.OptimizerOptions{StormThreshold: -1, MaxQueueDepth: stormQueueBound}),
+			alvc.WithPathCandidateCache(false))
 	}
 	arch, err := alvc.New(stormTopology(chains), opts...)
 	if err != nil {
@@ -361,8 +393,10 @@ func stormRound(chains int) (*stormBenchReport, error) {
 	// The warm-up failure can itself brush the storm threshold; report
 	// the storm phase's delta, not the cumulative counters.
 	var stormBefore alvc.StormStats
+	var groupBefore alvc.GroupPlanStats
 	if st, ok := batchArch.OptimizerStatus(); ok {
 		stormBefore = st.Storm
+		groupBefore = st.GroupPlans
 	}
 
 	if report.Baseline, err = runStormBaseline(baseArch, baseVictims); err != nil {
@@ -379,12 +413,24 @@ func stormRound(chains int) (*stormBenchReport, error) {
 	}
 
 	// Drain the batched fleet's re-protection backlog: the storm-mode
-	// group tasks re-protect each chain exactly once per domain.
+	// group tasks re-protect each chain exactly once per domain,
+	// bucketing shared endpoint pairs so Yen runs once per bucket.
+	drainYenBefore := batchArch.Sharded().YenRuns()
+	hitsBefore, missesBefore := batchArch.Sharded().CandidateCacheStats()
 	results := batchArch.Optimize()
+	report.DrainYenRuns = batchArch.Sharded().YenRuns() - drainYenBefore
+	hits, misses := batchArch.Sharded().CandidateCacheStats()
+	report.CandidateCacheHits = hits - hitsBefore
+	report.CandidateCacheMisses = misses - missesBefore
 	report.DrainedTasks = len(results)
 	for _, res := range results {
 		if res.Outcome == "storm-group" {
 			report.StormGroupTasks++
+		}
+	}
+	for _, dep := range batchArch.Deployments() {
+		if dep.Standby == nil {
+			report.UnprotectedChains++
 		}
 	}
 	if st, ok := batchArch.OptimizerStatus(); ok {
@@ -392,6 +438,10 @@ func stormRound(chains int) (*stormBenchReport, error) {
 		report.Storm.Activations -= stormBefore.Activations
 		report.Storm.Domains -= stormBefore.Domains
 		report.Storm.CoalescedTasks -= stormBefore.CoalescedTasks
+		report.GroupPlanned = st.GroupPlans.Planned - groupBefore.Planned
+		report.GroupBuckets = st.GroupPlans.Buckets - groupBefore.Buckets
+		report.GroupShared = st.GroupPlans.SharedChains - groupBefore.SharedChains
+		report.GroupFallbacks = st.GroupPlans.Fallbacks - groupBefore.Fallbacks
 		report.QueueBound = stormQueueBound
 		for _, hw := range st.ShardHighWater {
 			if hw > report.QueueHighWater {
@@ -400,6 +450,12 @@ func stormRound(chains int) (*stormBenchReport, error) {
 		}
 		report.QueueShed = st.Shed
 	}
+
+	// Drain the baseline fleet the per-chain way and count what it cost:
+	// no grouping, no cache — every chain pays Yen per path segment.
+	baseYenBefore := baseArch.Sharded().YenRuns()
+	baseArch.Optimize()
+	report.BaselineDrainYenRuns = baseArch.Sharded().YenRuns() - baseYenBefore
 	return report, nil
 }
 
@@ -451,6 +507,32 @@ func stormContract(r *stormBenchReport) []string {
 			"optimizer queue high-water %d exceeded the %d bound (contract: shedding holds the cap)",
 			r.QueueHighWater, r.QueueBound))
 	}
+	if r.GroupPlanned == 0 {
+		out = append(out, "no chains were group-planned during the drain (contract: storm groups route through the group planner)")
+	}
+	// The few tasks that queued per-deployment before the storm
+	// threshold crossed drain alongside the group and pay Yen per path
+	// segment; stormSegmentCeiling bounds their share of the Yen bill.
+	nonGroup := r.DrainedTasks - r.StormGroupTasks
+	if r.DrainYenRuns > r.GroupBuckets+nonGroup*stormSegmentCeiling {
+		out = append(out, fmt.Sprintf(
+			"batched drain ran Yen %d times over %d group buckets + %d pre-storm tasks (contract: at most once per bucket)",
+			r.DrainYenRuns, r.GroupBuckets, nonGroup))
+	}
+	if r.DrainYenRuns != int(r.CandidateCacheMisses) {
+		out = append(out, fmt.Sprintf(
+			"batched drain ran Yen %d times on %d cache misses (contract: a cached bucket is never recomputed)",
+			r.DrainYenRuns, r.CandidateCacheMisses))
+	}
+	if r.BaselineDrainYenRuns < 2*r.DrainYenRuns {
+		out = append(out, fmt.Sprintf(
+			"per-chain baseline drain ran Yen %d times vs batched %d (contract: group planning >= 2x fewer)",
+			r.BaselineDrainYenRuns, r.DrainYenRuns))
+	}
+	if r.UnprotectedChains != 0 {
+		out = append(out, fmt.Sprintf(
+			"%d chains left unprotected after the group-planned drain (contract: 0)", r.UnprotectedChains))
+	}
 	return out
 }
 
@@ -472,6 +554,10 @@ func printStormReport(r *stormBenchReport) {
 		r.DrainedTasks, r.StormGroupTasks, r.Storm)
 	fmt.Printf("  queue: high-water %d of bound %d, %d shed\n",
 		r.QueueHighWater, r.QueueBound, r.QueueShed)
+	fmt.Printf("  group planning: %d chains in %d buckets (%d shared, %d fallbacks), %d unprotected\n",
+		r.GroupPlanned, r.GroupBuckets, r.GroupShared, r.GroupFallbacks, r.UnprotectedChains)
+	fmt.Printf("  drain yen: batched %d vs per-chain baseline %d; candidate cache %d hits / %d misses\n",
+		r.DrainYenRuns, r.BaselineDrainYenRuns, r.CandidateCacheHits, r.CandidateCacheMisses)
 	for _, v := range r.Violations {
 		fmt.Printf("  [VIOLATION] %s\n", v)
 	}

@@ -32,6 +32,7 @@ package optimizer
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -58,6 +59,17 @@ type Target interface {
 type shardedTarget interface {
 	Shards() int
 	ShardOf(id orch.DeploymentID) int
+}
+
+// groupTarget is the optional domain-level re-protection surface. When
+// the target implements it, storm-group tasks hand the whole domain to
+// the orchestrator in one call — the group planner Yens once per
+// unique (endpoint, pool) bucket and shares the candidates across the
+// domain's chains — instead of fanning back out to per-chain
+// ReProtect. Both *orch.Orchestrator and *orch.Sharded implement it;
+// the interface keeps the engine usable against minimal test targets.
+type groupTarget interface {
+	ReProtectGroup(domain string, ids []orch.DeploymentID) orch.GroupReport
 }
 
 // TaskKind names one maintenance task type. Smaller is higher
@@ -188,6 +200,23 @@ type StormStats struct {
 	CoalescedTasks int `json:"coalesced_tasks"`
 }
 
+// GroupPlanStats accumulates storm-group planning outcomes across the
+// engine's lifetime — the operator's evidence that domain-level
+// sharing is actually happening in production storms.
+type GroupPlanStats struct {
+	// Planned counts chains routed through a group planner.
+	Planned int `json:"planned"`
+	// Buckets counts unique (endpoint pair, OPS pool) Yen searches the
+	// group passes ran — the denominator of the sharing win.
+	Buckets int `json:"buckets"`
+	// SharedChains counts planned chains that reused at least one other
+	// chain's segment search.
+	SharedChains int `json:"shared_chains"`
+	// Fallbacks counts whole-fabric retries after a pool-restricted
+	// group plan found no route.
+	Fallbacks int `json:"fallbacks"`
+}
+
 // Status is the engine's observable state.
 type Status struct {
 	Paused     bool `json:"paused"`
@@ -205,6 +234,8 @@ type Status struct {
 	Shed int `json:"queue_shed"`
 	// Storm reports the storm-mode coalescing counters.
 	Storm StormStats `json:"storm"`
+	// GroupPlans reports the storm-group planner's sharing counters.
+	GroupPlans GroupPlanStats `json:"group_plans"`
 	// Debounce mirrors the upstream failure debouncer's counters when
 	// one is attached (SetDebounceSource).
 	Debounce *orch.DebounceStats `json:"debounce,omitempty"`
@@ -263,6 +294,7 @@ type Engine struct {
 	results   []TaskResult
 	storm     bool
 	stormStat StormStats
+	groupPlan GroupPlanStats
 	highWater []int // per-shard queued-task high-water marks
 	shedTotal int   // tasks dropped by the MaxQueueDepth bound
 	drainObs  func(d time.Duration, tasks int)
@@ -886,10 +918,14 @@ func (e *Engine) runTask(t task) (res TaskResult, requeue bool) {
 }
 
 // runGroupTask executes one storm-mode group task: it claims the
-// domain's accumulated members and re-protects each exactly once. Busy
-// members requeue as ordinary per-deployment tasks (the storm may be
-// over by then); deleted ones are moot. Members reported after the
-// claim re-accumulate under the domain and re-create the group task.
+// domain's accumulated members and re-protects each exactly once. When
+// the target exposes ReProtectGroup the whole domain goes down in one
+// call — the group planner shares the Yen candidate searches across
+// every member — and per-chain ReProtect is only the fallback for
+// minimal targets. Busy members requeue as ordinary per-deployment
+// tasks (the storm may be over by then); deleted ones are moot.
+// Members reported after the claim re-accumulate under the domain and
+// re-create the group task.
 func (e *Engine) runGroupTask(t task) TaskResult {
 	e.grpMu.Lock()
 	members := e.groups[t.key.domain]
@@ -900,6 +936,9 @@ func (e *Engine) runGroupTask(t task) TaskResult {
 		delete(e.member, id)
 	}
 	e.grpMu.Unlock()
+	// Coalescing order depends on repair fan-out scheduling; sort so
+	// execution order, traces and bench action counts are stable.
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 	// The group span continues the first coalesced repair's trace and
 	// links every other member's, so each originating failure trace
 	// reaches the storm-coalesced re-protect that closed it out.
@@ -913,25 +952,58 @@ func (e *Engine) runGroupTask(t task) TaskResult {
 		}
 	}
 	protected, already, busy, failed := 0, 0, 0, 0
-	for _, id := range members {
-		_, replanned, err := e.o.ReProtect(id)
-		switch {
-		case err == nil && replanned:
-			protected++
-		case err == nil:
-			already++
-		case errors.Is(err, orch.ErrBusy):
-			busy++
-			e.enqueue(task{key: taskKey{dep: id, kind: KindReProtect}})
-		case errors.Is(err, orch.ErrUnknownDeployment), errors.Is(err, orch.ErrNotActive):
-			// Deleted mid-storm: nothing to protect.
-		default:
-			failed++
+	var gstats resilience.GroupStats
+	grouped := false
+	if gt, ok := e.o.(groupTarget); ok {
+		grouped = true
+		grep := gt.ReProtectGroup(t.key.domain, members)
+		gstats = grep.Stats
+		for _, out := range grep.Outcomes {
+			switch {
+			case out.Err == nil && out.Replanned:
+				protected++
+			case out.Err == nil:
+				already++
+			case errors.Is(out.Err, orch.ErrBusy):
+				busy++
+				e.enqueue(task{key: taskKey{dep: out.ID, kind: KindReProtect}})
+			case errors.Is(out.Err, orch.ErrUnknownDeployment), errors.Is(out.Err, orch.ErrNotActive):
+				// Deleted mid-storm: nothing to protect.
+			default:
+				failed++
+			}
+		}
+		e.mu.Lock()
+		e.groupPlan.Planned += gstats.Planned
+		e.groupPlan.Buckets += gstats.Buckets
+		e.groupPlan.SharedChains += gstats.SharedChains
+		e.groupPlan.Fallbacks += gstats.Fallbacks
+		e.mu.Unlock()
+	} else {
+		for _, id := range members {
+			_, replanned, err := e.o.ReProtect(id)
+			switch {
+			case err == nil && replanned:
+				protected++
+			case err == nil:
+				already++
+			case errors.Is(err, orch.ErrBusy):
+				busy++
+				e.enqueue(task{key: taskKey{dep: id, kind: KindReProtect}})
+			case errors.Is(err, orch.ErrUnknownDeployment), errors.Is(err, orch.ErrNotActive):
+				// Deleted mid-storm: nothing to protect.
+			default:
+				failed++
+			}
 		}
 	}
 	res := TaskResult{Kind: t.key.kind.String(), Outcome: "storm-group", When: time.Now()}
 	res.Detail = fmt.Sprintf("domain %s: %d chains (%d protected, %d already, %d busy requeued, %d failed)",
 		t.key.domain, len(members), protected, already, busy, failed)
+	if grouped {
+		res.Detail += fmt.Sprintf("; %d segment requests in %d buckets, %d shared",
+			gstats.SegmentRequests, gstats.Buckets, gstats.SharedChains)
+	}
 	if failed > 0 {
 		res.Outcome = "failed"
 	}
@@ -944,6 +1016,11 @@ func (e *Engine) runGroupTask(t task) TaskResult {
 				{Key: "chains", Value: fmt.Sprintf("%d", len(members))},
 				{Key: "outcome", Value: res.Outcome},
 			}}
+		if grouped {
+			sp.Attrs = append(sp.Attrs,
+				trace.Attr{Key: "buckets", Value: fmt.Sprintf("%d", gstats.Buckets)},
+				trace.Attr{Key: "shared", Value: fmt.Sprintf("%d", gstats.SharedChains)})
+		}
 		for _, p := range parents[1:] {
 			if p.TraceID != sc.TraceID {
 				sp.Links = append(sp.Links, p.TraceID)
@@ -1060,6 +1137,7 @@ func (e *Engine) Status() Status {
 		Kinds:          make(map[string]KindStats, numKinds),
 		Shed:           e.shedTotal,
 		Storm:          e.stormStat,
+		GroupPlans:     e.groupPlan,
 		LastResults:    append([]TaskResult(nil), e.results...),
 	}
 	st.Storm.Active = e.storm

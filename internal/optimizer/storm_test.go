@@ -28,6 +28,18 @@ func (c *countingTarget) ReProtect(id orch.DeploymentID) (*resilience.Standby, b
 	return c.Orchestrator.ReProtect(id)
 }
 
+// ReProtectGroup counts each member once — the embedded orchestrator's
+// group entry point is what storm-group tasks call now, so exactly-once
+// must hold across both paths combined.
+func (c *countingTarget) ReProtectGroup(domain string, ids []orch.DeploymentID) orch.GroupReport {
+	c.mu.Lock()
+	for _, id := range ids {
+		c.reprotects[id]++
+	}
+	c.mu.Unlock()
+	return c.Orchestrator.ReProtectGroup(domain, ids)
+}
+
 // TestStormModeCoalescesByDomain: once the queue depth crosses the
 // threshold, repair events sharing a failure domain fold into one
 // group task; draining re-protects every member exactly once and

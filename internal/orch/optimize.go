@@ -38,7 +38,17 @@ func (o *Orchestrator) ReProtect(id DeploymentID) (sb *resilience.Standby, repla
 	defer o.endExclusive(id)
 	o.topoMu.RLock()
 	defer o.topoMu.RUnlock()
+	return o.reProtectDep(dep, nil)
+}
 
+// reProtectDep is ReProtect's body, shared with ReProtectGroup. The
+// caller holds the deployment's exclusive claim and topoMu.RLock —
+// ReProtectGroup holds the topology lock once across a whole domain
+// group, so the body must not reacquire it. When gp is non-nil the
+// standby is planned through the group's shared candidate memo;
+// otherwise per-chain.
+func (o *Orchestrator) reProtectDep(dep *Deployment, gp *resilience.GroupPlanner) (sb *resilience.Standby, replanned bool, err error) {
+	id := dep.ID
 	o.mu.Lock()
 	cur := dep.Standby.Clone()
 	o.mu.Unlock()
@@ -47,7 +57,13 @@ func (o *Orchestrator) ReProtect(id DeploymentID) (sb *resilience.Standby, repla
 		return cur, false, nil
 	}
 	p := o.pipelineFrom(context.Background(), dep)
-	if planErr := p.planStandby(); planErr != nil {
+	var planErr error
+	if gp != nil {
+		planErr = p.planStandbyGroup(gp)
+	} else {
+		planErr = p.planStandby()
+	}
+	if planErr != nil {
 		if alive {
 			// The current standby still works; a failed search for a
 			// better one must not strip the protection the chain has.

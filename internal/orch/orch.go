@@ -168,6 +168,12 @@ type Config struct {
 	// time. 0 selects DefaultStandbyK; negative disables standby
 	// planning entirely (every data-path repair is then a cold re-path).
 	StandbyK int
+	// DisablePathCache turns off the SDN controllers' generation-keyed
+	// path-candidate memo (sdn.Controller.SetAlternativesCache), forcing
+	// every PathAlternatives call to run Yen's search cold. Benchmark
+	// baselines use it to measure the cache's effect; production fleets
+	// leave it off.
+	DisablePathCache bool
 }
 
 // DefaultStandbyK is the Yen's search width used when Config.StandbyK
@@ -439,6 +445,9 @@ func New(cfg Config) (*Orchestrator, error) {
 	ctrl, err := sdn.NewController(cfg.Topo)
 	if err != nil {
 		return nil, fmt.Errorf("orch: %w", err)
+	}
+	if cfg.DisablePathCache {
+		ctrl.SetAlternativesCache(false)
 	}
 	return newShard(core, alloc, ctrl, 0, 1), nil
 }

@@ -333,20 +333,7 @@ func (p *pipeline) planStandby() error {
 	if k <= 0 {
 		return nil
 	}
-	// The endpoint VMs' host PMs are mandatory waypoints of any route
-	// (a VM is reachable only through its host), so list them as stops —
-	// otherwise no standby could ever count as disjoint.
-	src, dst := p.path[0], p.path[len(p.path)-1]
-	stops := make([]topology.NodeID, 0, len(p.place.Hosts)+4)
-	stops = append(stops, src)
-	if n := p.o.topo.Node(src); n != nil && n.Kind == topology.KindVM {
-		stops = append(stops, n.Host)
-	}
-	stops = append(stops, p.place.Hosts...)
-	if n := p.o.topo.Node(dst); n != nil && n.Kind == topology.KindVM {
-		stops = append(stops, n.Host)
-	}
-	stops = append(stops, dst)
+	stops := p.standbyStops()
 	// A sharded orchestrator plans protection inside its own OPS
 	// partition: the slice came from the shard's pool, so the standby
 	// staying there keeps repairs shard-local and Yen's searches sized
@@ -363,6 +350,50 @@ func (p *pipeline) planStandby() error {
 	}
 	p.standby = sb
 	return nil
+}
+
+// planStandbyGroup is planStandby routed through a failure-domain
+// group planner: segment alternatives come from the group's shared
+// memo (Yen once per unique (endpoint, pool) bucket across the whole
+// domain) and the domain's risk groups fold into the overlap scoring.
+// The pool fallback mirrors planStandby's and is counted on the
+// planner so operators can see when partition purity lost.
+func (p *pipeline) planStandbyGroup(gp *resilience.GroupPlanner) error {
+	p.standby = nil
+	if p.o.standbyK <= 0 {
+		return nil
+	}
+	stops := p.standbyStops()
+	allow := p.o.alloc.Pool()
+	sb, err := gp.Plan(p.path, stops, p.slice.OPSSet(), allow)
+	if err != nil && allow != nil {
+		gp.AddFallback()
+		sb, err = gp.Plan(p.path, stops, p.slice.OPSSet(), nil)
+	}
+	if err != nil {
+		return err
+	}
+	p.standby = sb
+	return nil
+}
+
+// standbyStops lists the chain's mandatory standby waypoints: the
+// endpoint VMs' host PMs are waypoints of any route (a VM is reachable
+// only through its host), so they join the VNF hosts as stops —
+// otherwise no standby could ever count as disjoint.
+func (p *pipeline) standbyStops() []topology.NodeID {
+	src, dst := p.path[0], p.path[len(p.path)-1]
+	stops := make([]topology.NodeID, 0, len(p.place.Hosts)+4)
+	stops = append(stops, src)
+	if n := p.o.topo.Node(src); n != nil && n.Kind == topology.KindVM {
+		stops = append(stops, n.Host)
+	}
+	stops = append(stops, p.place.Hosts...)
+	if n := p.o.topo.Node(dst); n != nil && n.Kind == topology.KindVM {
+		stops = append(stops, n.Host)
+	}
+	stops = append(stops, dst)
+	return stops
 }
 
 // runStandby is planStandby as a pipeline stage: best-effort by

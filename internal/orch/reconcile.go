@@ -326,11 +326,23 @@ func (o *Orchestrator) affectedBy(dead resilience.FailureSet) []DeploymentID {
 	}
 	// Shared-risk expansion: chains whose footprint crosses a live link
 	// in the same risk group as a dead one must be visited too — their
-	// standbys may no longer be survivable. Scanning the indexed links
-	// (links inside some footprint) keeps this O(footprint), not
-	// O(topology); SRLG membership is immutable after build, so reading
-	// it here without topoMu is safe.
-	if len(dead.SRLGs) > 0 {
+	// standbys may no longer be survivable. When CollectSRLGs has
+	// materialized the batch's suspect-link set, probe the reverse index
+	// with it — the one topology walk already happened in
+	// markFailuresDown, and every shard's pass reuses it. The fallback
+	// scans the indexed links (links inside some footprint) probing SRLG
+	// membership per link, which keeps it O(footprint), not O(topology);
+	// SRLG membership is immutable after build, so reading it here
+	// without topoMu is safe.
+	switch {
+	case dead.SuspectLinks != nil:
+		for l := range dead.SuspectLinks {
+			if dead.Links[l] {
+				continue // dead links were collected above
+			}
+			collect(o.linkIndex[l])
+		}
+	case len(dead.SRLGs) > 0:
 		for l, set := range o.linkIndex {
 			if dead.Links[l] {
 				continue
@@ -372,10 +384,10 @@ func (o *Orchestrator) repairAround(ctx context.Context, id DeploymentID, dead r
 	// A standby sharing a risk group with a dead link is suspect even
 	// when its own resources survived: it is treated as hit (replanned)
 	// and never swapped onto — "disjoint" must mean survivable.
+	standbySuspect := dep.Standby != nil && dead.HitsAnySRLG(dep.Standby.SRLGs)
 	standbyHit := dep.Standby != nil &&
-		(dead.HitsAnyNode(dep.Standby.Path) || dead.HitsAnyLink(dep.Standby.Links) ||
-			dead.HitsAnySRLG(dep.Standby.SRLGs))
-	standbyAlive := dep.Standby != nil && !dead.HitsAnySRLG(dep.Standby.SRLGs) &&
+		(standbySuspect || dead.HitsAnyNode(dep.Standby.Path) || dead.HitsAnyLink(dep.Standby.Links))
+	standbyAlive := dep.Standby != nil && !standbySuspect &&
 		resilience.PathAlive(o.topo, dep.Standby.Path)
 	o.mu.Unlock()
 

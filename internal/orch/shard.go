@@ -180,6 +180,9 @@ func NewSharded(cfg Config, n int, mode ShardMode) (*Sharded, error) {
 		if err != nil {
 			return nil, fmt.Errorf("orch: sharded: shard %d: %w", i, err)
 		}
+		if cfg.DisablePathCache {
+			ctrl.SetAlternativesCache(false)
+		}
 		s.shards[i] = newShard(core, alloc, ctrl, i, n)
 	}
 	return s, nil
@@ -279,6 +282,40 @@ func (s *Sharded) MoveNF(id DeploymentID, idx int, to topology.NodeID) error {
 // ReProtect routes to the owning shard.
 func (s *Sharded) ReProtect(id DeploymentID) (*resilience.Standby, bool, error) {
 	return s.owner(id).ReProtect(id)
+}
+
+// ReProtectGroup partitions the members by owning shard and runs each
+// shard's sub-group concurrently — every shard builds its own
+// GroupPlanner (its OPS pool is its own, so cross-shard bucket sharing
+// could never happen anyway). Outcomes merge in ID order and the
+// planner stats sum.
+func (s *Sharded) ReProtectGroup(domain string, ids []DeploymentID) GroupReport {
+	rep := GroupReport{Domain: domain}
+	if len(ids) == 0 {
+		return rep
+	}
+	perShard := make([][]DeploymentID, len(s.shards))
+	for _, id := range ids {
+		sh := s.router.ShardOf(id)
+		perShard[sh] = append(perShard[sh], id)
+	}
+	reports := make([]GroupReport, len(s.shards))
+	runPool(len(s.shards), 0, func(i int) {
+		if len(perShard[i]) == 0 {
+			return
+		}
+		reports[i] = s.shards[i].ReProtectGroup(domain, perShard[i])
+	})
+	for _, r := range reports {
+		rep.Outcomes = append(rep.Outcomes, r.Outcomes...)
+		rep.Stats.Planned += r.Stats.Planned
+		rep.Stats.Buckets += r.Stats.Buckets
+		rep.Stats.SharedChains += r.Stats.SharedChains
+		rep.Stats.Fallbacks += r.Stats.Fallbacks
+		rep.Stats.SegmentRequests += r.Stats.SegmentRequests
+	}
+	sort.Slice(rep.Outcomes, func(i, j int) bool { return rep.Outcomes[i].ID < rep.Outcomes[j].ID })
+	return rep
 }
 
 // Rehome routes to the owning shard.
@@ -474,6 +511,17 @@ func (s *Sharded) RuleCount() int {
 	return n
 }
 
+// CandidateCacheStats sums the path-candidate cache hit/miss counters
+// across shard controllers.
+func (s *Sharded) CandidateCacheStats() (hits, misses int64) {
+	for _, sh := range s.shards {
+		h, m := sh.ctrl.AlternativesCacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
 // ShardStat is one shard's slice of the fleet, for metrics endpoints
 // and the scale bench.
 type ShardStat struct {
@@ -489,6 +537,11 @@ type ShardStat struct {
 	ProvisionOK      uint64 `json:"provision_ok"`
 	ProvisionFailed  uint64 `json:"provision_failed"`
 	BusyOps          int    `json:"busy_ops"`
+	// CandidateCacheHits/Misses are the shard controller's
+	// path-candidate memo counters (PathAlternatives served warm vs
+	// searched cold).
+	CandidateCacheHits   int64 `json:"candidate_cache_hits"`
+	CandidateCacheMisses int64 `json:"candidate_cache_misses"`
 }
 
 // ShardStats returns one entry per shard, in shard order.
@@ -510,6 +563,7 @@ func (o *Orchestrator) shardStat() ShardStat {
 		InstalledRules:   o.ctrl.RuleCount(),
 		BusyOps:          o.BusyOps(),
 	}
+	st.CandidateCacheHits, st.CandidateCacheMisses = o.ctrl.AlternativesCacheStats()
 	st.ProvisionOK, st.ProvisionFailed = o.ProvisionOutcomes()
 	o.mu.Lock()
 	for _, dep := range o.deployments {

@@ -32,6 +32,13 @@ type FailureSet struct {
 	// suspect: standbys crossing it are not trusted for a swap and get
 	// replanned instead.
 	SRLGs map[int]bool
+	// SuspectLinks is every link implicated by the event — the dead
+	// links plus every live link sharing a shared-risk group with one —
+	// computed once per batch by CollectSRLGs. Classifiers iterate this
+	// set instead of re-probing SRLG membership per indexed link, so a
+	// batch's topology walk happens once, not once per shard. nil until
+	// CollectSRLGs runs (callers fall back to probing).
+	SuspectLinks map[topology.LinkID]bool
 }
 
 // NewFailureSet builds the union set of the given dead nodes and links.
@@ -51,8 +58,12 @@ func NewFailureSet(nodes []topology.NodeID, links []topology.LinkID) FailureSet 
 }
 
 // CollectSRLGs folds the shared-risk groups of every dead link into the
-// set, so classification can treat same-tray survivors as suspect.
-func (f FailureSet) CollectSRLGs(topo *topology.Topology) {
+// set, so classification can treat same-tray survivors as suspect, and
+// materializes SuspectLinks — the dead links plus every link sharing a
+// group with one — in a single topology walk. Pointer receiver: it
+// publishes SuspectLinks on the set; the maps themselves are shared by
+// any copies made afterwards.
+func (f *FailureSet) CollectSRLGs(topo *topology.Topology) {
 	for l := range f.Links {
 		link := topo.Link(l)
 		if link == nil {
@@ -62,6 +73,24 @@ func (f FailureSet) CollectSRLGs(topo *topology.Topology) {
 			f.SRLGs[g] = true
 		}
 	}
+	suspect := make(map[topology.LinkID]bool, len(f.Links))
+	for l := range f.Links {
+		suspect[l] = true
+	}
+	if len(f.SRLGs) > 0 {
+		for _, link := range topo.Links() {
+			if suspect[link.ID] {
+				continue
+			}
+			for _, g := range link.SRLG {
+				if f.SRLGs[g] {
+					suspect[link.ID] = true
+					break
+				}
+			}
+		}
+	}
+	f.SuspectLinks = suspect
 }
 
 // HitsAnySRLG reports whether any of the given groups is in the failure
@@ -251,6 +280,21 @@ func PlanStandby(f PathFinder, topo *topology.Topology, primary []topology.NodeI
 	if k <= 0 {
 		return nil, fmt.Errorf("resilience: plan standby: k must be positive, got %d", k)
 	}
+	getAlts := func(a, b topology.NodeID) ([][]topology.NodeID, error) {
+		return f.PathAlternatives(a, b, k, allowOPS)
+	}
+	return planStandbyWith(getAlts, topo, primary, stops, sliceOPS, nil)
+}
+
+// planStandbyWith is the planning core shared by PlanStandby and
+// GroupPlanner.Plan: segment alternatives come from getAlts (a direct
+// finder call, or a group-level memo), and avoidSRLGs — when non-empty
+// — folds a failure domain's shared-risk groups into the overlap score,
+// so alternatives crossing a suspect tray rank behind clean ones and a
+// standby forced onto one reports Disjoint=false. With a nil avoid set
+// the scoring is exactly PlanStandby's, which is what makes group
+// planning provably equivalent to per-chain planning.
+func planStandbyWith(getAlts func(a, b topology.NodeID) ([][]topology.NodeID, error), topo *topology.Topology, primary []topology.NodeID, stops []topology.NodeID, sliceOPS map[topology.NodeID]bool, avoidSRLGs map[int]bool) (*Standby, error) {
 	if len(primary) == 0 || len(stops) < 2 {
 		return nil, fmt.Errorf("resilience: plan standby: primary and stops required")
 	}
@@ -299,10 +343,10 @@ func PlanStandby(f PathFinder, topo *topology.Topology, primary []topology.NodeI
 				score++
 				continue
 			}
-			if len(primaryGroups) > 0 {
+			if len(primaryGroups) > 0 || len(avoidSRLGs) > 0 {
 				if link := topo.Link(l); link != nil {
 					for _, g := range link.SRLG {
-						if primaryGroups[g] {
+						if primaryGroups[g] || avoidSRLGs[g] {
 							score++
 							break
 						}
@@ -320,7 +364,7 @@ func PlanStandby(f PathFinder, topo *topology.Topology, primary []topology.NodeI
 		if a == b {
 			continue
 		}
-		alts, err := f.PathAlternatives(a, b, k, allowOPS)
+		alts, err := getAlts(a, b)
 		if err != nil {
 			return nil, fmt.Errorf("resilience: plan standby segment %d: %w", i, err)
 		}

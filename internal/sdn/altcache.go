@@ -1,0 +1,147 @@
+package sdn
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/alvc/alvc/internal/topology"
+)
+
+// altCache memoizes PathAlternatives results across the window where
+// they stay valid: one (structural generation, live-mask version)
+// epoch. Yen's k-shortest search is the most expensive primitive in the
+// planning stack, and after a failure storm the optimizer asks the same
+// (src, dst, k, pool) questions over and over — refresh tasks landing
+// in the same epoch, group plans re-keyed per shard, re-protect retries
+// after a busy skip. The cache turns all of those into map lookups.
+//
+// Correctness rests on the generation pair: a structural mutation
+// invalidates the routing snapshot (structGen moves), a liveness
+// transition patches the snapshot's overlay in place (liveGen moves,
+// bumped *after* the patch lands). Either movement makes every cached
+// answer stale, so the whole map is discarded on a pair mismatch —
+// there is no per-entry staleness. Entries are stored only when the
+// pair observed before the search still matches after it, so a search
+// racing a mutation can never publish a result under the wrong epoch.
+//
+// Errors are never cached: a failed search is cheap relative to its
+// retry policy and its cause (a partitioned pair, an empty pool) may
+// heal without a generation bump observable here.
+type altCache struct {
+	mu        sync.Mutex
+	structGen uint64
+	liveGen   uint64
+	entries   map[altKey][][]topology.NodeID
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// altKey identifies one alternatives search problem within an epoch.
+// The restriction set is folded to a digest: order-independent callers
+// that pass the same pool get the same key.
+type altKey struct {
+	src, dst topology.NodeID
+	k        int
+	digest   uint64
+}
+
+// altCacheMaxEntries bounds the per-controller memo. When full, new
+// results are computed but not stored; the map resets wholesale at the
+// next generation movement anyway, so a cap beats an eviction policy.
+const altCacheMaxEntries = 4096
+
+// restrictionDigest hashes an OPS restriction set to a stable 64-bit
+// key component. nil (no restriction) and the empty set are
+// distinguishable from any real pool; only nodes mapped to true
+// participate, matching how searches consume the set.
+func restrictionDigest(restrictOPS map[topology.NodeID]bool) uint64 {
+	if restrictOPS == nil {
+		return 0
+	}
+	ids := make([]int, 0, len(restrictOPS))
+	for n, ok := range restrictOPS {
+		if ok {
+			ids = append(ids, int(n))
+		}
+	}
+	sort.Ints(ids)
+	h := fnv.New64a()
+	var buf [8]byte
+	buf[0] = 1 // non-nil marker: {} hashes differently from nil
+	h.Write(buf[:1])
+	for _, id := range ids {
+		v := uint64(id)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// get returns the cached alternatives for the key if the cache is
+// coherent with the given generation pair. A pair mismatch discards
+// every entry (they were all computed against a superseded routing
+// state) before reporting a miss.
+func (ac *altCache) get(key altKey, structGen, liveGen uint64) ([][]topology.NodeID, bool) {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if ac.structGen != structGen || ac.liveGen != liveGen {
+		ac.structGen, ac.liveGen = structGen, liveGen
+		ac.entries = nil
+		return nil, false
+	}
+	out, ok := ac.entries[key]
+	return out, ok
+}
+
+// put stores a freshly computed result, but only if the generation pair
+// observed before the search is still the cache's current pair — a
+// concurrent mutation between get and put voids the store rather than
+// poisoning the new epoch.
+func (ac *altCache) put(key altKey, structGen, liveGen uint64, paths [][]topology.NodeID) {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if ac.structGen != structGen || ac.liveGen != liveGen {
+		return
+	}
+	if ac.entries == nil {
+		ac.entries = make(map[altKey][][]topology.NodeID)
+	}
+	if len(ac.entries) >= altCacheMaxEntries {
+		return
+	}
+	ac.entries[key] = paths
+}
+
+// invalidate drops every cached entry regardless of generation.
+func (ac *altCache) invalidate() {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	ac.entries = nil
+}
+
+// SetAlternativesCache enables or disables the candidate-path memo on
+// this controller. Intended for construction time (benchmark baselines,
+// A/B comparison); disabling also drops any cached entries.
+func (c *Controller) SetAlternativesCache(enabled bool) {
+	c.altCacheOff.Store(!enabled)
+	if !enabled {
+		c.alts.invalidate()
+	}
+}
+
+// InvalidateAlternatives drops every memoized candidate set. The
+// generation pair already invalidates on any topology movement; this is
+// the explicit escape hatch for callers that mutated state the
+// controller cannot see.
+func (c *Controller) InvalidateAlternatives() { c.alts.invalidate() }
+
+// AlternativesCacheStats returns the candidate-cache hit and miss
+// counts since construction.
+func (c *Controller) AlternativesCacheStats() (hits, misses int64) {
+	return c.alts.hits.Load(), c.alts.misses.Load()
+}

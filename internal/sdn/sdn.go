@@ -101,6 +101,12 @@ type Controller struct {
 	// inline — is asserted against this counter's delta. Atomic for the
 	// same reason as pathComputations.
 	yenRuns atomic.Int64
+
+	// alts memoizes PathAlternatives results within one
+	// (structural, liveness) generation epoch; altCacheOff disables it
+	// (benchmark baselines). See altcache.go.
+	alts        altCache
+	altCacheOff atomic.Bool
 }
 
 // NewController returns a controller over the topology.
@@ -171,17 +177,42 @@ func (c *Controller) ComputePathVia(src topology.NodeID, via []topology.NodeID, 
 // PathAlternatives returns up to k loopless paths between two nodes in
 // nondecreasing latency order (Yen's algorithm over the routing
 // snapshot), giving the controller fallback routes for fast failover
-// without recomputation.
+// without recomputation. Results are memoized per (structural
+// generation, live-mask version, src, dst, k, restriction digest):
+// repeated questions within one topology epoch — optimizer refresh
+// fans, storm-group plans — skip the Yen run entirely. Callers must
+// treat the returned paths as immutable.
 func (c *Controller) PathAlternatives(src, dst topology.NodeID, k int, restrictOPS map[topology.NodeID]bool) ([][]topology.NodeID, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("sdn: path alternatives: k must be positive, got %d", k)
 	}
+	if c.altCacheOff.Load() {
+		c.yenRuns.Add(1)
+		c.pathComputations.Add(1)
+		out, _, err := c.snapshot().KShortestPaths(src, dst, k, restrictOPS)
+		if err != nil {
+			return nil, fmt.Errorf("sdn: path alternatives %d->%d: %w", src, dst, err)
+		}
+		return out, nil
+	}
+	key := altKey{src: src, dst: dst, k: k, digest: restrictionDigest(restrictOPS)}
+	// The pair is read before the search; put re-checks it, so a
+	// mutation landing mid-search voids the store instead of caching a
+	// result under the wrong epoch.
+	structGen := c.topo.StructuralGeneration()
+	liveGen := c.topo.LivenessGeneration()
+	if out, ok := c.alts.get(key, structGen, liveGen); ok {
+		c.alts.hits.Add(1)
+		return out, nil
+	}
+	c.alts.misses.Add(1)
 	c.yenRuns.Add(1)
 	c.pathComputations.Add(1)
 	out, _, err := c.snapshot().KShortestPaths(src, dst, k, restrictOPS)
 	if err != nil {
 		return nil, fmt.Errorf("sdn: path alternatives %d->%d: %w", src, dst, err)
 	}
+	c.alts.put(key, structGen, liveGen, out)
 	return out, nil
 }
 

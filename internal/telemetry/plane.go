@@ -319,6 +319,30 @@ func (p *Plane) registerOptimizer() {
 			st, _ := arch.OptimizerStatus()
 			return []Sample{{Value: float64(st.Shed)}}
 		})
+	p.reg.CounterFunc("alvc_groupplan_plans_total",
+		"Chains planned through storm-group re-protection.",
+		nil, func() []Sample {
+			st, _ := arch.OptimizerStatus()
+			return []Sample{{Value: float64(st.GroupPlans.Planned)}}
+		})
+	p.reg.CounterFunc("alvc_groupplan_buckets_total",
+		"Distinct (endpoint, pool) buckets Yen actually ran for during group planning.",
+		nil, func() []Sample {
+			st, _ := arch.OptimizerStatus()
+			return []Sample{{Value: float64(st.GroupPlans.Buckets)}}
+		})
+	p.reg.CounterFunc("alvc_groupplan_shared_chains_total",
+		"Group-planned chains that reused another chain's candidate bucket.",
+		nil, func() []Sample {
+			st, _ := arch.OptimizerStatus()
+			return []Sample{{Value: float64(st.GroupPlans.SharedChains)}}
+		})
+	p.reg.CounterFunc("alvc_groupplan_fallbacks_total",
+		"Group plans that fell back from a restricted OPS pool to the full pool.",
+		nil, func() []Sample {
+			st, _ := arch.OptimizerStatus()
+			return []Sample{{Value: float64(st.GroupPlans.Fallbacks)}}
+		})
 	p.drainSeconds = p.reg.NewHistogramVec("alvc_optimizer_drain_seconds",
 		"Wall time of optimizer drain passes.", batchBounds)
 	p.drainSeconds.WithLabelValues()
@@ -342,6 +366,24 @@ func (p *Plane) registerRouting() {
 			var out []Sample
 			for _, st := range arch.ShardStats() {
 				out = append(out, Sample{Labels: []string{strconv.Itoa(st.Shard)}, Value: float64(st.YenRuns)})
+			}
+			return out
+		})
+	p.reg.CounterFunc("alvc_sdn_candidate_cache_hits_total",
+		"Path-alternative candidate cache hits per shard controller.",
+		[]string{"shard"}, func() []Sample {
+			var out []Sample
+			for _, st := range arch.ShardStats() {
+				out = append(out, Sample{Labels: []string{strconv.Itoa(st.Shard)}, Value: float64(st.CandidateCacheHits)})
+			}
+			return out
+		})
+	p.reg.CounterFunc("alvc_sdn_candidate_cache_misses_total",
+		"Path-alternative candidate cache misses per shard controller.",
+		[]string{"shard"}, func() []Sample {
+			var out []Sample
+			for _, st := range arch.ShardStats() {
+				out = append(out, Sample{Labels: []string{strconv.Itoa(st.Shard)}, Value: float64(st.CandidateCacheMisses)})
 			}
 			return out
 		})

@@ -186,6 +186,13 @@ func (t *Topology) SnapshotHits() uint64 { return atomic.LoadUint64(&t.snapHits)
 // the storm fast path's "no rebuild happened here" counter.
 func (t *Topology) LivenessPatches() uint64 { return atomic.LoadUint64(&t.livePatches) }
 
+// LivenessGeneration returns the live-mask version: the number of
+// liveness batches fully applied to the cached snapshots. It bumps
+// *after* each overlay patch lands, so a reader that observes a new
+// value is guaranteed the corresponding down-state is visible; paired
+// with StructuralGeneration it keys caches of path-search results.
+func (t *Topology) LivenessGeneration() uint64 { return atomic.LoadUint64(&t.liveGen) }
+
 // RoutingSnapshot returns the cached routing snapshot for the options,
 // rebuilding only if the topology *structurally* mutated since the last
 // build with the same (IncludeVMs, UseHops) key; liveness transitions
@@ -332,6 +339,9 @@ func (t *Topology) applyLiveness(nodes []*Node, links []*Link, down bool) {
 			s.mask.Patch(vertex, arcs, down)
 		}
 	}
+	// Bumped last, under snapMu: a reader that sees the new version is
+	// guaranteed every snapshot already carries this batch's patch.
+	atomic.AddUint64(&t.liveGen, 1)
 }
 
 // collectNodePatch records the node's effective down-state (and, for a

@@ -38,6 +38,14 @@ type Topology struct {
 	snapHits    uint64
 	livePatches uint64
 
+	// liveGen is the live-mask version: it bumps once per applied
+	// liveness batch, after the overlay patch lands (see
+	// LivenessGeneration). Together with structGen it versions the
+	// effective routing state, keying caches of search *results* —
+	// an entry computed under (structGen, liveGen) is valid iff both
+	// still match.
+	liveGen uint64
+
 	// snapMu guards the epoch-keyed routing-snapshot cache. Snapshots
 	// themselves are immutable once published.
 	snapMu sync.Mutex
